@@ -1,0 +1,91 @@
+"""Fig. 10 — Memory efficiency of storing KV cache.
+
+Paper: serving the summarisation workload (OPT-175B, 0.07 req/s per
+deployment) on the 2tracks and 8tracks clusters, HeroServe consistently
+keeps the lowest KV-cache memory utilisation: its faster transfers and
+token generation "result in more frequent KV cache refreshes, reducing
+memory usage", keeping fewer concurrent requests resident.
+
+We regenerate the per-system mean/peak utilisation of the decode
+cluster's KV pool over the run.
+"""
+
+import pytest
+
+from repro.baselines import simulate_trace
+from repro.core import SLA_SIM_SUMMARIZATION
+from repro.llm import OPT_175B
+from repro.network import build_xtracks_cluster
+
+from common import (
+    CLUSTER_PARALLEL,
+    SYSTEM_ORDER,
+    build_all_systems,
+    make_cluster_bank,
+    save_result,
+    summarization_trace,
+)
+from repro.util.tables import format_table
+
+RATE = 0.07  # the figure's request rate
+DURATION = 600.0
+
+
+def run_tracks(tracks: int) -> dict[str, dict[str, float]]:
+    built = build_xtracks_cluster(tracks, n_units=1)
+    bank = make_cluster_bank(OPT_175B)
+    trace = summarization_trace(RATE, DURATION, seed=10)
+    systems = build_all_systems(
+        built,
+        OPT_175B,
+        bank,
+        SLA_SIM_SUMMARIZATION,
+        trace,
+        arrival_rate=RATE,
+        forced=CLUSTER_PARALLEL,
+        forecast_q=4,
+    )
+    out: dict[str, dict[str, float]] = {}
+    for name in SYSTEM_ORDER:
+        m = simulate_trace(systems[name], trace)
+        out[name] = {
+            "mean_util": m.mean_memory_utilization(),
+            "peak_util": m.peak_memory_utilization(),
+            "mean_tpot": m.mean_tpot(),
+            "finished": float(m.n_finished),
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("tracks", [2, 8])
+def test_fig10_memory_efficiency(benchmark, tracks):
+    res = benchmark.pedantic(
+        run_tracks, args=(tracks,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            n,
+            f"{res[n]['mean_util']:.1%}",
+            f"{res[n]['peak_util']:.1%}",
+            f"{res[n]['mean_tpot'] * 1e3:.1f}",
+            int(res[n]["finished"]),
+        ]
+        for n in SYSTEM_ORDER
+    ]
+    table = format_table(
+        ["system", "mean KV util", "peak KV util", "TPOT ms", "finished"],
+        rows,
+        title=(
+            f"Fig. 10 — KV-cache memory utilisation, {tracks}tracks, "
+            f"summarisation OPT-175B @ {RATE} req/s\n"
+            "paper: HeroServe consistently lowest"
+        ),
+    )
+    print("\n" + table)
+    save_result(f"fig10_{tracks}tracks", table)
+
+    hero = res["HeroServe"]["mean_util"]
+    for name in ("DistServe", "DS-ATP", "DS-SwitchML"):
+        assert hero <= res[name]["mean_util"] * 1.02, name
+    assert hero < res["DistServe"]["mean_util"]

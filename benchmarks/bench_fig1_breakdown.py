@@ -1,0 +1,120 @@
+"""Fig. 1 — Prefill cost breakdown of LLaMA-3-70B (TP=4, batch 8,
+1024 input / 64 output tokens, ring all-reduce over 100 GbE).
+
+Paper's observation: with cross-server tensor parallelism the all-reduce
+communication accounts for **over 65 %** of prefill latency on L40 and
+**over 75 %** on A100 (the faster the compute, the larger the comm
+share). We regenerate the bar chart's series: per-GPU-type computation
+vs communication time and the communication fraction.
+"""
+
+import pytest
+
+from repro.comm import (
+    CommContext,
+    SchemeKind,
+    allreduce_bytes,
+    estimate_group_step,
+    sync_steps_per_pass,
+)
+from repro.llm import LLAMA3_70B, A100, L40, V100, BatchSpec, fit_compute_model
+from repro.network import build_testbed
+from repro.network.builders import ServerSpec
+from repro.util import units
+from repro.util.tables import format_table
+
+from common import save_result
+
+#: Fig. 1 measurement setup.
+BATCH = BatchSpec.uniform(8, 1024, 64)
+TP = 4
+
+#: Fraction of 100 GbE line rate NCCL's ring actually achieves in the
+#: Fig. 1 measurement stack (FlashCommunication [33] measures NCCL over
+#: commodity 100 GbE, where all-reduce busbw is ~5-6 GB/s — roughly half
+#: of line rate — due to TCP/protocol overheads and NIC sharing). The
+#: "ideal RDMA" rows use full line rate for comparison.
+NCCL_TCP_EFFICIENCY = 0.5
+
+
+def cross_server_testbed(gpu_model: str, eth_fraction: float):
+    """Four 1-GPU 'servers' so TP4 synchronises over Ethernet, matching
+    Fig. 1's NCCL-ring-over-100GbE measurement."""
+    spec = ServerSpec(
+        name=gpu_model,
+        n_gpus=1,
+        gpu_memory_bytes=units.gib(48),
+        nvlink_bandwidth=units.gbyte_per_s(300),
+        gpu_model=gpu_model,
+    )
+    return build_testbed(
+        server_specs=[spec] * 4,
+        eth_bandwidth=eth_fraction * units.gbit_per_s(100.0),
+    )
+
+
+def breakdown_for(hardware, eth_fraction: float) -> dict:
+    built = cross_server_testbed(hardware.name, eth_fraction)
+    ctx = CommContext.from_built(built, heterogeneous=False)
+    gpus = built.topology.gpu_ids()
+    cm = fit_compute_model(LLAMA3_70B, hardware)
+    t_compute = cm.prefill_time(BATCH, TP)
+    data = allreduce_bytes(LLAMA3_70B, BATCH.k_in)
+    step = estimate_group_step(ctx, gpus, data, SchemeKind.RING)
+    t_comm = sync_steps_per_pass(LLAMA3_70B, 1) * step.step_time
+    total = t_compute + t_comm
+    return {
+        "hardware": hardware.name,
+        "link": "NCCL/TCP" if eth_fraction < 1.0 else "ideal RDMA",
+        "compute_s": t_compute,
+        "comm_s": t_comm,
+        "comm_frac": t_comm / total,
+    }
+
+
+def run_fig1() -> list[dict]:
+    out = []
+    for hw in (L40, A100, V100):
+        out.append(breakdown_for(hw, NCCL_TCP_EFFICIENCY))
+        out.append(breakdown_for(hw, 1.0))
+    return out
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_prefill_breakdown(benchmark):
+    results = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    rows = [
+        [
+            r["hardware"],
+            r["link"],
+            f"{r['compute_s']:.3f}",
+            f"{r['comm_s']:.3f}",
+            f"{r['comm_frac']:.1%}",
+        ]
+        for r in results
+    ]
+    table = format_table(
+        ["GPU", "link model", "compute s", "all-reduce s", "comm share"],
+        rows,
+        title=(
+            "Fig. 1 — LLaMA-3-70B prefill breakdown "
+            "(TP=4 over 100GbE ring, batch 8 x 1024 tokens)\n"
+            "paper (measured NCCL on 100GbE): comm share >65% on L40, "
+            ">75% on A100"
+        ),
+    )
+    print("\n" + table)
+    save_result("fig1_breakdown", table)
+
+    by_hw = {
+        (r["hardware"], r["link"]): r["comm_frac"] for r in results
+    }
+    # The paper's measured stack (NCCL/TCP-class goodput).
+    assert by_hw[("L40", "NCCL/TCP")] > 0.60
+    assert by_hw[("A100", "NCCL/TCP")] > 0.70
+    # Faster compute -> larger comm share, in both link models.
+    for link in ("NCCL/TCP", "ideal RDMA"):
+        assert by_hw[("A100", link)] > by_hw[("L40", link)]
+        assert by_hw[("V100", link)] < by_hw[("A100", link)]
+    # Even with ideal RDMA, communication stays a major cost (>40%).
+    assert by_hw[("A100", "ideal RDMA")] > 0.40

@@ -1,0 +1,119 @@
+"""Fig. 9 — In-network aggregation throughput vs message size (4-64 MB).
+
+Paper: on the 2tracks cluster under bursty cross traffic, HeroServe
+sustains the highest aggregation goodput at every message size; the
+improvements over DistServe / DS-ATP / DS-SwitchML are 71.7 % / 26 % /
+20.1 %. We regenerate the series: a cross-server TP16 group aggregates
+messages of 4-64 MB while bursty background traffic occupies a fraction
+of the Ethernet fabric; goodput = message size / all-reduce makespan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommContext, SchemeKind, estimate_group_step
+from repro.network import LinkLoadTracker, build_xtracks_cluster
+from repro.network.topology import LinkKind
+from repro.util.tables import format_table
+
+from common import SYSTEM_ORDER, save_result
+
+SIZES_MB = [4, 8, 16, 32, 64]
+#: fraction of each Ethernet link consumed by bursty tenants (the
+#: "bursty traffic conditions" of §II-C; [22] reports ~78% degradation)
+BACKGROUND_UTIL = 0.45
+
+SCHEME_OF = {
+    "DistServe": (SchemeKind.RING, False),
+    "DS-ATP": (SchemeKind.INA_ASYNC, False),
+    "DS-SwitchML": (SchemeKind.INA_SYNC, False),
+    "HeroServe": (SchemeKind.HYBRID, True),
+}
+
+
+def run_fig9(tracks: int = 2) -> dict:
+    built = build_xtracks_cluster(tracks, n_units=1)
+    group = built.topology.gpu_ids()[:16]  # TP16 across two servers
+    out: dict[str, dict[int, float]] = {}
+    # One shared congestion pattern: every system faces the same bursty
+    # cross traffic on the same half of the Ethernet fabric.
+    rng = np.random.default_rng(9)
+    eth = np.where(
+        built.topology.kind_array() == int(LinkKind.ETHERNET)
+    )[0]
+    hot = rng.choice(eth, size=max(1, len(eth) // 2), replace=False)
+    for name in SYSTEM_ORDER:
+        scheme, hetero = SCHEME_OF[name]
+        ls = LinkLoadTracker(built.topology)
+        base = CommContext.from_built(built, heterogeneous=hetero)
+        ctx = CommContext(
+            built=built,
+            route_table=base.route_table,
+            linkstate=ls,
+            heterogeneous=hetero,
+        )
+        ls.register(hot, BACKGROUND_UTIL * 12.5e9)
+        for _ in range(10):
+            ls.poll()
+        contention = float(ls.ewma_utilization()[eth].mean())
+
+        series: dict[int, float] = {}
+        for mb in SIZES_MB:
+            data = mb * 1_000_000
+            est = estimate_group_step(
+                ctx, group, data, scheme, contention=contention
+            )
+            series[mb] = data / est.step_time  # bytes/s goodput
+        out[name] = series
+    return out
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_ina_throughput(benchmark):
+    series = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    rows = []
+    for mb in SIZES_MB:
+        rows.append(
+            [f"{mb} MB"]
+            + [f"{series[n][mb] / 1e9:.2f}" for n in SYSTEM_ORDER]
+        )
+    gains = {
+        n: np.mean(
+            [series["HeroServe"][mb] / series[n][mb] for mb in SIZES_MB]
+        )
+        - 1.0
+        for n in SYSTEM_ORDER
+        if n != "HeroServe"
+    }
+    table = format_table(
+        ["message"] + [f"{n} GB/s" for n in SYSTEM_ORDER],
+        rows,
+        title=(
+            "Fig. 9 — aggregation goodput vs message size, 2tracks, "
+            f"bursty background ({BACKGROUND_UTIL:.0%} on half the links)\n"
+            "paper gains: +71.7% vs DistServe, +26% vs DS-ATP, "
+            "+20.1% vs DS-SwitchML\n"
+            + "measured gains: "
+            + ", ".join(f"{k}: +{v:.1%}" for k, v in gains.items())
+        ),
+    )
+    print("\n" + table)
+    save_result("fig9_ina_throughput", table)
+
+    for mb in SIZES_MB:
+        hero = series["HeroServe"][mb]
+        for name in ("DistServe", "DS-ATP", "DS-SwitchML"):
+            assert hero > series[name][mb], (name, mb)
+    # Shape: gains ordered DistServe >= DS-ATP >= DS-SwitchML >= 0
+    # (paper: 71.7% > 26% > 20.1%). Under our conservative store-and-
+    # forward Eq. 10 model the homogeneous INA baselines degrade to the
+    # ring fallback on congested multi-hop 2tracks paths, so ties are
+    # allowed; HeroServe's margin overshoots the paper's because the
+    # textbook ring bandwidth penalty exceeds the authors' measurement.
+    assert (
+        gains["DistServe"]
+        >= gains["DS-ATP"]
+        >= gains["DS-SwitchML"]
+        >= 0.0
+    )
+    assert gains["DistServe"] > 0.4

@@ -1,0 +1,101 @@
+"""Planner solve-time — the §III-C3 claim.
+
+Paper: "our algorithm typically finds a solution within 10 minutes, a
+reduction of 28.57 % compared to DistServe", attributed to (a) the
+constant-size candidate list, (b) asynchronous prefill/decode estimation
+threads and (c) offline precomputation of the shortest-path/latency
+matrices. We time Algorithm 1 against the reference planner that lacks
+all three (candidate sweep, sequential estimation, per-candidate
+Dijkstra) on both the testbed and a cluster miniature.
+"""
+
+import pytest
+
+from repro.comm import CommContext, SchemeKind
+from repro.core import SLA_TESTBED_CHATBOT
+from repro.core.planner import ExhaustivePlanner, OfflinePlanner
+from repro.llm import OPT_66B, OPT_175B, BatchSpec
+from repro.network import build_testbed, build_xtracks_cluster
+
+from common import make_cluster_bank, save_result, make_testbed_bank
+from repro.util.tables import format_table
+
+
+def plan_pair(built, model, bank, batch):
+    ctx = CommContext.from_built(built, heterogeneous=True)
+    fast = OfflinePlanner(
+        ctx, model, bank, SLA_TESTBED_CHATBOT, SchemeKind.HYBRID
+    ).plan(batch, arrival_rate=0.5)
+    slow = ExhaustivePlanner(
+        ctx, model, bank, SLA_TESTBED_CHATBOT, SchemeKind.HYBRID
+    ).plan(batch, arrival_rate=0.5)
+    return fast, slow
+
+
+def run_planner_comparison():
+    out = []
+    tb = build_testbed()
+    fast, slow = plan_pair(
+        tb, OPT_66B, make_testbed_bank(OPT_66B), BatchSpec.uniform(8, 256, 220)
+    )
+    out.append(("testbed OPT-66B", fast, slow))
+    cl = build_xtracks_cluster(2, n_units=1)
+    fast, slow = plan_pair(
+        cl,
+        OPT_175B,
+        make_cluster_bank(OPT_175B),
+        BatchSpec.uniform(8, 256, 220),
+    )
+    out.append(("2tracks OPT-175B", fast, slow))
+    return out
+
+
+@pytest.mark.benchmark(group="planner")
+def test_planner_solve_time(benchmark):
+    results = benchmark.pedantic(
+        run_planner_comparison, rounds=1, iterations=1
+    )
+    rows = []
+    for label, fast, slow in results:
+        saving = (
+            1.0 - fast.wall_time / slow.wall_time
+            if slow.wall_time > 0
+            else float("nan")
+        )
+        rows.append(
+            [
+                label,
+                fast.candidates_evaluated,
+                f"{fast.wall_time:.2f}",
+                slow.candidates_evaluated,
+                f"{slow.wall_time:.2f}",
+                f"{saving:.0%}",
+            ]
+        )
+    table = format_table(
+        [
+            "setting",
+            "Alg.1 cands",
+            "Alg.1 s",
+            "sweep cands",
+            "sweep s",
+            "saving",
+        ],
+        rows,
+        title=(
+            "Planner solve time: Algorithm 1 vs reference sweep "
+            "(paper: 28.57% faster than DistServe's search)"
+        ),
+    )
+    print("\n" + table)
+    save_result("planner_time", table)
+
+    for label, fast, slow in results:
+        assert fast.plan is not None, label
+        assert slow.plan is not None, label
+        # Heuristic at least 25% faster (the paper's 28.57% claim scale).
+        assert fast.wall_time < slow.wall_time * 0.75, label
+        # And it must not lose solution quality materially.
+        assert (
+            fast.plan.scalability >= slow.plan.scalability * 0.95
+        ), label

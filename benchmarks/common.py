@@ -1,0 +1,210 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_fig*.py`` regenerates one table/figure of the paper's
+evaluation: it builds the systems, sweeps the figure's parameter, prints
+the same rows/series the paper reports, writes them under
+``benchmarks/results/`` and asserts the *shape* (orderings, rough
+factors) — not the absolute numbers, which depended on the authors'
+testbed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.baselines import (
+    ALL_SYSTEMS,
+    ServingSystem,
+    SystemSpec,
+    build_system,
+    simulate_trace,
+)
+from repro.core.objective import SlaSpec
+from repro.core.plan import ParallelConfig
+from repro.llm import A100, V100, CostModelBank, ModelConfig
+from repro.network.builders import BuiltTopology
+from repro.serving import EngineConfig
+from repro.serving.metrics import SLA_ATTAINMENT_TARGET, ServingMetrics
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+from repro.workloads import (
+    Trace,
+    generate_longbench_trace,
+    generate_sharegpt_trace,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Cross-server parallelism pinned for the testbed comparisons — the
+#: paper's evaluated regime (tensor parallelism spanning GPU servers).
+TESTBED_PARALLEL = ParallelConfig(8, 1, 8, 1)
+CLUSTER_PARALLEL = ParallelConfig(16, 1, 16, 1)
+
+SYSTEM_ORDER = ["DistServe", "DS-ATP", "DS-SwitchML", "HeroServe"]
+
+
+def save_result(name: str, text: str) -> str:
+    """Write a bench's table to benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path
+
+
+def make_testbed_bank(model: ModelConfig) -> CostModelBank:
+    return CostModelBank(model, {"A100": A100, "V100": V100})
+
+
+def make_cluster_bank(model: ModelConfig) -> CostModelBank:
+    return CostModelBank(model, {"A100": A100})
+
+
+def chatbot_trace(rate: float, duration: float, seed: int = 0) -> Trace:
+    return generate_sharegpt_trace(rate, duration, make_rng(seed))
+
+
+def summarization_trace(
+    rate: float, duration: float, seed: int = 0
+) -> Trace:
+    return generate_longbench_trace(rate, duration, make_rng(seed))
+
+
+def build_all_systems(
+    built: BuiltTopology,
+    model: ModelConfig,
+    bank: CostModelBank,
+    sla: SlaSpec,
+    forecast_trace: Trace,
+    arrival_rate: float,
+    forced: ParallelConfig | None,
+    forecast_q: int = 8,
+) -> dict[str, ServingSystem]:
+    """One planned deployment per system spec."""
+    forecast = forecast_trace.representative_batch(forecast_q)
+    return {
+        spec.name: build_system(
+            spec,
+            built,
+            model,
+            bank,
+            sla,
+            forecast,
+            arrival_rate=arrival_rate,
+            forced_parallel=forced,
+        )
+        for spec in ALL_SYSTEMS
+    }
+
+
+@dataclass
+class SweepPoint:
+    """Metrics of one system at one offered rate."""
+
+    system: str
+    rate: float
+    attainment: float
+    mean_ttft: float
+    mean_tpot: float
+    mem_util: float
+
+
+def sweep_systems(
+    systems: dict[str, ServingSystem],
+    rates: list[float],
+    make_trace,
+    engine_config: EngineConfig | None = None,
+) -> list[SweepPoint]:
+    """Replay a fresh trace per rate through every system."""
+    points: list[SweepPoint] = []
+    for rate in rates:
+        trace = make_trace(rate)
+        for name in SYSTEM_ORDER:
+            m: ServingMetrics = simulate_trace(
+                systems[name], trace, engine_config=engine_config
+            )
+            points.append(
+                SweepPoint(
+                    system=name,
+                    rate=rate,
+                    attainment=m.attainment(),
+                    mean_ttft=m.mean_ttft(),
+                    mean_tpot=m.mean_tpot(),
+                    mem_util=m.mean_memory_utilization(),
+                )
+            )
+    return points
+
+
+def max_passing_rate(
+    points: list[SweepPoint],
+    system: str,
+    target: float = SLA_ATTAINMENT_TARGET,
+) -> float:
+    """Highest swept rate at which ``system`` met the attainment target."""
+    passing = [
+        p.rate
+        for p in points
+        if p.system == system and p.attainment >= target
+    ]
+    return max(passing) if passing else 0.0
+
+
+def per_gpu(rate: float, n_gpus: int) -> float:
+    """Per-GPU rate, the x-axis unit of the paper's scalability plots."""
+    return rate / n_gpus
+
+
+def sweep_table(
+    points: list[SweepPoint], n_gpus: int, title: str
+) -> str:
+    """Render a sweep as the paper-style rows."""
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                p.system,
+                f"{p.rate:.3f}",
+                f"{per_gpu(p.rate, n_gpus) * 1e3:.2f}",
+                f"{p.attainment:.2f}",
+                f"{p.mean_ttft:.3f}",
+                f"{p.mean_tpot * 1e3:.1f}",
+            ]
+        )
+    return format_table(
+        [
+            "system",
+            "rate r/s",
+            "per-GPU mr/s",
+            "attainment",
+            "TTFT s",
+            "TPOT ms",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def scalability_summary(
+    points: list[SweepPoint], title: str
+) -> tuple[str, dict[str, float]]:
+    """Max passing rate per system plus HeroServe's improvement factors."""
+    maxima = {
+        name: max_passing_rate(points, name) for name in SYSTEM_ORDER
+    }
+    hero = maxima["HeroServe"]
+    rows = []
+    for name in SYSTEM_ORDER:
+        factor = hero / maxima[name] if maxima[name] > 0 else float("nan")
+        rows.append(
+            [name, f"{maxima[name]:.3f}", f"{factor:.2f}x"]
+        )
+    return (
+        format_table(
+            ["system", "max rate @ 90% SLA", "HeroServe gain"],
+            rows,
+            title=title,
+        ),
+        maxima,
+    )

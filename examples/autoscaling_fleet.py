@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Replica fleet + rapid scale-in/out (the paper's §VII future work).
+
+Three HeroServe replicas are planned on disjoint server pods of a
+2tracks cluster, sharing one Ethernet fabric (their traffic contends).
+A load ramp arrives — quiet, a 3x burst, quiet again — and the
+autoscaler activates/drains replicas to track it, while the
+join-shortest-queue router keeps the active replicas balanced.
+
+Run:  python examples/autoscaling_fleet.py
+"""
+
+import numpy as np
+
+from repro import HEROSERVE, OPT_175B, CostModelBank
+from repro.baselines import build_fleet
+from repro.core import SLA_SIM_CHATBOT
+from repro.core.plan import ParallelConfig
+from repro.llm import A100
+from repro.network import build_xtracks_cluster
+from repro.serving import AutoScaler, estimate_replica_capacity
+from repro.util import print_table
+from repro.util.rng import make_rng
+from repro.workloads import Trace, TraceRequest
+from repro.workloads.sharegpt import ShareGPTConfig, sample_lengths
+
+
+def ramp_trace(rng) -> Trace:
+    """~0.5 req/s, then a 2-minute ~3 req/s burst, then quiet again."""
+    times = np.concatenate(
+        [
+            np.sort(rng.uniform(0, 60, 30)),
+            np.sort(rng.uniform(60, 180, 360)),
+            np.sort(rng.uniform(180, 240, 30)),
+        ]
+    )
+    ins, outs = sample_lengths(len(times), ShareGPTConfig(), rng)
+    return Trace(
+        "ramp",
+        [
+            TraceRequest(i, float(t), int(a), int(b))
+            for i, (t, a, b) in enumerate(zip(times, ins, outs))
+        ],
+    )
+
+
+def main() -> None:
+    built = build_xtracks_cluster(2, n_units=2)
+    print(built.topology.summary())
+    bank = CostModelBank(OPT_175B, {"A100": A100})
+    rng = make_rng(5)
+    trace = ramp_trace(rng)
+    forecast = trace.representative_batch(8)
+
+    fleet = build_fleet(
+        HEROSERVE,
+        built,
+        OPT_175B,
+        bank,
+        SLA_SIM_CHATBOT,
+        forecast,
+        arrival_rate=2.0,
+        n_replicas=3,
+        forced_parallel=ParallelConfig(16, 1, 16, 1),
+    )
+    capacity = estimate_replica_capacity(fleet.replicas[0].plan, forecast)
+    print(f"\nper-replica capacity estimate: {capacity:.2f} req/s")
+
+    # Start lean: one active replica; the scaler grows the fleet.
+    fleet.set_active(1, False)
+    fleet.set_active(2, False)
+    scaler = AutoScaler(
+        fleet, fleet.queue, replica_capacity=capacity, window=10.0
+    )
+    scaler.start(horizon=trace.duration + 200)
+
+    metrics = fleet.run(trace)
+    print_table(
+        ["metric", "value"],
+        [
+            ["requests served", metrics.n_finished],
+            ["SLA attainment", f"{metrics.attainment():.1%}"],
+            ["mean TTFT", f"{metrics.mean_ttft() * 1e3:.0f} ms"],
+            ["mean TPOT", f"{metrics.mean_tpot() * 1e3:.1f} ms"],
+            ["routed per replica", str(metrics.routed)],
+        ],
+        title="fleet results over the load ramp",
+    )
+    print_table(
+        ["t", "action", "active", "observed r/s", "capacity r/s"],
+        [
+            [
+                f"{a.time:.0f}s",
+                a.kind,
+                a.active_after,
+                f"{a.observed_rate:.2f}",
+                f"{a.capacity:.2f}",
+            ]
+            for a in scaler.scale_events()
+        ],
+        title="autoscaler decisions",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: plan and serve OPT-66B on the paper's testbed.
+
+Builds the Fig. 6 testbed (2 A100 + 2 V100 servers, two programmable
+switches), runs HeroServe's offline planner for a ShareGPT-like chatbot
+workload, simulates a minute of traffic, and prints the plan plus the
+latency/SLA metrics the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    HEROSERVE,
+    SLA_TESTBED_CHATBOT,
+    OPT_66B,
+    CostModelBank,
+    build_system,
+    build_testbed,
+    generate_sharegpt_trace,
+    simulate_trace,
+)
+from repro.llm import A100, V100
+from repro.util import print_table, units
+from repro.util.rng import make_rng
+
+
+def main() -> None:
+    rate = 1.0  # requests/s offered to the deployment
+    built = build_testbed()
+    print(built.topology.summary())
+    print()
+
+    # Fit the Eq. 12-13 compute cost model for both GPU types.
+    bank = CostModelBank(OPT_66B, {"A100": A100, "V100": V100})
+
+    # A minute of chatbot traffic; the planner sees its forecast batch.
+    trace = generate_sharegpt_trace(rate, 60.0, make_rng(0))
+    forecast = trace.representative_batch(8)
+
+    system = build_system(
+        HEROSERVE,
+        built,
+        OPT_66B,
+        bank,
+        SLA_TESTBED_CHATBOT,
+        forecast,
+        arrival_rate=rate,
+    )
+    print("Offline plan")
+    print("------------")
+    print(system.plan.summary())
+    print()
+
+    metrics = simulate_trace(system, trace)
+    s = metrics.summary()
+    print_table(
+        ["metric", "value"],
+        [
+            ["requests served", int(s["finished"])],
+            ["SLA attainment", f"{s['attainment']:.1%}"],
+            ["mean TTFT", units.fmt_seconds(s["mean_ttft_s"])],
+            ["p90 TTFT", units.fmt_seconds(s["p90_ttft_s"])],
+            ["mean TPOT", units.fmt_seconds(s["mean_tpot_s"])],
+            ["mean KV-memory utilisation", f"{s['mean_mem_util']:.1%}"],
+            ["prefill batches", int(s["prefill_batches"])],
+            ["decode iterations", int(s["decode_iterations"])],
+        ],
+        title=f"HeroServe on the testbed, chatbot @ {rate} req/s",
+    )
+
+
+if __name__ == "__main__":
+    main()

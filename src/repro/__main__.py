@@ -1,0 +1,182 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``info``       — package, model zoo and topology summary
+``quickstart`` — plan + serve HeroServe on the paper's testbed
+``compare``    — 4-system comparison at a given rate (Fig. 7 style)
+``plan``       — run the offline planner and print the chosen plan
+
+This is a convenience wrapper over the public API; the examples/ and
+benchmarks/ directories show the full surface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.comm import SchemeKind
+
+
+def cmd_info(_args) -> int:
+    import repro
+    from repro.llm import HARDWARE_ZOO, MODEL_ZOO
+    from repro.network import build_testbed, build_xtracks_cluster
+
+    print(f"repro {repro.__version__} — HeroServe reproduction (CLUSTER'25)")
+    print("\nmodels:")
+    for name, m in sorted(MODEL_ZOO.items()):
+        print(
+            f"  {name:14s} L={m.n_layers:<3d} h={m.hidden_size:<6d} "
+            f"A={m.n_heads:<3d} params={m.param_count / 1e9:.1f}B"
+        )
+    print("\nhardware profiles:", ", ".join(sorted(HARDWARE_ZOO)))
+    print("\ntopologies:")
+    print(" ", build_testbed().topology.summary())
+    for t in (2, 8):
+        print(" ", build_xtracks_cluster(t, n_units=1).topology.summary())
+    return 0
+
+
+def cmd_quickstart(args) -> int:
+    from repro import quick_testbed
+
+    system, metrics = quick_testbed(
+        rate=args.rate, duration=args.duration, seed=args.seed
+    )
+    print(system.plan.summary())
+    print()
+    for k, v in metrics.summary().items():
+        print(f"  {k:20s} {v:.4g}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro import (
+        ALL_SYSTEMS,
+        SLA_TESTBED_CHATBOT,
+        OPT_66B,
+        CostModelBank,
+        build_system,
+        build_testbed,
+        generate_sharegpt_trace,
+        simulate_trace,
+    )
+    from repro.core.plan import ParallelConfig
+    from repro.llm import A100, V100
+    from repro.util import print_table
+    from repro.util.rng import make_rng
+
+    built = build_testbed()
+    bank = CostModelBank(OPT_66B, {"A100": A100, "V100": V100})
+    trace = generate_sharegpt_trace(
+        args.rate, args.duration, make_rng(args.seed)
+    )
+    forecast = trace.representative_batch(8)
+    rows = []
+    for spec in ALL_SYSTEMS:
+        system = build_system(
+            spec, built, OPT_66B, bank, SLA_TESTBED_CHATBOT, forecast,
+            arrival_rate=args.rate,
+            forced_parallel=ParallelConfig(8, 1, 8, 1),
+        )
+        m = simulate_trace(system, trace)
+        rows.append(
+            [
+                spec.name,
+                f"{m.attainment():.1%}",
+                f"{m.mean_ttft() * 1e3:.0f}",
+                f"{m.mean_tpot() * 1e3:.1f}",
+            ]
+        )
+    print_table(
+        ["system", "SLA att.", "TTFT ms", "TPOT ms"],
+        rows,
+        title=f"OPT-66B chatbot on the testbed @ {args.rate} req/s",
+    )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro import (
+        SLA_TESTBED_CHATBOT,
+        BatchSpec,
+        CommContext,
+        CostModelBank,
+        OfflinePlanner,
+        SchemeKind,
+        build_testbed,
+    )
+    from repro.llm import A100, V100, get_model
+
+    model = get_model(args.model)
+    built = build_testbed()
+    bank = CostModelBank(model, {"A100": A100, "V100": V100})
+    scheme = SchemeKind(args.scheme)
+    ctx = CommContext.from_built(
+        built, heterogeneous=scheme == SchemeKind.HYBRID
+    )
+    planner = OfflinePlanner(
+        ctx, model, bank, SLA_TESTBED_CHATBOT, scheme
+    )
+    report = planner.plan(
+        BatchSpec.uniform(8, args.input_len, args.output_len),
+        arrival_rate=args.rate,
+    )
+    print(
+        f"candidates evaluated: {report.candidates_evaluated}, "
+        f"feasible: {report.candidates_feasible}, "
+        f"solve time: {report.wall_time:.2f}s"
+    )
+    if report.plan is None:
+        print("no SLA-feasible plan; rejections:")
+        for r in report.rejected[:5]:
+            print("  -", r)
+        return 1
+    print(report.plan.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and topology summary")
+
+    p = sub.add_parser("quickstart", help="HeroServe on the testbed")
+    p.add_argument("--rate", type=float, default=1.0)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("compare", help="4-system comparison")
+    p.add_argument("--rate", type=float, default=1.2)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("plan", help="run the offline planner")
+    p.add_argument("--model", default="OPT-66B")
+    p.add_argument(
+        "--scheme",
+        default="hybrid",
+        choices=[s.value for s in SchemeKind],
+    )
+    p.add_argument("--rate", type=float, default=0.5)
+    p.add_argument("--input-len", type=int, default=256)
+    p.add_argument("--output-len", type=int, default=220)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "quickstart": cmd_quickstart,
+        "compare": cmd_compare,
+        "plan": cmd_plan,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

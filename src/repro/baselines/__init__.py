@@ -1,0 +1,31 @@
+"""System assemblies: HeroServe vs DistServe / DS-ATP / DS-SwitchML."""
+
+from repro.baselines.systems import (
+    ALL_SYSTEMS,
+    DISTSERVE,
+    DS_ATP,
+    DS_SWITCHML,
+    HEROSERVE,
+    SYSTEM_BY_NAME,
+    ServingSystem,
+    SystemSpec,
+    build_fleet,
+    build_system,
+    make_rate_runner,
+    simulate_trace,
+)
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "DISTSERVE",
+    "DS_ATP",
+    "DS_SWITCHML",
+    "HEROSERVE",
+    "SYSTEM_BY_NAME",
+    "ServingSystem",
+    "SystemSpec",
+    "build_fleet",
+    "build_system",
+    "make_rate_runner",
+    "simulate_trace",
+]

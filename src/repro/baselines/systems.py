@@ -1,0 +1,308 @@
+"""System assemblies: HeroServe and the paper's three baselines.
+
+Section V evaluates four systems, all on the prefill/decode disaggregated
+architecture with continuous batching:
+
+* **DistServe** — ring all-reduce over Ethernet (NCCL), no INA;
+* **DS-ATP** — DistServe + ATP asynchronous INA on the switches;
+* **DS-SwitchML** — DistServe + SwitchML synchronous INA;
+* **HeroServe** — hybrid heterogeneous scheduling: offline planner over
+  the heterogeneous view + load-aware online scheduler.
+
+A :class:`SystemSpec` fixes the scheme, the network *view* (only
+HeroServe may route through NVLink), and whether the online controller
+runs. :func:`build_system` plans the deployment once on an idle network;
+:func:`simulate_trace` executes a trace with a fresh link-state tracker
+(and optional background bursts); :func:`make_rate_runner` adapts a
+system to the capacity-search interface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.comm.context import CommContext
+from repro.comm.latency import SchemeKind
+from repro.core.controller import CentralController
+from repro.core.objective import SlaSpec
+from repro.core.plan import Plan
+from repro.core.planner import OfflinePlanner, PlannerConfig
+from repro.llm.batch import BatchSpec
+from repro.llm.costmodel import CostModelBank
+from repro.llm.models import ModelConfig
+from repro.network.builders import BuiltTopology
+from repro.network.linkstate import LinkLoadTracker
+from repro.serving.background import BackgroundTraffic, BackgroundTrafficConfig
+from repro.serving.capacity import RunAtRate
+from repro.serving.engine import EngineConfig, ServingSimulator
+from repro.serving.metrics import ServingMetrics
+from repro.workloads.traces import Trace
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Identity and capabilities of one serving system."""
+
+    name: str
+    scheme: SchemeKind
+    heterogeneous: bool
+    online: bool
+
+
+DISTSERVE = SystemSpec("DistServe", SchemeKind.RING, False, False)
+DS_ATP = SystemSpec("DS-ATP", SchemeKind.INA_ASYNC, False, False)
+DS_SWITCHML = SystemSpec("DS-SwitchML", SchemeKind.INA_SYNC, False, False)
+HEROSERVE = SystemSpec("HeroServe", SchemeKind.HYBRID, True, True)
+
+ALL_SYSTEMS: tuple[SystemSpec, ...] = (
+    DISTSERVE,
+    DS_ATP,
+    DS_SWITCHML,
+    HEROSERVE,
+)
+
+SYSTEM_BY_NAME = {s.name: s for s in ALL_SYSTEMS}
+
+
+@dataclass
+class ServingSystem:
+    """A planned deployment ready to simulate traces."""
+
+    spec: SystemSpec
+    built: BuiltTopology
+    model: ModelConfig
+    bank: CostModelBank
+    sla: SlaSpec
+    plan: Plan
+    #: idle-network context the plan was made with (route table is reused)
+    plan_ctx: CommContext
+
+    @property
+    def n_gpus(self) -> int:
+        return self.plan.parallel.total_gpus
+
+    def fresh_context(self) -> CommContext:
+        """Run context: same routes, fresh link-load tracker."""
+        return CommContext(
+            built=self.built,
+            route_table=self.plan_ctx.route_table,
+            linkstate=LinkLoadTracker(self.built.topology),
+            agg_latency=self.plan_ctx.agg_latency,
+            heterogeneous=self.spec.heterogeneous,
+        )
+
+
+def build_system(
+    spec: SystemSpec,
+    built: BuiltTopology,
+    model: ModelConfig,
+    bank: CostModelBank,
+    sla: SlaSpec,
+    forecast_batch: BatchSpec,
+    arrival_rate: float,
+    planner_config: PlannerConfig | None = None,
+    prefill_pool: list[int] | None = None,
+    decode_pool: list[int] | None = None,
+    forced_parallel=None,
+) -> ServingSystem:
+    """Run the offline planner for ``spec`` and wrap the deployment.
+
+    ``forced_parallel`` pins the parallelism (testbed experiments deploy
+    the same cross-server configuration for every system so differences
+    isolate communication scheduling, matching the paper's §V setup).
+    """
+    ctx = CommContext.from_built(
+        built, heterogeneous=spec.heterogeneous
+    )
+    planner = OfflinePlanner(
+        ctx,
+        model,
+        bank,
+        sla,
+        spec.scheme,
+        prefill_pool=prefill_pool,
+        decode_pool=decode_pool,
+        config=planner_config,
+    )
+    report = planner.plan(
+        forecast_batch, arrival_rate, forced_parallel=forced_parallel
+    )
+    if report.plan is None:
+        raise RuntimeError(
+            f"{spec.name}: no SLA-feasible plan "
+            f"(rejected: {report.rejected[:3]})"
+        )
+    return ServingSystem(
+        spec=spec,
+        built=built,
+        model=model,
+        bank=bank,
+        sla=sla,
+        plan=report.plan,
+        plan_ctx=ctx,
+    )
+
+
+def simulate_trace(
+    system: ServingSystem,
+    trace: Trace,
+    engine_config: EngineConfig | None = None,
+    background: BackgroundTrafficConfig | None = None,
+    background_seed: int | None = None,
+) -> ServingMetrics:
+    """Run one trace through a system with fresh network state."""
+    ctx = system.fresh_context()
+    controller = (
+        CentralController(ctx=ctx, scheme=system.spec.scheme)
+        if system.spec.online
+        else None
+    )
+    sim = ServingSimulator(
+        ctx=ctx,
+        plan=system.plan,
+        model=system.model,
+        bank=system.bank,
+        sla=system.sla,
+        trace=trace,
+        controller=controller,
+        config=engine_config,
+    )
+    if background is not None:
+        bg = BackgroundTraffic(
+            system.built.topology,
+            ctx.linkstate,
+            sim.queue,
+            config=background,
+            seed=background_seed,
+        )
+        bg.start(trace.duration + (engine_config or EngineConfig()).drain_time)
+    return sim.run()
+
+
+def build_fleet(
+    spec: SystemSpec,
+    built: BuiltTopology,
+    model: ModelConfig,
+    bank: CostModelBank,
+    sla: SlaSpec,
+    forecast_batch: BatchSpec,
+    arrival_rate: float,
+    n_replicas: int,
+    planner_config: PlannerConfig | None = None,
+    forced_parallel=None,
+    engine_config: EngineConfig | None = None,
+):
+    """Plan ``n_replicas`` deployments on disjoint server pods and wire
+    them into a :class:`~repro.serving.fleet.ReplicaFleet`.
+
+    All replicas share one link-load tracker and one event queue, so
+    their traffic contends on the fabric — the multi-instance regime of
+    the paper's large-scale evaluation. For HeroServe a single central
+    controller serves every replica's groups (one control plane per
+    cluster, as in §IV).
+    """
+    from repro.core.planner import split_pools
+    from repro.serving.engine import ServingSimulator
+    from repro.serving.fleet import ReplicaFleet
+    from repro.sim.eventqueue import EventQueue
+
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    servers = sorted(built.server_gpus)
+    if len(servers) < 2 * n_replicas:
+        raise ValueError(
+            f"{n_replicas} replicas need >= {2 * n_replicas} servers, "
+            f"topology has {len(servers)}"
+        )
+    # Equal contiguous pods of servers; within a pod, the memory-ranked
+    # split assigns prefill/decode halves (paper §III-B).
+    per_pod = len(servers) // n_replicas
+    plan_ctx = CommContext.from_built(
+        built, heterogeneous=spec.heterogeneous
+    )
+    queue = EventQueue()
+    run_ctx = CommContext(
+        built=built,
+        route_table=plan_ctx.route_table,
+        linkstate=LinkLoadTracker(built.topology),
+        agg_latency=plan_ctx.agg_latency,
+        heterogeneous=spec.heterogeneous,
+    )
+    controller = (
+        CentralController(ctx=run_ctx, scheme=spec.scheme)
+        if spec.online
+        else None
+    )
+    full_pre, full_dec = split_pools(built)
+    pre_set, dec_set = set(full_pre), set(full_dec)
+    replicas = []
+    for r in range(n_replicas):
+        pod = servers[r * per_pod : (r + 1) * per_pod]
+        pod_gpus = [g for s in pod for g in built.server_gpus[s]]
+        pre_pool = [g for g in pod_gpus if g in pre_set]
+        dec_pool = [g for g in pod_gpus if g in dec_set]
+        if not pre_pool or not dec_pool:
+            # Homogeneous pod: split its servers in half by position.
+            half = len(pod) // 2
+            dec_pool = [
+                g for s in pod[:half] for g in built.server_gpus[s]
+            ]
+            pre_pool = [
+                g for s in pod[half:] for g in built.server_gpus[s]
+            ]
+        planner = OfflinePlanner(
+            plan_ctx,
+            model,
+            bank,
+            sla,
+            spec.scheme,
+            prefill_pool=pre_pool,
+            decode_pool=dec_pool,
+            config=planner_config,
+        )
+        report = planner.plan(
+            forecast_batch,
+            arrival_rate / n_replicas,
+            forced_parallel=forced_parallel,
+        )
+        if report.plan is None:
+            raise RuntimeError(
+                f"{spec.name} replica {r}: no feasible plan "
+                f"(rejected: {report.rejected[:2]})"
+            )
+        replicas.append(
+            ServingSimulator(
+                ctx=run_ctx,
+                plan=report.plan,
+                model=model,
+                bank=bank,
+                sla=sla,
+                trace=None,
+                controller=controller,
+                config=engine_config,
+                queue=queue,
+            )
+        )
+    return ReplicaFleet(replicas=replicas, queue=queue)
+
+
+def make_rate_runner(
+    system: ServingSystem,
+    trace_at_rate: Callable[[float], Trace],
+    engine_config: EngineConfig | None = None,
+    background: BackgroundTrafficConfig | None = None,
+) -> RunAtRate:
+    """Adapt a system to the capacity-search ``RunAtRate`` interface."""
+
+    def run(rate: float) -> tuple[ServingMetrics, int]:
+        trace = trace_at_rate(rate)
+        metrics = simulate_trace(
+            system,
+            trace,
+            engine_config=engine_config,
+            background=background,
+        )
+        return metrics, len(trace)
+
+    return run

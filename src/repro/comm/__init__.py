@@ -1,0 +1,81 @@
+"""Collective-communication latency models: ring, INA, hybrid, pipeline."""
+
+from repro.comm.context import CommContext
+from repro.comm.hybrid import (
+    HybridDecision,
+    elect_leader,
+    group_by_server,
+    hybrid_allreduce_time,
+    hybrid_forced_time,
+    hybrid_link_footprint,
+    local_reduce_time,
+    plan_hybrid_allreduce,
+)
+from repro.comm.ina import (
+    ina_allreduce_time,
+    ina_collection_time,
+    ina_distribution_time,
+    ina_link_footprint,
+    ina_throughput_limit,
+    select_ina_switch,
+)
+from repro.comm.latency import (
+    DEFAULT_N_SLOTS,
+    DEFAULT_SLOT_PAYLOAD,
+    GroupCommEstimate,
+    PhaseCommEstimate,
+    SchemeKind,
+    allreduce_bytes,
+    estimate_group_step,
+    estimate_phase_comm,
+    price_group_step,
+    sync_steps_per_pass,
+)
+from repro.comm.pipeline import (
+    decode_activation_bytes,
+    pipeline_sync_time,
+    prefill_activation_bytes,
+    stage_boundary_time,
+)
+from repro.comm.ring import (
+    ring_allreduce_time,
+    ring_bottleneck_bandwidth,
+    ring_link_footprint,
+    ring_order,
+)
+
+__all__ = [
+    "CommContext",
+    "HybridDecision",
+    "elect_leader",
+    "group_by_server",
+    "hybrid_allreduce_time",
+    "hybrid_forced_time",
+    "hybrid_link_footprint",
+    "local_reduce_time",
+    "plan_hybrid_allreduce",
+    "ina_allreduce_time",
+    "ina_collection_time",
+    "ina_distribution_time",
+    "ina_link_footprint",
+    "ina_throughput_limit",
+    "select_ina_switch",
+    "DEFAULT_N_SLOTS",
+    "DEFAULT_SLOT_PAYLOAD",
+    "GroupCommEstimate",
+    "PhaseCommEstimate",
+    "SchemeKind",
+    "allreduce_bytes",
+    "estimate_group_step",
+    "estimate_phase_comm",
+    "price_group_step",
+    "sync_steps_per_pass",
+    "decode_activation_bytes",
+    "pipeline_sync_time",
+    "prefill_activation_bytes",
+    "stage_boundary_time",
+    "ring_allreduce_time",
+    "ring_bottleneck_bandwidth",
+    "ring_link_footprint",
+    "ring_order",
+]

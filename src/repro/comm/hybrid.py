@@ -1,0 +1,226 @@
+"""Hybrid heterogeneous all-reduce: HeroServe's communication scheme.
+
+The key idea of Section II-C / Fig. 2: instead of every GPU pushing its
+payload over Ethernet to a (possibly distant) aggregation switch, GPUs
+first reduce **inside each server over NVLink** to a per-server *leader*;
+only leaders cross Ethernet (via INA at the best access switch, or a
+leader ring — whichever is cheaper); leaders then broadcast the result
+back over NVLink. This
+
+* cuts Ethernet traffic by the number of co-located GPUs per server
+  (offloading synchronisation bytes onto 600 GB/s NVLink), and
+* shortens the Ethernet path (aggregation at the *access* switch that
+  leaders attach to, not a core switch).
+
+``hybrid_allreduce_time`` returns the three-stage makespan and the chosen
+Ethernet-stage mode; ``hybrid_link_footprint`` exposes the links used so
+the online scheduler can cost the policy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.comm.context import CommContext
+from repro.comm.ina import (
+    ina_allreduce_time,
+    ina_link_footprint,
+    select_ina_switch,
+)
+from repro.comm.ring import (
+    ring_allreduce_time,
+    ring_link_footprint,
+    ring_order,
+)
+
+
+def group_by_server(
+    ctx: CommContext, gpus: Sequence[int]
+) -> dict[int, list[int]]:
+    """Partition group members by hosting server (insertion-ordered)."""
+    topo = ctx.built.topology
+    out: dict[int, list[int]] = {}
+    for g in gpus:
+        out.setdefault(topo.nodes[g].server, []).append(g)
+    return out
+
+
+def elect_leader(ctx: CommContext, members: Sequence[int], switch: int) -> int:
+    """Leader = the member with the fastest path to the Ethernet stage."""
+    sel = ctx.route_table.selection_bytes
+    return min(members, key=lambda g: ctx.path_time(g, switch, sel))
+
+
+def local_reduce_time(
+    ctx: CommContext, members: Sequence[int], leader: int, data_bytes: float
+) -> float:
+    """Stage 1/3: NVLink gather to (or broadcast from) the leader.
+
+    Co-located GPUs push concurrently over independent NVLink lanes
+    (NVSwitch), so the stage lasts as long as the slowest single push.
+    """
+    others = [g for g in members if g != leader]
+    if not others:
+        return 0.0
+    return max(ctx.path_time(g, leader, data_bytes) for g in others)
+
+
+@dataclass(frozen=True)
+class HybridDecision:
+    """Outcome of planning one hybrid all-reduce."""
+
+    leaders: tuple[int, ...]
+    ethernet_mode: str           # "ina" | "ring" | "none"
+    ina_switch: int | None
+    stage1_time: float           # NVLink reduce to leaders
+    stage2_time: float           # Ethernet all-reduce among leaders
+    stage3_time: float           # NVLink broadcast from leaders
+
+    @property
+    def total_time(self) -> float:
+        return self.stage1_time + self.stage2_time + self.stage3_time
+
+
+def plan_hybrid_allreduce(
+    ctx: CommContext,
+    gpus: Sequence[int],
+    data_bytes: float,
+    ina_candidates: Sequence[int] | None = None,
+) -> HybridDecision:
+    """Plan the three-stage hybrid all-reduce and pick the Ethernet mode.
+
+    The Ethernet stage among leaders carries the **full** payload (it is a
+    sum of per-server partials, not a shard), aggregated by INA at the
+    best switch or by a leader ring — the cheaper of the two, mirroring
+    Algorithm 2's per-group ``getlatency`` mode selection.
+    """
+    if not gpus:
+        raise ValueError("empty GPU group")
+    by_server = group_by_server(ctx, gpus)
+    if len(by_server) == 1:
+        members = next(iter(by_server.values()))
+        leader = members[0]
+        # Single server: a pure-NVLink ring; no Ethernet stage at all.
+        t_local = ring_allreduce_time(ctx, members, data_bytes)
+        return HybridDecision(
+            leaders=(leader,),
+            ethernet_mode="none",
+            ina_switch=None,
+            stage1_time=t_local,
+            stage2_time=0.0,
+            stage3_time=0.0,
+        )
+
+    # Choose the INA switch against provisional leaders (first member per
+    # server), then elect real leaders against that switch.
+    provisional = [members[0] for members in by_server.values()]
+    switch = select_ina_switch(ctx, provisional, ina_candidates)
+    leaders = tuple(
+        elect_leader(ctx, members, switch) for members in by_server.values()
+    )
+
+    stage1 = max(
+        local_reduce_time(ctx, members, leader, data_bytes)
+        for members, leader in zip(by_server.values(), leaders)
+    )
+    t_ina = ina_allreduce_time(ctx, leaders, switch, data_bytes)
+    t_ring = ring_allreduce_time(ctx, leaders, data_bytes)
+    if t_ina <= t_ring:
+        mode, stage2 = "ina", t_ina
+    else:
+        mode, stage2 = "ring", t_ring
+    stage3 = max(
+        local_reduce_time(ctx, members, leader, data_bytes)
+        for members, leader in zip(by_server.values(), leaders)
+    )
+    return HybridDecision(
+        leaders=leaders,
+        ethernet_mode=mode,
+        ina_switch=switch if mode == "ina" else None,
+        stage1_time=stage1,
+        stage2_time=stage2,
+        stage3_time=stage3,
+    )
+
+
+def hybrid_allreduce_time(
+    ctx: CommContext,
+    gpus: Sequence[int],
+    data_bytes: float,
+    ina_candidates: Sequence[int] | None = None,
+) -> float:
+    """Total makespan of the hybrid all-reduce (plan + sum of stages)."""
+    return plan_hybrid_allreduce(
+        ctx, gpus, data_bytes, ina_candidates
+    ).total_time
+
+
+def hybrid_forced_time(
+    ctx: CommContext,
+    gpus: Sequence[int],
+    data_bytes: float,
+    ethernet_mode: str,
+    switch: int | None = None,
+) -> float:
+    """Hybrid all-reduce with the Ethernet stage *fixed* (no re-selection).
+
+    Used by static executions that committed to a plan-time policy:
+    ``ethernet_mode`` is ``"ina"`` (aggregate leaders at ``switch``),
+    ``"ring"`` (leader ring) or ``"none"`` (single server, pure NVLink).
+    """
+    from repro.comm.ina import ina_allreduce_time, select_ina_switch
+    from repro.comm.ring import ring_allreduce_time
+
+    gpus = list(gpus)
+    if len(gpus) <= 1 or data_bytes <= 0:
+        return 0.0
+    by_server = group_by_server(ctx, gpus)
+    if ethernet_mode == "none" or len(by_server) == 1:
+        return ring_allreduce_time(ctx, gpus, data_bytes)
+    if switch is None:
+        provisional = [m[0] for m in by_server.values()]
+        switch = select_ina_switch(ctx, provisional)
+    leaders = [
+        elect_leader(ctx, members, switch)
+        for members in by_server.values()
+    ]
+    stage_local = max(
+        local_reduce_time(ctx, members, leader, data_bytes)
+        for members, leader in zip(by_server.values(), leaders)
+    )
+    if ethernet_mode == "ina":
+        stage2 = ina_allreduce_time(ctx, leaders, switch, data_bytes)
+    elif ethernet_mode == "ring":
+        stage2 = ring_allreduce_time(ctx, leaders, data_bytes)
+    else:
+        raise ValueError(f"unknown ethernet_mode {ethernet_mode!r}")
+    return 2.0 * stage_local + stage2
+
+
+def hybrid_link_footprint(
+    ctx: CommContext,
+    gpus: Sequence[int],
+    decision: HybridDecision,
+) -> list[int]:
+    """Directed links the planned hybrid collective traverses."""
+    links: list[int] = []
+    by_server = group_by_server(ctx, gpus)
+    for members, leader in zip(by_server.values(), decision.leaders):
+        for g in members:
+            if g != leader:
+                links.extend(ctx.path_links(g, leader))
+                links.extend(ctx.path_links(leader, g))
+    if decision.ethernet_mode == "ina" and decision.ina_switch is not None:
+        links.extend(
+            ina_link_footprint(ctx, list(decision.leaders), decision.ina_switch)
+        )
+    elif decision.ethernet_mode == "ring":
+        links.extend(
+            ring_link_footprint(
+                ctx,
+                list(decision.leaders),
+                order=ring_order(ctx, decision.leaders),
+            )
+        )
+    return links

@@ -1,0 +1,89 @@
+"""HeroServe core: offline planner, online scheduler, controller."""
+
+from repro.core.candidates import (
+    DEFAULT_MAX_CANDIDATES,
+    CandidateSpace,
+    generate_candidates,
+    min_gpus_required,
+    phase_configs,
+)
+from repro.core.controller import CentralController
+from repro.core.grouping import (
+    constrained_kmeans_groups,
+    group_cohesion_cost,
+    group_gpus,
+    swap_perturbation,
+)
+from repro.core.kvtransfer import (
+    estimate_kv_transfer_time,
+    kv_pairings,
+    kv_transfer_flows,
+)
+from repro.core.netestimate import NetworkEstimate, estimate_network_latency
+from repro.core.objective import (
+    SLA_SIM_CHATBOT,
+    SLA_SIM_SUMMARIZATION,
+    SLA_TESTBED_CHATBOT,
+    SLA_TESTBED_SUMMARIZATION,
+    ObjectiveResult,
+    ServiceEstimate,
+    SlaSpec,
+    evaluate_objective,
+    queueing_delay,
+)
+from repro.core.plan import ParallelConfig, PhasePlan, Plan
+from repro.core.planner import (
+    ExhaustivePlanner,
+    OfflinePlanner,
+    PlannerConfig,
+    PlannerReport,
+    split_pools,
+)
+from repro.core.policy import (
+    Policy,
+    PolicyCostTable,
+    PolicyTableStats,
+    table_stats,
+)
+from repro.core.scheduler import CommDecision, LoadAwareScheduler
+
+__all__ = [
+    "DEFAULT_MAX_CANDIDATES",
+    "CandidateSpace",
+    "generate_candidates",
+    "min_gpus_required",
+    "phase_configs",
+    "CentralController",
+    "constrained_kmeans_groups",
+    "group_cohesion_cost",
+    "group_gpus",
+    "swap_perturbation",
+    "estimate_kv_transfer_time",
+    "kv_pairings",
+    "kv_transfer_flows",
+    "NetworkEstimate",
+    "estimate_network_latency",
+    "SLA_SIM_CHATBOT",
+    "SLA_SIM_SUMMARIZATION",
+    "SLA_TESTBED_CHATBOT",
+    "SLA_TESTBED_SUMMARIZATION",
+    "ObjectiveResult",
+    "ServiceEstimate",
+    "SlaSpec",
+    "evaluate_objective",
+    "queueing_delay",
+    "ParallelConfig",
+    "PhasePlan",
+    "Plan",
+    "ExhaustivePlanner",
+    "OfflinePlanner",
+    "PlannerConfig",
+    "PlannerReport",
+    "split_pools",
+    "Policy",
+    "PolicyCostTable",
+    "PolicyTableStats",
+    "table_stats",
+    "CommDecision",
+    "LoadAwareScheduler",
+]

@@ -1,0 +1,150 @@
+"""Parallelism candidate generation (Algorithm 1, ``gen_tp_pp_candi``).
+
+Step 1 of the offline planner: from the model size ``R``, per-GPU memory
+``M_g`` and the reserved-memory ratio ``R_frac``, compute the minimum GPU
+count per phase, enumerate ``(P_tens, P_pipe)`` factorisations meeting it,
+and return up to ``max_candi`` joint prefill/decode configurations. The
+paper reports ``max_candi = 20`` is usually near-optimal; that is this
+module's default (and an ablation bench sweeps it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plan import ParallelConfig
+from repro.llm.memory import min_memory_per_gpu
+from repro.llm.models import ModelConfig
+from repro.util.validation import require_in_range, require_positive
+
+DEFAULT_MAX_CANDIDATES = 20
+
+#: Tensor-parallel degrees considered; TP must divide the head count and
+#: hardware collectives prefer powers of two.
+TP_CHOICES = (1, 2, 4, 8, 16)
+
+
+def min_gpus_required(
+    model: ModelConfig, gpu_memories: np.ndarray, r_frac: float
+) -> int:
+    """Minimum GPU count so the weights fit: ``R / (sum M_g * R_frac)``.
+
+    Conservative variant of Algorithm 1 step 1 using the mean GPU memory,
+    so heterogeneous pools (A100+V100) are not over-promised.
+    """
+    require_in_range("r_frac", r_frac, 0.0, 1.0, inclusive=False)
+    mem = np.asarray(gpu_memories, dtype=np.float64)
+    if mem.size == 0 or np.any(mem <= 0):
+        raise ValueError("gpu_memories must be non-empty and positive")
+    per_gpu = float(mem.mean()) * r_frac
+    return max(1, int(np.ceil(model.param_bytes / per_gpu)))
+
+
+def phase_configs(
+    model: ModelConfig,
+    n_gpus_available: int,
+    gpu_memories: np.ndarray,
+    r_frac: float,
+    max_pipe: int = 8,
+) -> list[tuple[int, int]]:
+    """Feasible ``(P_tens, P_pipe)`` pairs for one phase, smallest first.
+
+    A pair is feasible when (a) it uses no more GPUs than available,
+    (b) TP divides the attention-head count, (c) PP does not exceed the
+    layer count, and (d) the per-GPU weight shard fits in the smallest
+    admissible GPU at ``r_frac``.
+    """
+    require_positive("n_gpus_available", n_gpus_available)
+    mem = np.asarray(gpu_memories, dtype=np.float64)
+    need = min_gpus_required(model, mem, r_frac)
+    out: list[tuple[int, int]] = []
+    for pt in TP_CHOICES:
+        if model.n_heads % pt != 0:
+            continue
+        for pp in range(1, max_pipe + 1):
+            if pp > model.n_layers:
+                break
+            n = pt * pp
+            if n < need or n > n_gpus_available:
+                continue
+            m_req = min_memory_per_gpu(model, pt, pp, r_frac)
+            # At least `n` GPUs must individually satisfy m_req.
+            if int((mem >= m_req).sum()) < n:
+                continue
+            out.append((pt, pp))
+    # Fewest GPUs first; for equal counts prefer higher TP (lower latency).
+    out.sort(key=lambda c: (c[0] * c[1], -c[0]))
+    return out
+
+
+@dataclass(frozen=True)
+class CandidateSpace:
+    """The joint prefill x decode candidate list fed to Algorithm 1."""
+
+    candidates: tuple[ParallelConfig, ...]
+    min_gpus_prefill: int
+    min_gpus_decode: int
+
+
+def generate_candidates(
+    model: ModelConfig,
+    prefill_gpu_memories: np.ndarray,
+    decode_gpu_memories: np.ndarray,
+    r_frac: float = 0.65,
+    max_candi: int = DEFAULT_MAX_CANDIDATES,
+    max_pipe: int = 8,
+) -> CandidateSpace:
+    """Algorithm 1's ``gen_tp_pp_candi``: joint P_all candidates.
+
+    Prefill prefers tensor parallelism (compute-bound, latency-critical);
+    decode admits pipeline parallelism (memory-bound). The joint list is
+    ordered by total GPU count, then truncated to ``max_candi``: the
+    heuristic that keeps the search space constant-size.
+    """
+    require_positive("max_candi", max_candi)
+    pre = phase_configs(
+        model, len(prefill_gpu_memories), prefill_gpu_memories, r_frac,
+        max_pipe=max_pipe,
+    )
+    dec = phase_configs(
+        model, len(decode_gpu_memories), decode_gpu_memories, r_frac,
+        max_pipe=max_pipe,
+    )
+    if not pre or not dec:
+        return CandidateSpace(
+            candidates=(),
+            min_gpus_prefill=min_gpus_required(
+                model, np.asarray(prefill_gpu_memories), r_frac
+            ),
+            min_gpus_decode=min_gpus_required(
+                model, np.asarray(decode_gpu_memories), r_frac
+            ),
+        )
+    joint = [
+        ParallelConfig(ptp, ppp, ptd, ppd)
+        for (ptp, ppp) in pre
+        for (ptd, ppd) in dec
+    ]
+    joint.sort(
+        key=lambda c: (
+            c.total_gpus,
+            -c.p_tens_prefill,
+            -c.p_tens_decode,
+        )
+    )
+    if len(joint) > max_candi:
+        # Stratified truncation: keep candidates spread across the whole
+        # GPU-count range (smallest through largest), not just the small
+        # end — high-TP configurations are the latency-critical ones and
+        # must stay in the search space.
+        idx = np.unique(
+            np.linspace(0, len(joint) - 1, max_candi).round().astype(int)
+        )
+        joint = [joint[i] for i in idx]
+    return CandidateSpace(
+        candidates=tuple(joint),
+        min_gpus_prefill=pre[0][0] * pre[0][1],
+        min_gpus_decode=dec[0][0] * dec[0][1],
+    )

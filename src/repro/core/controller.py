@@ -1,0 +1,77 @@
+"""Central controller: the HeroServe control centre (paper §III-D, §IV).
+
+The prototype runs a centralised Python scheduler that (a) keeps every
+GPU's policy cost table synchronised after each all-reduce, (b) polls
+switch hardware counters and DCGM for link utilisation, and (c) pushes
+refreshed costs/penalties to agents over gRPC. In the simulator the
+controller owns the per-group :class:`LoadAwareScheduler` instances and
+the shared :class:`LinkLoadTracker`, and its ``tick`` method is the
+periodic poll/refresh loop (the gRPC fan-out is a direct method call —
+the consistency semantics are identical because updates are applied
+atomically between simulation events).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.comm.context import CommContext
+from repro.comm.latency import SchemeKind
+from repro.core.scheduler import CommDecision, LoadAwareScheduler
+
+
+@dataclass
+class CentralController:
+    """Registry of per-group online schedulers with periodic refresh."""
+
+    ctx: CommContext
+    scheme: SchemeKind
+    refresh_period: float = 0.05
+    n_switch_candidates: int = 2
+    _schedulers: dict[tuple[int, ...], LoadAwareScheduler] = field(
+        default_factory=dict
+    )
+    _last_refresh: float = field(default=float("-inf"))
+    refreshes: int = 0
+
+    def scheduler_for(
+        self, gpus: Sequence[int]
+    ) -> LoadAwareScheduler:
+        """Get (or lazily create) the scheduler of one GPU group."""
+        key = tuple(sorted(gpus))
+        sched = self._schedulers.get(key)
+        if sched is None:
+            sched = LoadAwareScheduler(
+                self.ctx,
+                list(gpus),
+                self.scheme,
+                n_switch_candidates=self.n_switch_candidates,
+            )
+            self._schedulers[key] = sched
+        return sched
+
+    def decide(self, gpus: Sequence[int], data_bytes: float) -> CommDecision:
+        """Route one all-reduce for a group through its policy table."""
+        return self.scheduler_for(gpus).decide(data_bytes)
+
+    def tick(self, now: float) -> bool:
+        """Periodic poll/refresh; returns True when a refresh ran.
+
+        Mirrors §IV: poll dataplane counters (here the link tracker's
+        EWMA), then push refreshed utilisations and Eq. 18 penalties to
+        every group's table.
+        """
+        if now - self._last_refresh < self.refresh_period:
+            return False
+        self._last_refresh = now
+        if self.ctx.linkstate is not None:
+            self.ctx.linkstate.poll()
+        for sched in self._schedulers.values():
+            sched.refresh()
+        self.refreshes += 1
+        return True
+
+    def n_groups(self) -> int:
+        """Number of registered GPU groups."""
+        return len(self._schedulers)

@@ -1,0 +1,220 @@
+"""GPU grouping: constrained k-means + random-swap perturbation.
+
+Algorithm 2 steps 1 and 3: partition the admissible GPUs into ``P_pipe``
+groups of exactly ``P_tens`` members, clustering by pairwise
+interconnection latency (the offline ``D_(i,j)`` matrix), then improve
+with random swaps between groups, keeping a swap iff it lowers the
+objective. The paper reports convergence within five perturbation rounds.
+
+The constrained k-means is the size-constrained variant of Lloyd's
+algorithm on the latency metric: seeds are chosen farthest-first
+(k-means++ style on a metric, vectorised), then members are assigned
+greedily by seed distance under the exact-size constraint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def farthest_first_seeds(
+    dist: np.ndarray, k: int, rng: np.random.Generator
+) -> list[int]:
+    """Pick ``k`` mutually distant seed indices from a distance matrix."""
+    n = dist.shape[0]
+    if k > n:
+        raise ValueError(f"cannot seed {k} groups from {n} points")
+    first = int(rng.integers(n))
+    seeds = [first]
+    min_d = dist[first].copy()
+    for _ in range(k - 1):
+        nxt = int(np.argmax(min_d))
+        seeds.append(nxt)
+        np.minimum(min_d, dist[nxt], out=min_d)
+    return seeds
+
+
+def constrained_kmeans_groups(
+    dist: np.ndarray,
+    n_groups: int,
+    group_size: int,
+    rng: np.random.Generator | None = None,
+) -> list[list[int]]:
+    """Partition ``n_groups * group_size`` points into equal-size groups.
+
+    Greedy balanced assignment: process (point, seed) pairs by ascending
+    distance, filling each group to exactly ``group_size``. This is the
+    assignment step of k-means-constrained; one round suffices because
+    the subsequent swap perturbation polishes the result.
+    """
+    n = dist.shape[0]
+    need = n_groups * group_size
+    if need > n:
+        raise ValueError(
+            f"need {need} points for {n_groups}x{group_size}, have {n}"
+        )
+    rng = rng or make_rng()
+    seeds = farthest_first_seeds(dist, n_groups, rng)
+    # Distance of every point to every seed: (n, k).
+    d2seed = dist[:, seeds]
+    order = np.argsort(d2seed, axis=None, kind="stable")
+    groups: list[list[int]] = [[] for _ in range(n_groups)]
+    assigned = np.zeros(n, dtype=bool)
+    placed = 0
+    for flat in order:
+        point, g = divmod(int(flat), n_groups)
+        if assigned[point] or len(groups[g]) >= group_size:
+            continue
+        groups[g].append(point)
+        assigned[point] = True
+        placed += 1
+        if placed == need:
+            break
+    if placed < need:  # pragma: no cover - defensive
+        raise RuntimeError("balanced assignment failed to place all points")
+    return groups
+
+
+def group_cohesion_cost(dist: np.ndarray, group: Sequence[int]) -> float:
+    """Worst intra-group pairwise latency (gates the group's collective)."""
+    if len(group) < 2:
+        return 0.0
+    idx = np.asarray(group, dtype=np.int64)
+    return float(dist[np.ix_(idx, idx)].max())
+
+
+def swap_perturbation(
+    groups: list[list[int]],
+    cost_fn: Callable[[Sequence[int]], float],
+    rng: np.random.Generator | None = None,
+    max_rounds: int = 5,
+    swaps_per_round: int | None = None,
+) -> tuple[list[list[int]], float, int]:
+    """Algorithm 2 lines 12-22: random swaps kept iff the cost drops.
+
+    ``cost_fn`` scores a single group (lower is better); the objective is
+    the sum over groups. Each round tries random cross-group member swaps
+    and keeps improving ones; rounds stop early when no swap helped
+    (``improvement = false``), matching the paper's loop structure.
+
+    Returns (groups, final_cost, rounds_used).
+    """
+    if max_rounds < 0:
+        raise ValueError(f"max_rounds must be >= 0, got {max_rounds}")
+    rng = rng or make_rng()
+    groups = [list(g) for g in groups]
+    costs = [cost_fn(g) for g in groups]
+    n_groups = len(groups)
+    if n_groups < 2:
+        return groups, sum(costs), 0
+    if swaps_per_round is None:
+        swaps_per_round = 4 * sum(len(g) for g in groups)
+    rounds = 0
+    for _ in range(max_rounds):
+        improvement = False
+        for _ in range(swaps_per_round):
+            ga, gb = rng.choice(n_groups, size=2, replace=False)
+            ia = int(rng.integers(len(groups[ga])))
+            ib = int(rng.integers(len(groups[gb])))
+            a, b = groups[ga][ia], groups[gb][ib]
+            groups[ga][ia], groups[gb][ib] = b, a
+            new_a, new_b = cost_fn(groups[ga]), cost_fn(groups[gb])
+            if new_a + new_b < costs[ga] + costs[gb] - 1e-15:
+                costs[ga], costs[gb] = new_a, new_b
+                improvement = True
+            else:
+                groups[ga][ia], groups[gb][ib] = a, b
+        rounds += 1
+        if not improvement:
+            break
+    return groups, float(sum(costs)), rounds
+
+
+def group_gpus(
+    latency_matrix: np.ndarray,
+    gpu_ids: Sequence[int],
+    n_groups: int,
+    group_size: int,
+    cost_fn: Callable[[Sequence[int]], float] | None = None,
+    rng: np.random.Generator | None = None,
+    perturb: bool = True,
+    max_rounds: int = 5,
+) -> list[list[int]]:
+    """Full Algorithm 2 grouping: k-means-constrained + perturbation.
+
+    ``latency_matrix`` is indexed by *position* in ``gpu_ids`` (use
+    :func:`repro.network.routing.gpu_latency_submatrix`). ``cost_fn``
+    scores a group given GPU *node ids*; the default is the worst
+    intra-group latency. Returns groups of GPU node ids.
+    """
+    gpu_ids = list(gpu_ids)
+    dist = np.asarray(latency_matrix, dtype=np.float64)
+    if dist.shape != (len(gpu_ids), len(gpu_ids)):
+        raise ValueError("latency matrix shape must match gpu_ids")
+    rng = rng or make_rng()
+    idx_groups = constrained_kmeans_groups(dist, n_groups, group_size, rng)
+
+    if cost_fn is None:
+        def pos_cost(g: Sequence[int]) -> float:
+            return group_cohesion_cost(dist, g)
+    else:
+        def pos_cost(g: Sequence[int]) -> float:
+            return cost_fn([gpu_ids[i] for i in g])
+
+    # Unassigned GPUs join as a zero-cost spare group so the perturbation
+    # can swap idle hardware into real groups (Algorithm 2's random swaps
+    # draw from the whole admissible cluster, not only placed GPUs).
+    used = {i for g in idx_groups for i in g}
+    spare = [i for i in range(len(gpu_ids)) if i not in used]
+
+    if perturb:
+        if spare:
+            idx_groups, _, _ = _swap_with_spare(
+                idx_groups, spare, pos_cost, rng, max_rounds
+            )
+        else:
+            idx_groups, _, _ = swap_perturbation(
+                idx_groups, pos_cost, rng, max_rounds=max_rounds
+            )
+    return [[gpu_ids[i] for i in g] for g in idx_groups]
+
+
+def _swap_with_spare(
+    groups: list[list[int]],
+    spare: list[int],
+    cost_fn: Callable[[Sequence[int]], float],
+    rng: np.random.Generator,
+    max_rounds: int,
+) -> tuple[list[list[int]], float, int]:
+    """Swap perturbation where the last group is a zero-cost spare pool."""
+    groups = [list(g) for g in groups] + [list(spare)]
+    spare_idx = len(groups) - 1
+    costs = [cost_fn(g) for g in groups[:-1]] + [0.0]
+    n_groups = len(groups)
+    swaps_per_round = 4 * sum(len(g) for g in groups)
+    rounds = 0
+    for _ in range(max_rounds):
+        improvement = False
+        for _ in range(swaps_per_round):
+            ga, gb = rng.choice(n_groups, size=2, replace=False)
+            if not groups[ga] or not groups[gb]:
+                continue
+            ia = int(rng.integers(len(groups[ga])))
+            ib = int(rng.integers(len(groups[gb])))
+            a, b = groups[ga][ia], groups[gb][ib]
+            groups[ga][ia], groups[gb][ib] = b, a
+            new_a = 0.0 if ga == spare_idx else cost_fn(groups[ga])
+            new_b = 0.0 if gb == spare_idx else cost_fn(groups[gb])
+            if new_a + new_b < costs[ga] + costs[gb] - 1e-15:
+                costs[ga], costs[gb] = new_a, new_b
+                improvement = True
+            else:
+                groups[ga][ia], groups[gb][ib] = a, b
+        rounds += 1
+        if not improvement:
+            break
+    return groups[:-1], float(sum(costs[:-1])), rounds

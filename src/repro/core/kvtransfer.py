@@ -1,0 +1,103 @@
+"""KV-cache transfer latency between prefill and decode clusters.
+
+Paper Eqs. 14-15: after prefill, every prefill GPU streams the KV segments
+it computed to its paired decode GPUs (pairs share the same layer range
+and tensor slice); transfers are concurrent, so ``T_f`` is the slowest
+prefill GPU's total transfer time, each transfer costed with the per-hop
+additive model.
+
+Pairing: the tensor dimension maps slice-to-slice; the layer (pipeline)
+dimension maps each prefill stage's layers onto the decode stages covering
+those layers. When ``P_tens`` differs across phases, a prefill GPU's slice
+overlaps ``ceil`` of the ratio of decode slices (the paper's
+``ceil(P_tens / A)``-style correction term in ``D_{i,j}``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.comm.context import CommContext
+from repro.llm.memory import kv_bytes_per_token
+from repro.llm.models import ModelConfig
+
+
+def kv_pairings(
+    prefill_stages: Sequence[Sequence[int]],
+    decode_stages: Sequence[Sequence[int]],
+) -> list[tuple[int, int, float]]:
+    """(prefill_gpu, decode_gpu, share) transfer list.
+
+    ``share`` is the fraction of the *whole batch's* KV bytes that flows
+    on that pair. Shares over all pairs sum to 1 (each KV byte moves
+    exactly once).
+    """
+    if not prefill_stages or not decode_stages:
+        raise ValueError("both phases need at least one stage")
+    pp_p, pp_d = len(prefill_stages), len(decode_stages)
+    pairs: list[tuple[int, int, float]] = []
+    for ip, pstage in enumerate(prefill_stages):
+        # Layer interval [ip/pp_p, (ip+1)/pp_p) overlaps decode stages.
+        lo, hi = ip / pp_p, (ip + 1) / pp_p
+        pt_p = len(pstage)
+        for id_, dstage in enumerate(decode_stages):
+            dlo, dhi = id_ / pp_d, (id_ + 1) / pp_d
+            layer_overlap = max(0.0, min(hi, dhi) - max(lo, dlo))
+            if layer_overlap <= 0:
+                continue
+            pt_d = len(dstage)
+            for jp, pg in enumerate(pstage):
+                # Tensor slice [jp/pt_p, (jp+1)/pt_p) overlaps decode slices.
+                tlo, thi = jp / pt_p, (jp + 1) / pt_p
+                for jd, dg in enumerate(dstage):
+                    dtlo, dthi = jd / pt_d, (jd + 1) / pt_d
+                    tensor_overlap = max(
+                        0.0, min(thi, dthi) - max(tlo, dtlo)
+                    )
+                    if tensor_overlap <= 0:
+                        continue
+                    pairs.append(
+                        (pg, dg, layer_overlap * tensor_overlap)
+                    )
+    return pairs
+
+
+def estimate_kv_transfer_time(
+    ctx: CommContext,
+    model: ModelConfig,
+    k_in: int,
+    prefill_stages: Sequence[Sequence[int]],
+    decode_stages: Sequence[Sequence[int]],
+) -> float:
+    """Eq. 14: ``T_f = max_k T_k^p`` over prefill GPUs.
+
+    The batch's total KV volume is ``2 K_in L h`` elements; each pair's
+    bytes are its share of that volume, costed along the offline route
+    (Eq. 15's per-hop sum). A prefill GPU's transfers to distinct decode
+    GPUs are sequential on its NIC, hence summed.
+    """
+    if k_in <= 0:
+        raise ValueError(f"k_in must be > 0, got {k_in}")
+    total_bytes = kv_bytes_per_token(model) * k_in
+    per_gpu: dict[int, float] = {}
+    for pg, dg, share in kv_pairings(prefill_stages, decode_stages):
+        t = ctx.path_time(pg, dg, total_bytes * share)
+        per_gpu[pg] = per_gpu.get(pg, 0.0) + t
+    return max(per_gpu.values()) if per_gpu else 0.0
+
+
+def kv_transfer_flows(
+    ctx: CommContext,
+    model: ModelConfig,
+    k_in: int,
+    prefill_stages: Sequence[Sequence[int]],
+    decode_stages: Sequence[Sequence[int]],
+) -> list[tuple[list[int], float]]:
+    """(link path, bytes) for each KV transfer — for the flow simulator."""
+    total_bytes = kv_bytes_per_token(model) * k_in
+    out: list[tuple[list[int], float]] = []
+    for pg, dg, share in kv_pairings(prefill_stages, decode_stages):
+        if pg == dg:
+            continue
+        out.append((ctx.path_links(pg, dg), total_bytes * share))
+    return out

@@ -1,0 +1,137 @@
+"""Application-level objective: scalability, queueing, SLA feasibility.
+
+Paper Section III-C1: maximise ``H = 1 / T_req`` subject to
+``T_pre <= T_sla^pre`` and ``T_dec <= T_sla^dec``, with
+``T_req = T_queue + T_serve`` and the M/D/1-style Pollaczek-Khinchine
+queueing delay ``T_queue = lambda * T_serve^2 / (2 (1 - rho))``,
+``rho = lambda * T_serve`` (valid because LLM iteration times are highly
+predictable, so service-time variance is small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class SlaSpec:
+    """Latency SLA thresholds (Table I's T_sla^pre / T_sla^dec)."""
+
+    ttft: float  # seconds, time-to-first-token bound (prefill)
+    tpot: float  # seconds, time-per-output-token bound (decode)
+
+    def __post_init__(self) -> None:
+        require_positive("ttft", self.ttft)
+        require_positive("tpot", self.tpot)
+
+
+#: Section V SLA settings.
+SLA_TESTBED_CHATBOT = SlaSpec(ttft=2.5, tpot=0.15)
+SLA_TESTBED_SUMMARIZATION = SlaSpec(ttft=15.0, tpot=0.15)
+SLA_SIM_CHATBOT = SlaSpec(ttft=4.0, tpot=0.2)
+SLA_SIM_SUMMARIZATION = SlaSpec(ttft=25.0, tpot=0.2)
+
+
+def queueing_delay(arrival_rate: float, service_time: float) -> float:
+    """Pollaczek-Khinchine waiting time; ``inf`` when unstable.
+
+    ``T_queue = lambda T_serve^2 / (2 (1 - rho))`` with
+    ``rho = lambda T_serve``. An over-saturated system (rho >= 1) has an
+    unbounded queue.
+    """
+    require_nonnegative("arrival_rate", arrival_rate)
+    require_nonnegative("service_time", service_time)
+    rho = arrival_rate * service_time
+    if rho >= 1.0:
+        return float("inf")
+    return arrival_rate * service_time**2 / (2.0 * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class ServiceEstimate:
+    """Predicted latency components of one request (Eqs. 2-4)."""
+
+    t_network_prefill: float
+    t_compute_prefill: float
+    t_network_decode: float
+    t_compute_decode: float
+    t_kv_transfer: float
+    #: mean output tokens per request (decode iterations per request)
+    mean_output_tokens: float
+
+    @property
+    def t_prefill(self) -> float:
+        """Eq. 3: TTFT = prefill comm + compute."""
+        return self.t_network_prefill + self.t_compute_prefill
+
+    @property
+    def t_decode(self) -> float:
+        """Eq. 4: TPOT = decode comm + compute + KV transfer share.
+
+        The KV transfer happens once per request; amortised per output
+        token so TPOT stays the paper's per-token quantity.
+        """
+        per_tok_kv = (
+            self.t_kv_transfer / max(self.mean_output_tokens, 1.0)
+        )
+        return self.t_network_decode + self.t_compute_decode + per_tok_kv
+
+    @property
+    def t_serve(self) -> float:
+        """Eq. 2: full service latency of one request."""
+        return (
+            self.t_prefill
+            + self.mean_output_tokens * (
+                self.t_network_decode + self.t_compute_decode
+            )
+            + self.t_kv_transfer
+        )
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """Scalability and SLA verdict for one candidate configuration."""
+
+    scalability: float       # H = 1 / T_req (requests/s)
+    t_request: float         # T_req = T_queue + T_serve
+    t_queue: float
+    t_prefill: float
+    t_decode: float
+    sla_ok: bool
+
+
+def evaluate_objective(
+    est: ServiceEstimate,
+    arrival_rate: float,
+    sla: SlaSpec,
+    concurrency: int = 1,
+) -> ObjectiveResult:
+    """Eq. 1: compute ``H`` and check the SLA constraints.
+
+    ``arrival_rate`` is the per-deployment request rate the planner is
+    sizing for; the queueing term couples H to it. ``concurrency`` is the
+    continuous-batching width Q: the deployment completes Q requests per
+    service period, so the *effective* per-request service time entering
+    the Pollaczek-Khinchine formula is ``T_serve / Q``.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    t_serve = est.t_serve
+    t_q = queueing_delay(arrival_rate, t_serve / concurrency)
+    t_req = t_q + t_serve
+    h = 0.0 if t_req == float("inf") or t_req <= 0 else 1.0 / t_req
+    ok = (
+        est.t_prefill <= sla.ttft
+        and est.t_decode <= sla.tpot
+        and t_req != float("inf")
+    )
+    return ObjectiveResult(
+        scalability=h,
+        t_request=t_req,
+        t_queue=t_q,
+        t_prefill=est.t_prefill,
+        t_decode=est.t_decode,
+        sla_ok=ok,
+    )

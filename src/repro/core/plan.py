@@ -1,0 +1,120 @@
+"""Deployment plan: the offline planner's outputs (paper Table II).
+
+``Plan`` carries everything Table II lists: the parallelism degrees
+``P_all``, the prefill/decode GPU id sets (structured as pipeline stages
+of tensor-parallel groups), the per-group communication selectors
+(``alpha``/``beta``), the chosen aggregation switches ``V_ina``, and the
+predicted application metrics the SLA filter used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.latency import GroupCommEstimate, SchemeKind
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """``P_all``: tensor/pipeline degrees for both phases (Table II)."""
+
+    p_tens_prefill: int
+    p_pipe_prefill: int
+    p_tens_decode: int
+    p_pipe_decode: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "p_tens_prefill",
+            "p_pipe_prefill",
+            "p_tens_decode",
+            "p_pipe_decode",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def prefill_gpus(self) -> int:
+        return self.p_tens_prefill * self.p_pipe_prefill
+
+    @property
+    def decode_gpus(self) -> int:
+        return self.p_tens_decode * self.p_pipe_decode
+
+    @property
+    def total_gpus(self) -> int:
+        return self.prefill_gpus + self.decode_gpus
+
+    def __str__(self) -> str:
+        return (
+            f"prefill TP{self.p_tens_prefill}xPP{self.p_pipe_prefill}, "
+            f"decode TP{self.p_tens_decode}xPP{self.p_pipe_decode}"
+        )
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """One phase's placement and communication plan."""
+
+    #: pipeline stages, each a tensor-parallel group of GPU node ids
+    stages: tuple[tuple[int, ...], ...]
+    #: per-stage Eq. 7 outcome (mode, switch, step latency, links)
+    comm: tuple[GroupCommEstimate, ...]
+    #: predicted communication latency T_n of one pass
+    t_network: float
+    #: predicted computation latency T_c of one pass
+    t_compute: float
+
+    @property
+    def gpu_ids(self) -> tuple[int, ...]:
+        """Flat GPU id set (Table II's K_g^p / K_g^d)."""
+        return tuple(g for stage in self.stages for g in stage)
+
+    @property
+    def alpha(self) -> tuple[int, ...]:
+        """INA selectors per stage (1 where the group aggregates in-network)."""
+        return tuple(1 if e.mode == "ina" else 0 for e in self.comm)
+
+    @property
+    def beta(self) -> tuple[int, ...]:
+        """Ring selectors per stage (complement of alpha)."""
+        return tuple(1 if e.mode == "ring" else 0 for e in self.comm)
+
+    @property
+    def ina_switches(self) -> tuple[int | None, ...]:
+        """Chosen aggregation switch per stage (Table II's V_ina)."""
+        return tuple(e.ina_switch for e in self.comm)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Full offline-planner output for one serving deployment."""
+
+    parallel: ParallelConfig
+    scheme: SchemeKind
+    prefill: PhasePlan
+    decode: PhasePlan
+    #: predicted KV-cache transfer latency T_f
+    t_kv_transfer: float
+    #: predicted TTFT / TPOT / scalability at the planning arrival rate
+    t_prefill: float
+    t_decode: float
+    scalability: float
+    #: arrival rate the predictions were evaluated at (req/s)
+    planned_rate: float = 0.0
+    notes: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Multi-line human-readable plan description."""
+        lines = [
+            f"scheme={self.scheme.value}  {self.parallel}",
+            f"prefill GPUs: {self.prefill.gpu_ids}",
+            f"decode GPUs:  {self.decode.gpu_ids}",
+            f"alpha(prefill)={self.prefill.alpha} "
+            f"alpha(decode)={self.decode.alpha}",
+            f"T_pre={self.t_prefill * 1e3:.1f} ms  "
+            f"T_dec={self.t_decode * 1e3:.1f} ms  "
+            f"T_f={self.t_kv_transfer * 1e3:.1f} ms  "
+            f"H={self.scalability:.3f} req/s",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Load-aware online scheduler (paper §III-D).
+
+One :class:`LoadAwareScheduler` exists per tensor-parallel GPU group. At
+construction it enumerates the group's candidate *policies* — the rows of
+the Fig. 5 policy selection table:
+
+* for the hybrid (HeroServe) scheme: ``hybrid-ina`` via each of the
+  ``n_switch_candidates`` nearest INA-capable switches, ``hybrid-ring``
+  (NVLink stage + leader ring), and the plain ``ring`` fallback;
+* for homogeneous INA schemes: ``ina`` via each candidate switch plus
+  ``ring``;
+* for the ring scheme: ``ring`` only (nothing to adapt — DistServe).
+
+On every ncclAllreduce-equivalent call, :meth:`decide` consults the
+policy cost table (Eq. 16), applies the Eq. 17 virtual-utilisation
+updates, and prices the chosen route against the *live* link state — so
+as links congest, traffic shifts between NVLink-offloaded and pure
+Ethernet routes, and across switches. The central controller refreshes
+``b_c`` and the penalty matrix periodically (Eq. 18).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.comm.context import CommContext
+from repro.comm.hybrid import (
+    elect_leader,
+    group_by_server,
+    local_reduce_time,
+)
+from repro.comm.ina import (
+    ina_allreduce_time,
+    ina_link_footprint,
+)
+from repro.comm.latency import SchemeKind
+from repro.comm.ring import (
+    ring_allreduce_time,
+    ring_link_footprint,
+    ring_order,
+)
+from repro.core.policy import Policy, PolicyCostTable
+
+
+@dataclass(frozen=True)
+class CommDecision:
+    """Outcome of one online scheduling decision."""
+
+    policy: Policy
+    step_time: float
+    links: tuple[int, ...]
+
+
+def _bottleneck_capacity(ctx: CommContext, links: Sequence[int]) -> float:
+    """Minimum raw capacity over a link set (C_c of Eq. 16)."""
+    if not links:
+        # Intra-server-only policies never bottleneck on the fabric; use
+        # the NVLink capacity scale so delta stays near zero.
+        return 1e12
+    topo = ctx.built.topology
+    return min(topo.links[lid].capacity for lid in links)
+
+
+def rank_switches(
+    ctx: CommContext, gpus: Sequence[int], k: int
+) -> list[int]:
+    """The ``k`` INA-capable switches nearest to the group."""
+    sel = ctx.route_table.selection_bytes
+    cands = ctx.built.ina_capable_switches()
+
+    def score(sw: int) -> float:
+        return max(
+            ctx.path_time(g, sw, sel) + ctx.path_time(sw, g, sel)
+            for g in gpus
+        )
+
+    return sorted(cands, key=score)[: max(1, k)]
+
+
+class LoadAwareScheduler:
+    """Per-group online scheduler with a policy cost table."""
+
+    def __init__(
+        self,
+        ctx: CommContext,
+        gpus: Sequence[int],
+        scheme: SchemeKind,
+        n_switch_candidates: int = 2,
+        window: float = 0.1,
+        gamma: float = 0.3,
+    ) -> None:
+        if not gpus:
+            raise ValueError("empty GPU group")
+        self.ctx = ctx
+        self.gpus = list(gpus)
+        self.scheme = scheme
+        self._leaders_by_switch: dict[int, list[int]] = {}
+        policies = self._build_policies(n_switch_candidates)
+        self.table = PolicyCostTable(policies, window=window, gamma=gamma)
+
+    # -- policy construction ------------------------------------------------
+
+    def _hybrid_leaders(self, switch: int) -> list[int]:
+        cached = self._leaders_by_switch.get(switch)
+        if cached is None:
+            by_server = group_by_server(self.ctx, self.gpus)
+            cached = [
+                elect_leader(self.ctx, members, switch)
+                for members in by_server.values()
+            ]
+            self._leaders_by_switch[switch] = cached
+        return cached
+
+    def _build_policies(self, n_switch_candidates: int) -> list[Policy]:
+        ctx = self.ctx
+        policies: list[Policy] = []
+
+        def add(name: str, mode: str, switch: int | None,
+                links: Sequence[int]) -> None:
+            policies.append(
+                Policy(
+                    policy_id=len(policies),
+                    name=name,
+                    mode=mode,
+                    switch=switch,
+                    links=tuple(links),
+                    bottleneck_capacity=_bottleneck_capacity(ctx, links),
+                )
+            )
+
+        ring_links = ring_link_footprint(ctx, self.gpus)
+        if self.scheme == SchemeKind.RING or len(self.gpus) == 1:
+            add("ring", "ring", None, ring_links)
+            return policies
+
+        switches = rank_switches(ctx, self.gpus, n_switch_candidates)
+        if self.scheme == SchemeKind.HYBRID:
+            multi_server = len(group_by_server(ctx, self.gpus)) > 1
+            if multi_server:
+                for sw in switches:
+                    leaders = self._hybrid_leaders(sw)
+                    links = list(ina_link_footprint(ctx, leaders, sw))
+                    for members, leader in zip(
+                        group_by_server(ctx, self.gpus).values(),
+                        leaders,
+                    ):
+                        for g in members:
+                            if g != leader:
+                                links.extend(ctx.path_links(g, leader))
+                                links.extend(ctx.path_links(leader, g))
+                    add(f"hybrid-ina@{sw}", "hybrid-ina", sw, links)
+                leaders = self._hybrid_leaders(switches[0])
+                lr_links = ring_link_footprint(ctx, leaders)
+                add("hybrid-ring", "hybrid-ring", None, lr_links)
+            else:
+                # One server: the NVLink ring is unbeatable and uses no
+                # fabric links; still expose the Ethernet ring fallback.
+                add("nvlink", "nvlink", None, [])
+            add("ring", "ring", None, ring_links)
+            return policies
+
+        # Homogeneous INA schemes (SwitchML / ATP flavours).
+        for sw in switches:
+            add(
+                f"ina@{sw}",
+                "ina",
+                sw,
+                ina_link_footprint(ctx, self.gpus, sw),
+            )
+        add("ring", "ring", None, ring_links)
+        return policies
+
+    # -- pricing --------------------------------------------------------------
+
+    def _estimate_time(self, policy: Policy, data_bytes: float) -> float:
+        """Live latency of executing ``policy`` for ``data_bytes``."""
+        ctx = self.ctx
+        if policy.mode == "ring":
+            return ring_allreduce_time(ctx, self.gpus, data_bytes)
+        if policy.mode == "nvlink":
+            return ring_allreduce_time(
+                ctx, self.gpus, data_bytes, order=ring_order(ctx, self.gpus)
+            )
+        if policy.mode == "ina":
+            assert policy.switch is not None
+            return ina_allreduce_time(
+                ctx, self.gpus, policy.switch, data_bytes
+            )
+        # hybrid flavours: NVLink stage + Ethernet stage among leaders.
+        by_server = group_by_server(ctx, self.gpus)
+        if policy.mode == "hybrid-ina":
+            assert policy.switch is not None
+            leaders = self._hybrid_leaders(policy.switch)
+        else:
+            leaders = self._hybrid_leaders(
+                rank_switches(ctx, self.gpus, 1)[0]
+            )
+        stage1 = max(
+            local_reduce_time(ctx, members, leader, data_bytes)
+            for members, leader in zip(by_server.values(), leaders)
+        )
+        if policy.mode == "hybrid-ina":
+            stage2 = ina_allreduce_time(
+                ctx, leaders, policy.switch, data_bytes
+            )
+        else:
+            stage2 = ring_allreduce_time(ctx, leaders, data_bytes)
+        return 2.0 * stage1 + stage2
+
+    # -- public API -------------------------------------------------------------
+
+    def decide(self, data_bytes: float) -> CommDecision:
+        """Select the policy for one synchronisation step (Eq. 16/17).
+
+        Per Fig. 5, the selection consults the *current* link bandwidths
+        ("suppose B[e5] is lower than B[e3], and policy c1 is selected"):
+        each GPU's local view of its links is instantaneous (DCGM /
+        switch counters), so ``b_c`` is re-grounded from live utilisation
+        before the argmin; the Eq. 17 virtual increments then arbitrate
+        the transfers landing between monitor updates.
+        """
+        if self.ctx.linkstate is not None:
+            self.table.refresh_utilization(self.ctx.linkstate)
+        policy = self.table.select(data_bytes)
+        t = self._estimate_time(policy, data_bytes)
+        return CommDecision(policy=policy, step_time=t, links=policy.links)
+
+    def refresh(self) -> None:
+        """Controller-triggered periodic refresh (needs live link state)."""
+        ls = self.ctx.linkstate
+        if ls is None:
+            return
+        self.table.refresh_utilization(ls)
+        self.table.refresh_penalties(ls)

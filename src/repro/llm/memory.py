@@ -1,0 +1,102 @@
+"""GPU memory model: weights and KV cache.
+
+The planner's memory feasibility checks (Algorithm 1 lines 5-8 / 12-15)
+need, per GPU, the model-shard footprint ``R / (P_tens * P_pipe * R_frac)``
+and the KV-cache budget that remains. This module computes both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.models import ModelConfig
+from repro.util.validation import require_in_range, require_positive
+
+
+def weight_shard_bytes(
+    model: ModelConfig, p_tens: int, p_pipe: int
+) -> float:
+    """Per-GPU weight footprint under TP x PP partitioning."""
+    require_positive("p_tens", p_tens)
+    require_positive("p_pipe", p_pipe)
+    return model.param_bytes / (p_tens * p_pipe)
+
+
+def min_memory_per_gpu(
+    model: ModelConfig, p_tens: int, p_pipe: int, r_frac: float
+) -> float:
+    """Algorithm 1's ``m_req = R / (P_tens * P_pipe * R_frac)``.
+
+    ``r_frac`` is the fraction of a GPU's memory the weights may occupy;
+    the rest is reserved for KV cache and activations.
+    """
+    require_in_range("r_frac", r_frac, 0.0, 1.0, inclusive=False)
+    return weight_shard_bytes(model, p_tens, p_pipe) / r_frac
+
+
+def kv_bytes_per_token(model: ModelConfig) -> float:
+    """KV-cache bytes for one token across all layers (whole model)."""
+    # K and V, each (n_layers, hidden) at dtype precision.
+    return 2.0 * model.n_layers * model.hidden_size * model.dtype_bytes
+
+
+def kv_bytes_per_token_per_gpu(
+    model: ModelConfig, p_tens: int, p_pipe: int
+) -> float:
+    """KV bytes a single GPU stores per token of one sequence."""
+    return kv_bytes_per_token(model) / (p_tens * p_pipe)
+
+
+@dataclass
+class MemoryBudget:
+    """KV-cache capacity accounting for one GPU group deployment."""
+
+    model: ModelConfig
+    p_tens: int
+    p_pipe: int
+    gpu_memory_bytes: float  # smallest GPU in the group
+    r_frac: float = 0.65
+    #: fraction of memory reserved for activations/workspace
+    activation_reserve: float = 0.1
+
+    def __post_init__(self) -> None:
+        require_positive("gpu_memory_bytes", self.gpu_memory_bytes)
+        require_in_range("r_frac", self.r_frac, 0.0, 1.0, inclusive=False)
+        require_in_range(
+            "activation_reserve", self.activation_reserve, 0.0, 1.0
+        )
+
+    @property
+    def weight_bytes_per_gpu(self) -> float:
+        return weight_shard_bytes(self.model, self.p_tens, self.p_pipe)
+
+    @property
+    def kv_capacity_bytes_per_gpu(self) -> float:
+        """Memory left for KV cache after weights and activation reserve."""
+        free = (
+            self.gpu_memory_bytes * (1.0 - self.activation_reserve)
+            - self.weight_bytes_per_gpu
+        )
+        return max(0.0, free)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the shard even fits within the r_frac weight budget."""
+        return (
+            self.weight_bytes_per_gpu
+            <= self.gpu_memory_bytes * self.r_frac
+        )
+
+    def max_cached_tokens(self) -> int:
+        """Tokens of KV cache the deployment can hold (whole group)."""
+        per_tok = kv_bytes_per_token_per_gpu(
+            self.model, self.p_tens, self.p_pipe
+        )
+        if per_tok <= 0:
+            return 0
+        return int(self.kv_capacity_bytes_per_gpu / per_tok)
+
+    def utilization(self, cached_tokens: int) -> float:
+        """KV memory utilisation in [0, inf) for a token population."""
+        cap = self.max_cached_tokens()
+        return cached_tokens / cap if cap > 0 else float("inf")

@@ -1,0 +1,324 @@
+"""Topology builders: the paper's testbed and large-scale clusters.
+
+Three concrete environments from the paper:
+
+* :func:`build_testbed` — the Fig. 6 testbed: four GPU servers (two A100
+  40 GB, two V100 32 GB), four GPUs each with intra-server NVLink, each GPU
+  with its own 100 Gbps port, cross-connected to two programmable access
+  switches ("2tracks").
+* :func:`build_xtracks_cluster` — the Section V simulation clusters:
+  units of servers sharing ``tracks`` access switches, access switches
+  uplinked to a core layer. The paper's full scale is 1200 servers; the
+  builder takes the unit structure and core ratio from the paper and
+  scales the unit count, so tests/benches run a faithful miniature.
+* :func:`build_fig2_example` — the 2-server micro-topology of Fig. 2 used
+  to demonstrate homogeneous vs heterogeneous aggregation paths.
+
+All bandwidths follow the paper: NVLink 600 GB/s on A100 (300 GB/s on
+V100), 100 Gbps Ethernet everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.topology import LinkKind, Topology
+from repro.util import units
+
+#: Per-direction NVLink bandwidths (bytes/s). The paper quotes A100
+#: NVLink as 600 GB/s total; per-direction effective is half.
+NVLINK_A100 = units.gbyte_per_s(300.0)
+NVLINK_V100 = units.gbyte_per_s(150.0)
+ETH_100G = units.gbit_per_s(100.0)
+
+
+#: PCIe 4.0 x16 effective bandwidth per direction — the intra-server
+#: fallback fabric of the paper's future-work section ("for scenarios
+#: without NVLink ... leverage high-performance PCIe bandwidth").
+PCIE_GEN4_X16 = units.gbyte_per_s(24.0)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """GPU server template used by the builders."""
+
+    name: str
+    n_gpus: int
+    gpu_memory_bytes: float
+    nvlink_bandwidth: float
+    #: hardware profile key for the compute cost model (repro.llm)
+    gpu_model: str = "A100"
+    #: intra-server fabric: NVLink (default) or the PCIe fallback of the
+    #: paper's future work (§VII)
+    intra_kind: LinkKind = LinkKind.NVLINK
+    #: PCIe topologies usually split GPUs across NUMA domains; crossing
+    #: the inter-socket link costs extra bandwidth (the "cross-NUMA
+    #: effects" §VII warns about). GPUs are split evenly into this many
+    #: domains; cross-domain PCIe links get half bandwidth.
+    numa_domains: int = 1
+
+
+def pcie_server(
+    name: str,
+    n_gpus: int,
+    gpu_memory_bytes: float,
+    gpu_model: str = "A100",
+    pcie_bandwidth: float = PCIE_GEN4_X16,
+    numa_domains: int = 2,
+) -> ServerSpec:
+    """A server whose GPUs interconnect over PCIe (no NVLink)."""
+    return ServerSpec(
+        name=name,
+        n_gpus=n_gpus,
+        gpu_memory_bytes=gpu_memory_bytes,
+        nvlink_bandwidth=pcie_bandwidth,
+        gpu_model=gpu_model,
+        intra_kind=LinkKind.PCIE,
+        numa_domains=numa_domains,
+    )
+
+
+A100_SERVER = ServerSpec(
+    name="A100",
+    n_gpus=4,
+    gpu_memory_bytes=units.gib(40),
+    nvlink_bandwidth=NVLINK_A100,
+    gpu_model="A100",
+)
+V100_SERVER = ServerSpec(
+    name="V100",
+    n_gpus=4,
+    gpu_memory_bytes=units.gib(32),
+    nvlink_bandwidth=NVLINK_V100,
+    gpu_model="V100",
+)
+A100_8GPU_SERVER = ServerSpec(
+    name="A100x8",
+    n_gpus=8,
+    gpu_memory_bytes=units.gib(40),
+    nvlink_bandwidth=NVLINK_A100,
+    gpu_model="A100",
+)
+
+
+def _add_server(
+    topo: Topology,
+    spec: ServerSpec,
+    server_id: int,
+    gpu_models: dict[int, str],
+) -> list[int]:
+    """Add one server's GPUs with an all-to-all intra-server fabric.
+
+    NVLink servers get NVSwitch semantics (full bandwidth, all pairs).
+    PCIe servers honour the NUMA split: pairs crossing a domain boundary
+    run at half bandwidth (inter-socket link), the §VII cross-NUMA
+    penalty.
+    """
+    gpus = []
+    for g in range(spec.n_gpus):
+        nid = topo.add_gpu(
+            f"srv{server_id}/gpu{g}", server_id, spec.gpu_memory_bytes
+        )
+        gpu_models[nid] = spec.gpu_model
+        gpus.append(nid)
+    domains = max(1, spec.numa_domains)
+    per_domain = max(1, spec.n_gpus // domains)
+    for i, u in enumerate(gpus):
+        for j in range(i + 1, len(gpus)):
+            v = gpus[j]
+            bw = spec.nvlink_bandwidth
+            if (
+                spec.intra_kind == LinkKind.PCIE
+                and i // per_domain != j // per_domain
+            ):
+                bw *= 0.5  # cross-NUMA: inter-socket hop
+            topo.add_link(u, v, spec.intra_kind, bw)
+    return gpus
+
+
+@dataclass
+class BuiltTopology:
+    """A topology plus the side tables the planner and simulator need."""
+
+    topology: Topology
+    #: GPU node id -> hardware model key ("A100", "V100", "L40")
+    gpu_models: dict[int, str]
+    #: server id -> list of GPU node ids
+    server_gpus: dict[int, list[int]]
+    #: access-switch node ids (INA-capable programmable switches)
+    access_switches: list[int]
+    #: core-switch node ids (also INA-capable in the 2-switch testbed)
+    core_switches: list[int]
+
+    def ina_capable_switches(self) -> list[int]:
+        """Switches that can host in-network aggregation slots."""
+        return self.access_switches + self.core_switches
+
+
+def build_testbed(
+    tracks: int = 2,
+    eth_bandwidth: float = ETH_100G,
+    server_specs: list[ServerSpec] | None = None,
+) -> BuiltTopology:
+    """Build the Fig. 6 testbed (default: 2 A100 + 2 V100 servers, 2tracks).
+
+    Each GPU owns one 100 Gbps port; port ``g`` of a server connects to
+    access switch ``g % tracks`` — the paper's cross-connected
+    high-availability wiring. The ``tracks`` access switches are meshed
+    with inter-switch links so any GPU can reach any switch.
+    """
+    if tracks < 1:
+        raise ValueError(f"tracks must be >= 1, got {tracks}")
+    specs = server_specs or [
+        A100_SERVER,
+        A100_SERVER,
+        V100_SERVER,
+        V100_SERVER,
+    ]
+    topo = Topology(name=f"testbed-{tracks}tracks")
+    gpu_models: dict[int, str] = {}
+    server_gpus: dict[int, list[int]] = {}
+
+    switches = [topo.add_switch(f"sw{t}") for t in range(tracks)]
+    for sid, spec in enumerate(specs):
+        gpus = _add_server(topo, spec, sid, gpu_models)
+        server_gpus[sid] = gpus
+        for g, gpu in enumerate(gpus):
+            topo.add_link(
+                gpu, switches[g % tracks], LinkKind.ETHERNET, eth_bandwidth
+            )
+    # Inter-switch mesh (2x100G trunk between the two testbed switches).
+    for i, u in enumerate(switches):
+        for v in switches[i + 1 :]:
+            topo.add_link(u, v, LinkKind.ETHERNET, 2.0 * eth_bandwidth)
+    topo.validate()
+    return BuiltTopology(
+        topology=topo,
+        gpu_models=gpu_models,
+        server_gpus=server_gpus,
+        access_switches=switches,
+        core_switches=[],
+    )
+
+
+#: Paper unit structure: (servers per unit, access switches per unit,
+#: access-to-core ratio). 2tracks: 400 access / 27 core ~= 14.8;
+#: 8tracks: 600 access / 280 core ~= 2.14.
+XTRACKS_PRESETS = {
+    2: {"servers_per_unit": 6, "access_per_core": 14.8},
+    8: {"servers_per_unit": 16, "access_per_core": 2.14},
+}
+
+
+def build_xtracks_cluster(
+    tracks: int,
+    n_units: int = 4,
+    server_spec: ServerSpec = A100_8GPU_SERVER,
+    eth_bandwidth: float = ETH_100G,
+    core_uplinks: int | None = None,
+) -> BuiltTopology:
+    """Build a scaled ``tracks``-tracks cluster with the paper's ratios.
+
+    ``n_units`` units, each with ``servers_per_unit`` servers and
+    ``tracks`` access switches; GPU port ``g`` connects to access switch
+    ``g % tracks`` of its unit. The core layer size follows the paper's
+    access:core ratio, so the 2tracks miniature is core-constrained and
+    the 8tracks miniature is core-rich — reproducing the congestion
+    contrast of Section V-B.
+    """
+    if tracks not in XTRACKS_PRESETS:
+        raise ValueError(
+            f"tracks must be one of {sorted(XTRACKS_PRESETS)}, got {tracks}"
+        )
+    if n_units < 1:
+        raise ValueError(f"n_units must be >= 1, got {n_units}")
+    preset = XTRACKS_PRESETS[tracks]
+    servers_per_unit = preset["servers_per_unit"]
+    n_access = tracks * n_units
+    n_core = max(1, round(n_access / preset["access_per_core"]))
+    if core_uplinks is None:
+        core_uplinks = min(n_core, max(2, tracks // 2))
+
+    topo = Topology(name=f"cluster-{tracks}tracks-{n_units}units")
+    gpu_models: dict[int, str] = {}
+    server_gpus: dict[int, list[int]] = {}
+
+    core = [topo.add_switch(f"core{c}", core=True) for c in range(n_core)]
+    access: list[int] = []
+    server_id = 0
+    for unit in range(n_units):
+        unit_switches = [
+            topo.add_switch(f"u{unit}/acc{t}") for t in range(tracks)
+        ]
+        access.extend(unit_switches)
+        for _ in range(servers_per_unit):
+            gpus = _add_server(topo, server_spec, server_id, gpu_models)
+            server_gpus[server_id] = gpus
+            for g, gpu in enumerate(gpus):
+                topo.add_link(
+                    gpu,
+                    unit_switches[g % tracks],
+                    LinkKind.ETHERNET,
+                    eth_bandwidth,
+                )
+            server_id += 1
+        # Uplink each access switch to `core_uplinks` cores, staggered so
+        # load spreads across the core layer.
+        for t, sw in enumerate(unit_switches):
+            base = (unit * tracks + t) % n_core
+            for k in range(core_uplinks):
+                topo.add_link(
+                    sw,
+                    core[(base + k) % n_core],
+                    LinkKind.ETHERNET,
+                    eth_bandwidth,
+                )
+    topo.validate()
+    return BuiltTopology(
+        topology=topo,
+        gpu_models=gpu_models,
+        server_gpus=server_gpus,
+        access_switches=access,
+        core_switches=core,
+    )
+
+
+def build_fig2_example(
+    eth_bandwidth: float = ETH_100G,
+    nvlink_bandwidth: float = NVLINK_A100,
+) -> BuiltTopology:
+    """The Fig. 2 micro-topology: 2 servers x 2 GPUs, 2 access + 1 core.
+
+    GN1, GN2 share server 0 (NVLink); GN3, GN4 share server 1. Each server
+    hangs off its own access switch; the access switches meet at the core
+    switch S1. Homogeneous INA must aggregate at S1 (two Ethernet hops
+    from GN1); heterogeneous INA forwards GN1's data over NVLink to GN2
+    and aggregates at the access switch S2 (one Ethernet hop).
+    """
+    spec = ServerSpec(
+        name="fig2",
+        n_gpus=2,
+        gpu_memory_bytes=units.gib(40),
+        nvlink_bandwidth=nvlink_bandwidth,
+    )
+    topo = Topology(name="fig2-example")
+    gpu_models: dict[int, str] = {}
+    server_gpus: dict[int, list[int]] = {}
+    core = topo.add_switch("S1", core=True)
+    access = []
+    for sid in range(2):
+        sw = topo.add_switch(f"S{sid + 2}")
+        access.append(sw)
+        gpus = _add_server(topo, spec, sid, gpu_models)
+        server_gpus[sid] = gpus
+        for gpu in gpus:
+            topo.add_link(gpu, sw, LinkKind.ETHERNET, eth_bandwidth)
+        topo.add_link(sw, core, LinkKind.ETHERNET, eth_bandwidth)
+    topo.validate()
+    return BuiltTopology(
+        topology=topo,
+        gpu_models=gpu_models,
+        server_gpus=server_gpus,
+        access_switches=access,
+        core_switches=[core],
+    )

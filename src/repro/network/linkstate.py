@@ -1,0 +1,137 @@
+"""Link-load tracking: the live view of remaining bandwidth ``B(e)``.
+
+The paper's agents poll hardware counters on switches and DCGM on GPU
+servers to obtain per-link utilisation; the central controller aggregates
+them. Here a :class:`LinkLoadTracker` plays that role for the simulator:
+components *register* sustained loads (bytes/s) on directed links and the
+tracker answers ``B(e) = max(C(e) - load(e), floor)`` plus utilisation
+ratios, all as NumPy arrays so the planner and the online scheduler can
+consume them vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+#: Never report less than this fraction of capacity as available, mirroring
+#: the transport layer's ability to squeeze some goodput through a busy
+#: link rather than fully starving (and avoiding divide-by-zero downstream).
+MIN_AVAILABLE_FRACTION = 0.02
+
+
+@dataclass
+class LinkLoadTracker:
+    """Registered sustained loads over directed links.
+
+    Loads are additive: each registration returns a handle that must be
+    released. An exponentially-weighted *utilisation history* is kept for
+    the online scheduler's periodic penalty refresh (Eq. 18 uses monitored
+    ``B(e*)`` of intersecting links).
+    """
+
+    topology: Topology
+    ewma_alpha: float = 0.3
+    _capacity: np.ndarray = field(init=False)
+    _load: np.ndarray = field(init=False)
+    _ewma_util: np.ndarray = field(init=False)
+    _next_handle: int = field(default=0, init=False)
+    _registrations: dict[int, tuple[np.ndarray, float]] = field(
+        default_factory=dict, init=False
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha in (0,1], got {self.ewma_alpha}")
+        self._capacity = self.topology.capacity_array()
+        self._load = np.zeros_like(self._capacity)
+        self._ewma_util = np.zeros_like(self._capacity)
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, link_ids: list[int] | np.ndarray, rate: float) -> int:
+        """Add ``rate`` bytes/s of sustained load on each link; returns handle."""
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        ids = np.asarray(link_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= len(self._load)):
+            raise ValueError("link id out of range")
+        np.add.at(self._load, ids, rate)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._registrations[handle] = (ids, rate)
+        return handle
+
+    def release(self, handle: int) -> None:
+        """Remove a previously registered load."""
+        ids, rate = self._registrations.pop(handle)
+        np.add.at(self._load, ids, -rate)
+        # Guard against floating-point drift below zero.
+        np.maximum(self._load, 0.0, out=self._load)
+
+    def active_registrations(self) -> int:
+        """Number of currently registered loads."""
+        return len(self._registrations)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def capacity(self) -> np.ndarray:
+        """Per-link capacity ``C(e)`` (bytes/s); do not mutate."""
+        return self._capacity
+
+    def load(self) -> np.ndarray:
+        """Copy of the per-link registered load (bytes/s)."""
+        return self._load.copy()
+
+    def available(self) -> np.ndarray:
+        """Remaining bandwidth ``B(e)`` per directed link (bytes/s)."""
+        floor = MIN_AVAILABLE_FRACTION * self._capacity
+        return np.maximum(self._capacity - self._load, floor)
+
+    def utilization(self) -> np.ndarray:
+        """Instantaneous ``load / capacity`` per directed link (can be >1)."""
+        return self._load / self._capacity
+
+    def available_on(self, link_ids: list[int] | np.ndarray) -> np.ndarray:
+        """``B(e)`` restricted to the given links."""
+        return self.available()[np.asarray(link_ids, dtype=np.int64)]
+
+    def path_bottleneck(self, link_ids: list[int]) -> float:
+        """``min_e B(e)`` over a path — the Eq. 11 denominator."""
+        if not link_ids:
+            return float("inf")
+        return float(self.available_on(link_ids).min())
+
+    def path_max_utilization(self, link_ids: list[int]) -> float:
+        """``max_e load/C`` over a path — the policy cost base of §III-D."""
+        if not link_ids:
+            return 0.0
+        ids = np.asarray(link_ids, dtype=np.int64)
+        return float((self._load[ids] / self._capacity[ids]).max())
+
+    # -- monitoring --------------------------------------------------------
+
+    def poll(self) -> np.ndarray:
+        """Update and return the EWMA utilisation (the 'hardware counters').
+
+        Called periodically by the central controller in the prototype;
+        the simulator calls it on its monitoring cadence.
+        """
+        inst = self.utilization()
+        self._ewma_util *= 1.0 - self.ewma_alpha
+        self._ewma_util += self.ewma_alpha * inst
+        return self._ewma_util.copy()
+
+    def ewma_utilization(self) -> np.ndarray:
+        """Last EWMA utilisation snapshot without updating it."""
+        return self._ewma_util.copy()
+
+    def reset(self) -> None:
+        """Drop all registrations and history (between benchmark runs)."""
+        self._load[:] = 0.0
+        self._ewma_util[:] = 0.0
+        self._registrations.clear()

@@ -1,0 +1,48 @@
+"""Serving simulator: DES engine, metrics, capacity search, fleets."""
+
+from repro.serving.autoscale import (
+    AutoScaler,
+    ScalingAction,
+    estimate_replica_capacity,
+)
+from repro.serving.background import (
+    BackgroundTraffic,
+    BackgroundTrafficConfig,
+)
+from repro.serving.fleet import FleetMetrics, ReplicaFleet
+from repro.serving.capacity import (
+    MIN_COMPLETION_FRACTION,
+    RatePoint,
+    evaluate_rate,
+    find_max_rate,
+    rate_sweep,
+)
+from repro.serving.engine import EngineConfig, ServingSimulator
+from repro.serving.metrics import (
+    SLA_ATTAINMENT_TARGET,
+    MemorySample,
+    ServingMetrics,
+)
+from repro.serving.request import RequestPhase, RequestState
+
+__all__ = [
+    "AutoScaler",
+    "ScalingAction",
+    "estimate_replica_capacity",
+    "FleetMetrics",
+    "ReplicaFleet",
+    "BackgroundTraffic",
+    "BackgroundTrafficConfig",
+    "MIN_COMPLETION_FRACTION",
+    "RatePoint",
+    "evaluate_rate",
+    "find_max_rate",
+    "rate_sweep",
+    "EngineConfig",
+    "ServingSimulator",
+    "SLA_ATTAINMENT_TARGET",
+    "MemorySample",
+    "ServingMetrics",
+    "RequestPhase",
+    "RequestState",
+]

@@ -1,0 +1,139 @@
+"""Rapid scaling in/out of replicas (the paper's §VII future work).
+
+"We plan to design a mechanism that enables rapid scaling in and out to
+achieve finer-grained scheduling of computational resources."
+
+The :class:`AutoScaler` watches the fleet's recent arrival rate and the
+per-replica sustainable rate (estimated from the offline plan's service
+time and decode concurrency), and activates/deactivates replicas with
+hysteresis: scale **out** when the observed load exceeds the active
+capacity's high-water fraction, scale **in** (drain one replica) when it
+falls below the low-water fraction. Deactivated replicas finish their
+in-flight requests — scaling never drops work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serving.fleet import ReplicaFleet
+from repro.sim.eventqueue import EventQueue
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ScalingAction:
+    """One autoscaler decision, recorded for inspection."""
+
+    time: float
+    kind: str            # "out" | "in" | "hold"
+    active_after: int
+    observed_rate: float
+    capacity: float
+
+
+@dataclass
+class AutoScaler:
+    """Hysteresis-based replica scaler driven by observed arrival rate."""
+
+    fleet: ReplicaFleet
+    queue: EventQueue
+    #: sustainable request rate of one replica (requests/s)
+    replica_capacity: float
+    window: float = 10.0
+    high_water: float = 0.85
+    low_water: float = 0.35
+    actions: list[ScalingAction] = field(default_factory=list)
+    _last_routed: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive("replica_capacity", self.replica_capacity)
+        require_positive("window", self.window)
+        if not 0.0 < self.low_water < self.high_water <= 1.0:
+            raise ValueError(
+                "need 0 < low_water < high_water <= 1, got "
+                f"{self.low_water}/{self.high_water}"
+            )
+
+    def start(self, horizon: float) -> None:
+        """Schedule the periodic scaling loop on [now, now+horizon)."""
+        end = self.queue.now + horizon
+        self.queue.schedule(self.window, self._tick, end, tag="autoscale")
+
+    # -- internals ---------------------------------------------------------
+
+    def observed_rate(self) -> float:
+        """Arrival rate over the last window (router counter delta)."""
+        routed = sum(self.fleet.routed)
+        rate = (routed - self._last_routed) / self.window
+        self._last_routed = routed
+        return rate
+
+    def _tick(self, end: float) -> None:
+        rate = self.observed_rate()
+        capacity = self.fleet.n_active * self.replica_capacity
+        kind = "hold"
+        if (
+            rate > self.high_water * capacity
+            and self.fleet.n_active < len(self.fleet.replicas)
+        ):
+            # Scale out: activate the first inactive replica.
+            idx = self.fleet.active.index(False)
+            self.fleet.set_active(idx, True)
+            kind = "out"
+        elif (
+            rate < self.low_water * capacity
+            and self.fleet.n_active > 1
+        ):
+            # Scale in: drain the active replica with the least backlog.
+            candidates = [
+                i for i, a in enumerate(self.fleet.active) if a
+            ]
+            idx = min(
+                candidates,
+                key=lambda i: self.fleet.replicas[i].queued_requests,
+            )
+            self.fleet.set_active(idx, False)
+            kind = "in"
+        self.actions.append(
+            ScalingAction(
+                time=self.queue.now,
+                kind=kind,
+                active_after=self.fleet.n_active,
+                observed_rate=rate,
+                capacity=capacity,
+            )
+        )
+        if self.queue.now + self.window <= end:
+            self.queue.schedule(
+                self.window, self._tick, end, tag="autoscale"
+            )
+
+    # -- reporting ------------------------------------------------------------
+
+    def scale_events(self) -> list[ScalingAction]:
+        """Only the decisions that changed the fleet size."""
+        return [a for a in self.actions if a.kind != "hold"]
+
+
+def estimate_replica_capacity(
+    plan, forecast_batch, utilization: float = 0.5
+) -> float:
+    """Sustainable requests/s of one deployment from its offline plan.
+
+    The deployment completes about ``concurrency / T_serve`` requests
+    per second at full batch width, with T_serve from the plan's
+    *idle-network, small-batch* latency predictions (Eq. 2); under load,
+    decode iterations slow with batch size and context length, so the
+    raw figure is derated by ``utilization`` (SLA-safe operating point).
+    """
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(f"utilization in (0,1], got {utilization}")
+    mean_out = forecast_batch.k_out / forecast_batch.q
+    t_serve = (
+        plan.t_prefill
+        + mean_out * plan.t_decode
+        + plan.t_kv_transfer
+    )
+    concurrency = 64  # engine default decode width
+    return utilization * concurrency / max(t_serve, 1e-9)

@@ -1,0 +1,104 @@
+"""Capacity search: maximum per-GPU rate under the SLA attainment target.
+
+Section V-A: "we focus on the maximum per-GPU rate that the system can
+handle while satisfying the latency requirements for over 90% of
+requests." :func:`find_max_rate` binary-searches the arrival rate,
+running the serving simulator at each probe; :func:`rate_sweep` produces
+the full attainment-vs-rate curve a Fig. 7-style plot shows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.serving.metrics import SLA_ATTAINMENT_TARGET, ServingMetrics
+
+#: A probe run must finish at least this fraction of its trace to count
+#: (otherwise the system is hopelessly saturated and attainment over the
+#: few finished requests would be misleadingly high).
+MIN_COMPLETION_FRACTION = 0.8
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """One (rate, metrics) sample of a sweep."""
+
+    rate: float
+    attainment: float
+    mean_ttft: float
+    mean_tpot: float
+    finished: int
+    offered: int
+
+    @property
+    def completion(self) -> float:
+        return self.finished / self.offered if self.offered else 0.0
+
+
+RunAtRate = Callable[[float], tuple[ServingMetrics, int]]
+"""Run the system at a rate; returns (metrics, offered request count)."""
+
+
+def evaluate_rate(run: RunAtRate, rate: float) -> RatePoint:
+    """Execute one probe and reduce it to a :class:`RatePoint`."""
+    metrics, offered = run(rate)
+    return RatePoint(
+        rate=rate,
+        attainment=metrics.attainment(),
+        mean_ttft=metrics.mean_ttft(),
+        mean_tpot=metrics.mean_tpot(),
+        finished=metrics.n_finished,
+        offered=offered,
+    )
+
+
+def _passes(pt: RatePoint, target: float) -> bool:
+    return (
+        pt.attainment >= target
+        and pt.completion >= MIN_COMPLETION_FRACTION
+    )
+
+
+def find_max_rate(
+    run: RunAtRate,
+    lo: float,
+    hi: float,
+    target: float = SLA_ATTAINMENT_TARGET,
+    iterations: int = 7,
+) -> tuple[float, list[RatePoint]]:
+    """Max rate with attainment >= target, by bisection on [lo, hi].
+
+    Returns (max passing rate, all probe points). If even ``lo`` fails,
+    returns (0, probes); if ``hi`` passes, returns (hi, probes) — widen
+    the bracket in that case.
+    """
+    if not 0 < lo < hi:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    probes: list[RatePoint] = []
+    pt_lo = evaluate_rate(run, lo)
+    probes.append(pt_lo)
+    if not _passes(pt_lo, target):
+        return 0.0, probes
+    pt_hi = evaluate_rate(run, hi)
+    probes.append(pt_hi)
+    if _passes(pt_hi, target):
+        return hi, probes
+    best = lo
+    a, b = lo, hi
+    for _ in range(iterations):
+        mid = 0.5 * (a + b)
+        pt = evaluate_rate(run, mid)
+        probes.append(pt)
+        if _passes(pt, target):
+            best, a = mid, mid
+        else:
+            b = mid
+    return best, probes
+
+
+def rate_sweep(
+    run: RunAtRate, rates: list[float]
+) -> list[RatePoint]:
+    """Evaluate a fixed grid of rates (for attainment-curve figures)."""
+    return [evaluate_rate(run, r) for r in rates]

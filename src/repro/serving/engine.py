@@ -1,0 +1,445 @@
+"""Discrete-event serving simulator: disaggregated prefill/decode on a
+heterogeneous network.
+
+Mesoscopic granularity (the HPC-guide trade-off): events are *prefill
+batches*, *decode iterations* and *KV transfers*, never packets. Each
+event's duration comes from the fitted compute model (Eqs. 12-13) plus
+the communication estimators (Eqs. 5-11) priced against the **live** link
+state, so congestion feeds back into iteration times; conversely every
+network activity registers its sustained load on the links it occupies,
+so concurrent activities (prefill sync, decode sync, KV transfers,
+injected background bursts) contend for the same bandwidth.
+
+Continuous batching follows Orca: prefill batches are formed from the
+queue up to a token budget; the decode batch is re-formed at every
+iteration boundary, admitting waiting requests whenever KV memory allows.
+
+Communication scheduling per system:
+
+* baselines (ring / INA flavours) — re-run the Eq. 7 static selection
+  each pass against current link state (NCCL/SwitchML behaviour);
+* HeroServe — route every synchronisation step through the
+  :class:`~repro.core.controller.CentralController`'s load-aware policy
+  tables, and `tick` the controller on its monitoring cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.context import CommContext
+from repro.comm.latency import (
+    SchemeKind,
+    allreduce_bytes,
+    price_group_step,
+    sync_steps_per_pass,
+)
+from repro.comm.pipeline import (
+    decode_activation_bytes,
+    pipeline_sync_time,
+    prefill_activation_bytes,
+)
+from repro.core.controller import CentralController
+from repro.core.kvtransfer import estimate_kv_transfer_time, kv_transfer_flows
+from repro.core.objective import SlaSpec
+from repro.core.plan import Plan
+from repro.llm.batch import BatchSpec
+from repro.llm.costmodel import CostModelBank
+from repro.llm.memory import MemoryBudget
+from repro.llm.models import ModelConfig
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import RequestPhase, RequestState
+from repro.network.topology import LinkKind
+from repro.workloads.traces import Trace
+from repro.sim.eventqueue import EventQueue
+
+
+@dataclass
+class EngineConfig:
+    """Continuous-batching and simulation knobs."""
+
+    max_prefill_requests: int = 16
+    max_prefill_tokens: int = 16384
+    max_decode_batch: int = 64
+    #: decode comm estimates are recomputed every N iterations (they only
+    #: drift with link load, which changes slowly relative to iterations)
+    comm_refresh_every: int = 8
+    #: controller monitoring cadence (seconds)
+    controller_period: float = 0.05
+    #: simulation horizon beyond the last arrival (seconds)
+    drain_time: float = 300.0
+    r_frac: float = 0.65
+
+
+class ServingSimulator:
+    """One serving deployment executing a trace."""
+
+    def __init__(
+        self,
+        ctx: CommContext,
+        plan: Plan,
+        model: ModelConfig,
+        bank: CostModelBank,
+        sla: SlaSpec,
+        trace: Trace | None = None,
+        controller: CentralController | None = None,
+        config: EngineConfig | None = None,
+        queue: EventQueue | None = None,
+    ) -> None:
+        if ctx.linkstate is None:
+            raise ValueError(
+                "ServingSimulator needs a CommContext with a LinkLoadTracker"
+            )
+        self.ctx = ctx
+        self.plan = plan
+        self.model = model
+        self.bank = bank
+        self.sla = sla
+        self.trace = trace
+        self.controller = controller
+        self.cfg = config or EngineConfig()
+
+        # A fleet shares one queue (and one link tracker) across
+        # replicas so their traffic contends; standalone use gets its own.
+        self.queue = queue if queue is not None else EventQueue()
+        self.metrics = ServingMetrics(sla=sla)
+
+        # -- cluster state
+        self.prefill_stages = [list(s) for s in plan.prefill.stages]
+        self.decode_stages = [list(s) for s in plan.decode.stages]
+        self._prefill_hw = ctx.group_hardware(
+            [g for s in self.prefill_stages for g in s]
+        )
+        self._decode_hw = ctx.group_hardware(
+            [g for s in self.decode_stages for g in s]
+        )
+        topo = ctx.built.topology
+        dec_min_mem = min(
+            topo.nodes[g].memory_bytes
+            for s in self.decode_stages
+            for g in s
+        )
+        self.kv_budget = MemoryBudget(
+            model,
+            plan.parallel.p_tens_decode,
+            plan.parallel.p_pipe_decode,
+            dec_min_mem,
+            r_frac=self.cfg.r_frac,
+        )
+        self.kv_capacity = self.kv_budget.max_cached_tokens()
+        self.kv_used = 0
+
+        # -- queues / flags
+        self.prefill_queue: list[RequestState] = []
+        self.prefill_busy = False
+        self.decode_pending: list[RequestState] = []
+        self.decode_active: list[RequestState] = []
+        self.decode_busy = False
+        self._decode_comm_cache: tuple[int, float] | None = None
+        self._decode_footprints: list[tuple[tuple[int, ...], float]] = []
+        self._decode_iter_counter = 0
+        self._eth_links = np.where(
+            ctx.built.topology.kind_array() == int(LinkKind.ETHERNET)
+        )[0]
+
+    # ------------------------------------------------------------------
+    # communication pricing
+    # ------------------------------------------------------------------
+
+    def _contention(self) -> float:
+        """Smoothed Ethernet utilisation feeding ATP's fallback model.
+
+        Uses the EWMA view (the polled hardware counters), not the
+        instantaneous load, so a single in-flight transfer does not read
+        as full contention.
+        """
+        util = self.ctx.linkstate.ewma_utilization()[self._eth_links]
+        if util.size == 0:
+            return 0.0
+        return float(np.clip(util.mean(), 0.0, 1.0))
+
+    def _phase_comm_time(
+        self,
+        stages: list[list[int]],
+        tokens: int,
+        activation_bytes: int,
+        plan_comm: tuple,
+    ) -> tuple[float, list[tuple[tuple[int, ...], float]]]:
+        """(total sync time, [(links, bytes)]) for one pass.
+
+        With a controller (HeroServe) every group's step is routed
+        through the load-aware policy tables. Without one, the group
+        executes its *plan-time* policy (mode + switch fixed at
+        deployment, as real static systems do), priced at the live link
+        bandwidths.
+        """
+        data = allreduce_bytes(self.model, tokens)
+        steps = sync_steps_per_pass(self.model, len(stages))
+        total = 0.0
+        footprints: list[tuple[tuple[int, ...], float]] = []
+        contention = self._contention()
+        for grp, planned in zip(stages, plan_comm):
+            if self.controller is not None and len(grp) > 1:
+                dec = self.controller.decide(grp, data)
+                step_t, links = dec.step_time, dec.links
+            else:
+                step_t = price_group_step(
+                    self.ctx,
+                    grp,
+                    self.plan.scheme,
+                    planned.mode,
+                    planned.ina_switch,
+                    data,
+                    contention=contention,
+                )
+                links = planned.links
+            total += steps * step_t
+            if links:
+                footprints.append((tuple(links), float(data * steps)))
+        if len(stages) > 1:
+            total += pipeline_sync_time(self.ctx, stages, activation_bytes)
+        return total, footprints
+
+    def _register_pass_load(
+        self,
+        footprints: list[tuple[tuple[int, ...], float]],
+        duration: float,
+    ) -> list[int]:
+        """Register each footprint's mean rate for the pass duration."""
+        handles = []
+        ls = self.ctx.linkstate
+        for links, total_bytes in footprints:
+            rate = total_bytes / max(duration, 1e-9)
+            handles.append(ls.register(list(links), rate))
+        return handles
+
+    def _release(self, handles: list[int]) -> None:
+        for h in handles:
+            self.ctx.linkstate.release(h)
+
+    # ------------------------------------------------------------------
+    # prefill
+    # ------------------------------------------------------------------
+
+    def _on_arrival(self, req: RequestState) -> None:
+        self.prefill_queue.append(req)
+        self._try_start_prefill()
+
+    def _form_prefill_batch(self) -> list[RequestState]:
+        batch: list[RequestState] = []
+        tokens = 0
+        while self.prefill_queue:
+            nxt = self.prefill_queue[0]
+            if batch and (
+                len(batch) >= self.cfg.max_prefill_requests
+                or tokens + nxt.input_len > self.cfg.max_prefill_tokens
+            ):
+                break
+            batch.append(self.prefill_queue.pop(0))
+            tokens += nxt.input_len
+        return batch
+
+    def _try_start_prefill(self) -> None:
+        if self.prefill_busy or not self.prefill_queue:
+            return
+        batch = self._form_prefill_batch()
+        self.prefill_busy = True
+        spec = BatchSpec(
+            tuple(r.input_len for r in batch),
+            tuple(r.output_len for r in batch),
+        )
+        for r in batch:
+            r.phase = RequestPhase.PREFILLING
+            r.prefill_start = self.queue.now
+        t_c = self.bank.group_prefill_time(
+            self._prefill_hw, spec, self.plan.parallel.p_tens_prefill
+        )
+        t_n, footprints = self._phase_comm_time(
+            self.prefill_stages,
+            spec.k_in,
+            prefill_activation_bytes(self.model, spec.k_in),
+            self.plan.prefill.comm,
+        )
+        duration = t_c + t_n
+        handles = self._register_pass_load(footprints, duration)
+        self.metrics.prefill_batches += 1
+        self.queue.schedule(
+            duration, self._prefill_done, batch, spec, handles,
+            tag="prefill_done",
+        )
+
+    def _prefill_done(
+        self,
+        batch: list[RequestState],
+        spec: BatchSpec,
+        handles: list[int],
+    ) -> None:
+        self._release(handles)
+        now = self.queue.now
+        for r in batch:
+            r.first_token_time = now
+            r.phase = RequestPhase.KV_TRANSFER
+        self.prefill_busy = False
+        self._tick_controller()
+        self._try_start_prefill()
+        # KV transfer of the whole batch to the decode cluster.
+        t_f = estimate_kv_transfer_time(
+            self.ctx,
+            self.model,
+            spec.k_in,
+            self.prefill_stages,
+            self.decode_stages,
+        )
+        if t_f > 0:
+            # Register each prefill->decode pair's own byte rate on its
+            # own path (registering the total on the union would multiply
+            # the load by the pair count and poison the contention view).
+            handles = []
+            for links, nbytes in kv_transfer_flows(
+                self.ctx,
+                self.model,
+                spec.k_in,
+                self.prefill_stages,
+                self.decode_stages,
+            ):
+                if links:
+                    handles.append(
+                        self.ctx.linkstate.register(links, nbytes / t_f)
+                    )
+            self.queue.schedule(
+                t_f, self._kv_done, batch, handles, tag="kv_done"
+            )
+        else:
+            self._kv_done(batch, [])
+
+    def _kv_done(self, batch: list[RequestState], handles: list[int]) -> None:
+        self._release(handles)
+        now = self.queue.now
+        for r in batch:
+            r.kv_done_time = now
+            r.phase = RequestPhase.DECODE_WAIT
+            self.decode_pending.append(r)
+        self._try_start_decode()
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+
+    def _admit_decode(self) -> None:
+        """Admit pending requests while KV memory and batch width allow."""
+        while self.decode_pending and len(
+            self.decode_active
+        ) < self.cfg.max_decode_batch:
+            nxt = self.decode_pending[0]
+            if self.kv_used + nxt.kv_tokens > self.kv_capacity:
+                break
+            self.decode_pending.pop(0)
+            self.kv_used += nxt.kv_tokens
+            nxt.phase = RequestPhase.DECODING
+            nxt.decode_start = self.queue.now
+            self.decode_active.append(nxt)
+
+    def _decode_comm_time(self, q: int) -> float:
+        """Cached decode-pass sync time (refreshed periodically)."""
+        self._decode_iter_counter += 1
+        if (
+            self._decode_comm_cache is None
+            or self._decode_comm_cache[0] != q
+            or self._decode_iter_counter % self.cfg.comm_refresh_every == 0
+        ):
+            t_n, self._decode_footprints = self._phase_comm_time(
+                self.decode_stages,
+                q,
+                decode_activation_bytes(self.model, q),
+                self.plan.decode.comm,
+            )
+            self._decode_comm_cache = (q, t_n)
+        return self._decode_comm_cache[1]
+
+    def _try_start_decode(self) -> None:
+        if self.decode_busy:
+            return
+        self._admit_decode()
+        if not self.decode_active:
+            return
+        self.decode_busy = True
+        q = len(self.decode_active)
+        context = sum(
+            r.input_len + r.tokens_generated for r in self.decode_active
+        )
+        t_c = self.bank.group_decode_time(
+            self._decode_hw,
+            q,
+            context,
+            self.plan.parallel.p_tens_decode,
+            self.plan.parallel.p_pipe_decode,
+        )
+        t_n = self._decode_comm_time(q)
+        duration = t_c + t_n
+        handles = self._register_pass_load(self._decode_footprints, duration)
+        self.metrics.decode_iterations += 1
+        self.queue.schedule(
+            duration, self._decode_iter_done, handles, tag="decode_iter"
+        )
+
+    def _decode_iter_done(self, handles: list[int]) -> None:
+        self._release(handles)
+        now = self.queue.now
+        still_active: list[RequestState] = []
+        for r in self.decode_active:
+            r.tokens_generated += 1
+            if r.tokens_generated >= r.output_len:
+                r.finish_time = now
+                r.phase = RequestPhase.FINISHED
+                self.kv_used -= r.kv_tokens
+                self.metrics.record_finish(r)
+            else:
+                still_active.append(r)
+        self.decode_active = still_active
+        self.metrics.record_memory(now, self.kv_used, self.kv_capacity)
+        self.decode_busy = False
+        self._tick_controller()
+        self._try_start_decode()
+
+    # ------------------------------------------------------------------
+    # controller & main loop
+    # ------------------------------------------------------------------
+
+    def _tick_controller(self) -> None:
+        if self.controller is not None:
+            self.controller.tick(self.queue.now)
+        else:
+            # Baselines still poll link counters so EWMA views stay live.
+            self.ctx.linkstate.poll()
+
+    def submit(self, tr) -> RequestState:
+        """Accept one routed request *now* (fleet/router entry point)."""
+        req = RequestState(trace=tr)
+        self._on_arrival(req)
+        return req
+
+    @property
+    def queued_requests(self) -> int:
+        """Requests in flight or waiting on this replica — the router's
+        least-loaded dispatch signal."""
+        return (
+            len(self.prefill_queue)
+            + len(self.decode_pending)
+            + len(self.decode_active)
+            + (1 if self.prefill_busy else 0)
+        )
+
+    def run(self) -> ServingMetrics:
+        """Execute the full trace; returns the filled metrics object."""
+        if self.trace is None:
+            raise ValueError("standalone run() requires a trace")
+        for tr in self.trace:
+            req = RequestState(trace=tr)
+            self.queue.schedule_at(
+                tr.arrival_time, self._on_arrival, req, tag="arrival"
+            )
+        horizon = self.trace.duration + self.cfg.drain_time
+        self.queue.run(until=horizon)
+        return self.metrics

@@ -1,0 +1,125 @@
+"""Replica fleets: several deployments sharing one fabric.
+
+The paper's large-scale setting serves many model instances on one
+cluster; their traffic shares the Ethernet fabric, which is exactly the
+multi-tenant congestion HeroServe's scheduling is built for. A
+:class:`ReplicaFleet` runs several :class:`ServingSimulator` deployments
+on **one** event queue and **one** link-load tracker, so replicas'
+synchronisation, KV transfers and pipeline traffic contend; a
+join-shortest-queue router dispatches arriving requests across the
+active replicas.
+
+The fleet is also the substrate for §VII's "rapid scaling in and out"
+(see :mod:`repro.serving.autoscale`): replicas can be deactivated
+(drained — no new requests routed, in-flight ones finish) and
+reactivated at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serving.engine import ServingSimulator
+from repro.serving.metrics import ServingMetrics
+from repro.sim.eventqueue import EventQueue
+from repro.workloads.traces import Trace, TraceRequest
+
+
+@dataclass
+class FleetMetrics:
+    """Aggregated view over per-replica metrics."""
+
+    per_replica: list[ServingMetrics]
+    routed: list[int]
+
+    def all_finished(self):
+        return [r for m in self.per_replica for r in m.finished]
+
+    @property
+    def n_finished(self) -> int:
+        return sum(m.n_finished for m in self.per_replica)
+
+    def attainment(self) -> float:
+        finished = self.all_finished()
+        if not finished:
+            return 0.0
+        sla = self.per_replica[0].sla
+        ok = sum(r.meets_sla(sla.ttft, sla.tpot) for r in finished)
+        return ok / len(finished)
+
+    def mean_ttft(self) -> float:
+        finished = self.all_finished()
+        if not finished:
+            return float("nan")
+        return sum(r.ttft for r in finished) / len(finished)
+
+    def mean_tpot(self) -> float:
+        finished = self.all_finished()
+        if not finished:
+            return float("nan")
+        return sum(r.tpot for r in finished) / len(finished)
+
+
+@dataclass
+class ReplicaFleet:
+    """Several deployments, one fabric, one clock, one router."""
+
+    replicas: list[ServingSimulator]
+    queue: EventQueue
+    active: list[bool] = field(default_factory=list)
+    routed: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ValueError("fleet needs at least one replica")
+        for sim in self.replicas:
+            if sim.queue is not self.queue:
+                raise ValueError(
+                    "all replicas must share the fleet's event queue"
+                )
+        if not self.active:
+            self.active = [True] * len(self.replicas)
+        if not self.routed:
+            self.routed = [0] * len(self.replicas)
+
+    # -- scaling hooks -----------------------------------------------------
+
+    @property
+    def n_active(self) -> int:
+        return sum(self.active)
+
+    def set_active(self, idx: int, value: bool) -> None:
+        """(De)activate a replica; deactivation drains, never kills."""
+        if not 0 <= idx < len(self.replicas):
+            raise IndexError(f"no replica {idx}")
+        if not value and self.n_active == 1 and self.active[idx]:
+            raise ValueError("cannot deactivate the last active replica")
+        self.active[idx] = value
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, tr: TraceRequest) -> int:
+        """Join-shortest-queue dispatch among active replicas."""
+        candidates = [
+            i for i, a in enumerate(self.active) if a
+        ]
+        idx = min(
+            candidates, key=lambda i: self.replicas[i].queued_requests
+        )
+        self.replicas[idx].submit(tr)
+        self.routed[idx] += 1
+        return idx
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, trace: Trace, drain_time: float = 300.0) -> FleetMetrics:
+        """Replay a trace through the router; returns aggregated metrics."""
+        for tr in trace:
+            self.queue.schedule_at(
+                tr.arrival_time, self.route, tr, tag="fleet_arrival"
+            )
+        self.queue.run(until=trace.duration + drain_time)
+        return FleetMetrics(
+            per_replica=[sim.metrics for sim in self.replicas],
+            routed=list(self.routed),
+        )

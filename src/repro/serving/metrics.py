@@ -1,0 +1,122 @@
+"""Serving metrics: TTFT/TPOT distributions, SLA attainment, memory.
+
+The evaluation quantities of Section V:
+
+* **SLA attainment** — fraction of finished requests meeting both the
+  TTFT and TPOT bounds; the scalability experiments report the maximum
+  per-GPU rate sustaining >= 90 % attainment.
+* **latency** — mean/percentile TTFT and TPOT (Fig. 7b/d, Fig. 8 lower).
+* **memory efficiency** — KV-cache utilisation over time (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.objective import SlaSpec
+from repro.serving.request import RequestState
+
+#: Attainment threshold used throughout the paper's scalability results.
+SLA_ATTAINMENT_TARGET = 0.9
+
+
+@dataclass
+class MemorySample:
+    """One KV-memory occupancy observation."""
+
+    time: float
+    used_tokens: int
+    capacity_tokens: int
+
+    @property
+    def utilization(self) -> float:
+        if self.capacity_tokens <= 0:
+            return float("nan")
+        return self.used_tokens / self.capacity_tokens
+
+
+@dataclass
+class ServingMetrics:
+    """Accumulator filled by the simulator, reduced after the run."""
+
+    sla: SlaSpec
+    finished: list[RequestState] = field(default_factory=list)
+    memory_timeline: list[MemorySample] = field(default_factory=list)
+    #: diagnostic counters
+    prefill_batches: int = 0
+    decode_iterations: int = 0
+    dropped: int = 0
+
+    def record_finish(self, req: RequestState) -> None:
+        self.finished.append(req)
+
+    def record_memory(
+        self, time: float, used_tokens: int, capacity_tokens: int
+    ) -> None:
+        self.memory_timeline.append(
+            MemorySample(time, used_tokens, capacity_tokens)
+        )
+
+    # -- reductions ---------------------------------------------------------
+
+    def _arr(self, attr: str) -> np.ndarray:
+        return np.array([getattr(r, attr) for r in self.finished])
+
+    @property
+    def n_finished(self) -> int:
+        return len(self.finished)
+
+    def attainment(self) -> float:
+        """Fraction of finished requests meeting both SLOs."""
+        if not self.finished:
+            return 0.0
+        ok = sum(
+            r.meets_sla(self.sla.ttft, self.sla.tpot) for r in self.finished
+        )
+        return ok / len(self.finished)
+
+    def mean_ttft(self) -> float:
+        return float(self._arr("ttft").mean()) if self.finished else float("nan")
+
+    def mean_tpot(self) -> float:
+        return float(self._arr("tpot").mean()) if self.finished else float("nan")
+
+    def p90_ttft(self) -> float:
+        if not self.finished:
+            return float("nan")
+        return float(np.percentile(self._arr("ttft"), 90))
+
+    def p90_tpot(self) -> float:
+        if not self.finished:
+            return float("nan")
+        return float(np.percentile(self._arr("tpot"), 90))
+
+    def mean_memory_utilization(self) -> float:
+        if not self.memory_timeline:
+            return float("nan")
+        return float(
+            np.mean([s.utilization for s in self.memory_timeline])
+        )
+
+    def peak_memory_utilization(self) -> float:
+        if not self.memory_timeline:
+            return float("nan")
+        return float(
+            np.max([s.utilization for s in self.memory_timeline])
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict used by the benchmark tables."""
+        return {
+            "finished": float(self.n_finished),
+            "attainment": self.attainment(),
+            "mean_ttft_s": self.mean_ttft(),
+            "p90_ttft_s": self.p90_ttft(),
+            "mean_tpot_s": self.mean_tpot(),
+            "p90_tpot_s": self.p90_tpot(),
+            "mean_mem_util": self.mean_memory_utilization(),
+            "prefill_batches": float(self.prefill_batches),
+            "decode_iterations": float(self.decode_iterations),
+        }

@@ -1,0 +1,84 @@
+"""Per-request lifecycle state inside the serving simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.workloads.traces import TraceRequest
+
+
+class RequestPhase(enum.Enum):
+    """Lifecycle stages of a request in the disaggregated pipeline."""
+
+    QUEUED = "queued"              # waiting for a prefill slot
+    PREFILLING = "prefilling"
+    KV_TRANSFER = "kv_transfer"    # KV cache moving to the decode cluster
+    DECODE_WAIT = "decode_wait"    # waiting for decode KV memory
+    DECODING = "decoding"
+    FINISHED = "finished"
+
+
+@dataclass
+class RequestState:
+    """Mutable tracking record for one in-flight request."""
+
+    trace: TraceRequest
+    phase: RequestPhase = RequestPhase.QUEUED
+    prefill_start: float = field(default=float("nan"))
+    first_token_time: float = field(default=float("nan"))
+    kv_done_time: float = field(default=float("nan"))
+    decode_start: float = field(default=float("nan"))
+    finish_time: float = field(default=float("nan"))
+    tokens_generated: int = 0
+
+    @property
+    def request_id(self) -> int:
+        return self.trace.request_id
+
+    @property
+    def arrival_time(self) -> float:
+        return self.trace.arrival_time
+
+    @property
+    def input_len(self) -> int:
+        return self.trace.input_len
+
+    @property
+    def output_len(self) -> int:
+        return self.trace.output_len
+
+    @property
+    def kv_tokens(self) -> int:
+        """KV-cache tokens this request reserves in the decode cluster.
+
+        Conservative vLLM-style reservation: prompt plus full output, so
+        admission never has to preempt mid-generation.
+        """
+        return self.input_len + self.output_len
+
+    @property
+    def done(self) -> bool:
+        return self.phase == RequestPhase.FINISHED
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def ttft(self) -> float:
+        """Time-to-first-token: arrival -> end of prefill."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def tpot(self) -> float:
+        """Mean time-per-output-token over the decode phase."""
+        n = max(self.output_len - 1, 1)
+        return (self.finish_time - self.first_token_time) / n
+
+    @property
+    def latency(self) -> float:
+        """End-to-end request latency."""
+        return self.finish_time - self.arrival_time
+
+    def meets_sla(self, ttft_sla: float, tpot_sla: float) -> bool:
+        """Whether both latency SLOs were met."""
+        return self.ttft <= ttft_sla and self.tpot <= tpot_sla

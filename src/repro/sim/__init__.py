@@ -1,0 +1,5 @@
+"""Discrete-event simulation kernel used by the serving simulator."""
+
+from repro.sim.eventqueue import Event, EventQueue
+
+__all__ = ["Event", "EventQueue"]

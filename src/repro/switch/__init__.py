@@ -1,0 +1,47 @@
+"""Programmable-switch substrate: dataplane, control plane, INA protocols."""
+
+from repro.switch.control import CounterPoller, SlotAllocator, SlotLease
+from repro.switch.dataplane import (
+    DEFAULT_SCALE_BITS,
+    DEFAULT_SLOT_ELEMENTS,
+    AggregatorSlot,
+    ResultPacket,
+    SlotPoolExhausted,
+    SwitchDataplane,
+    UpdatePacket,
+    dequantize,
+    quantize,
+)
+from repro.switch.protocols import (
+    ATP_FALLBACK_PENALTY,
+    DEFAULT_RTT,
+    AggregationStats,
+    atp_allreduce,
+    atp_time,
+    ina_effective_throughput,
+    switchml_allreduce,
+    switchml_time,
+)
+
+__all__ = [
+    "CounterPoller",
+    "SlotAllocator",
+    "SlotLease",
+    "DEFAULT_SCALE_BITS",
+    "DEFAULT_SLOT_ELEMENTS",
+    "AggregatorSlot",
+    "ResultPacket",
+    "SlotPoolExhausted",
+    "SwitchDataplane",
+    "UpdatePacket",
+    "dequantize",
+    "quantize",
+    "ATP_FALLBACK_PENALTY",
+    "DEFAULT_RTT",
+    "AggregationStats",
+    "atp_allreduce",
+    "atp_time",
+    "ina_effective_throughput",
+    "switchml_allreduce",
+    "switchml_time",
+]

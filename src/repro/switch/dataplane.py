@@ -1,0 +1,228 @@
+"""Programmable-switch dataplane: aggregator slots and exact-match table.
+
+Reproduces the P4 dataplane of Section IV in Python:
+
+* the aggregation memory is a pool of **fixed-size aggregator slots**
+  (vectors of fixed-point integers plus a contribution counter and a
+  seen-worker bitmap),
+* an ``aggregation_table`` — an exact-match table keyed by (job, chunk
+  index) — maps incoming INA update packets to slots,
+* values are carried as fixed-point integers (floats scaled by ``2**s``),
+  so in-switch addition is exact and the result is bit-identical across
+  worker arrival orders — the property SwitchML relies on.
+
+The dataplane is *functional*: it really aggregates NumPy vectors, so
+tests can assert numerical exactness; timing lives in the protocol models
+(:mod:`repro.switch.protocols`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default aggregator entry: 256 x 4-byte integers = 1024 B of payload,
+#: the Table I ``M_ina`` default (SwitchML uses 64-260 element slots).
+DEFAULT_SLOT_ELEMENTS = 256
+
+#: Default fixed-point scaling exponent (values are multiplied by 2**24
+#: and rounded; gradients/activations in [-128, 128) fit int64 exactly).
+DEFAULT_SCALE_BITS = 24
+
+
+class SlotPoolExhausted(RuntimeError):
+    """Raised when an update packet arrives and no slot can be mapped."""
+
+
+@dataclass
+class AggregatorSlot:
+    """One fixed-size aggregation register block in switch SRAM."""
+
+    slot_id: int
+    n_elements: int
+    value: np.ndarray = field(init=False)
+    seen: set[int] = field(default_factory=set)
+    fanout: int = 0
+    #: exact-match key currently installed, or None when free
+    key: tuple | None = None
+
+    def __post_init__(self) -> None:
+        self.value = np.zeros(self.n_elements, dtype=np.int64)
+
+    @property
+    def count(self) -> int:
+        """Contributions received so far (the paper's counter field)."""
+        return len(self.seen)
+
+    def reset(self, key: tuple, fanout: int) -> None:
+        """Re-arm the slot for a new chunk."""
+        self.value[:] = 0
+        self.seen.clear()
+        self.fanout = fanout
+        self.key = key
+
+    def release(self) -> None:
+        """Return the slot to the free pool."""
+        self.key = None
+        self.seen.clear()
+        self.fanout = 0
+
+
+def quantize(x: np.ndarray, scale_bits: int = DEFAULT_SCALE_BITS) -> np.ndarray:
+    """Float -> fixed-point int64 (round-to-nearest)."""
+    scaled = np.rint(np.asarray(x, dtype=np.float64) * (1 << scale_bits))
+    lo, hi = np.iinfo(np.int64).min, np.iinfo(np.int64).max
+    if np.any(scaled > hi) or np.any(scaled < lo):
+        raise OverflowError("value out of fixed-point range; lower scale_bits")
+    return scaled.astype(np.int64)
+
+
+def dequantize(
+    q: np.ndarray, scale_bits: int = DEFAULT_SCALE_BITS
+) -> np.ndarray:
+    """Fixed-point int64 -> float64."""
+    return np.asarray(q, dtype=np.float64) / (1 << scale_bits)
+
+
+@dataclass
+class UpdatePacket:
+    """An INA update from one worker for one chunk of one job."""
+
+    job_id: int
+    chunk_id: int
+    worker_id: int
+    payload: np.ndarray  # int64 fixed-point, length <= slot elements
+
+
+@dataclass
+class ResultPacket:
+    """Broadcast result for a completed chunk."""
+
+    job_id: int
+    chunk_id: int
+    payload: np.ndarray  # int64 fixed-point aggregate
+
+
+class SwitchDataplane:
+    """Slot pool + exact-match aggregation table of one switch ASIC.
+
+    ``n_slots`` bounds the number of chunks that can be in flight
+    simultaneously; this is the resource whose exhaustion throttles
+    synchronous INA throughput for large messages (Fig. 9's regime).
+    """
+
+    def __init__(
+        self,
+        n_slots: int = 512,
+        slot_elements: int = DEFAULT_SLOT_ELEMENTS,
+        scale_bits: int = DEFAULT_SCALE_BITS,
+    ) -> None:
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        if slot_elements < 1:
+            raise ValueError(f"slot_elements >= 1, got {slot_elements}")
+        self.n_slots = n_slots
+        self.slot_elements = slot_elements
+        self.scale_bits = scale_bits
+        self._slots = [
+            AggregatorSlot(i, slot_elements) for i in range(n_slots)
+        ]
+        self._free: list[int] = list(range(n_slots))
+        self._table: dict[tuple, int] = {}
+        # hardware counters the control plane polls
+        self.packets_in = 0
+        self.packets_out = 0
+        self.drops_no_slot = 0
+        self.completions = 0
+
+    # -- datapath ----------------------------------------------------------
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently available for new chunks."""
+        return len(self._free)
+
+    @property
+    def slot_payload_bytes(self) -> int:
+        """Bytes of payload one slot (= one update packet) carries."""
+        return self.slot_elements * 4  # 32-bit wire integers
+
+    def process_update(
+        self, pkt: UpdatePacket, fanout: int
+    ) -> ResultPacket | None:
+        """Handle one update packet.
+
+        Returns the aggregated :class:`ResultPacket` when this packet is
+        the ``fanout``-th distinct contribution for its chunk, otherwise
+        ``None``. Duplicate contributions from the same worker (retransmits)
+        are idempotently ignored, as in the SwitchML shadow-copy design.
+
+        Raises :class:`SlotPoolExhausted` when a new chunk arrives and the
+        pool is empty (the control plane then counts a drop; protocol
+        models translate drops into retransmission delay).
+        """
+        if len(pkt.payload) > self.slot_elements:
+            raise ValueError(
+                f"payload of {len(pkt.payload)} exceeds slot size "
+                f"{self.slot_elements}"
+            )
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        self.packets_in += 1
+        key = (pkt.job_id, pkt.chunk_id)
+        slot_id = self._table.get(key)
+        if slot_id is None:
+            if not self._free:
+                self.drops_no_slot += 1
+                raise SlotPoolExhausted(
+                    f"no free aggregator slot for chunk {key}"
+                )
+            slot_id = self._free.pop()
+            slot = self._slots[slot_id]
+            slot.reset(key, fanout)
+            self._table[key] = slot_id
+        slot = self._slots[slot_id]
+        if slot.fanout != fanout:
+            raise ValueError(
+                f"fanout mismatch on chunk {key}: "
+                f"{slot.fanout} installed, {fanout} in packet"
+            )
+        if pkt.worker_id in slot.seen:
+            return None  # idempotent retransmit
+        slot.seen.add(pkt.worker_id)
+        n = len(pkt.payload)
+        slot.value[:n] += pkt.payload
+        if slot.count == fanout:
+            result = ResultPacket(
+                pkt.job_id, pkt.chunk_id, slot.value[:n].copy()
+            )
+            del self._table[key]
+            slot.release()
+            self._free.append(slot_id)
+            self.completions += 1
+            self.packets_out += fanout  # broadcast to all contributors
+            return result
+        return None
+
+    def pending_chunks(self) -> int:
+        """Chunks currently occupying slots."""
+        return len(self._table)
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the hardware counters (control-plane poll)."""
+        return {
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+            "drops_no_slot": self.drops_no_slot,
+            "completions": self.completions,
+            "pending": self.pending_chunks(),
+            "free_slots": self.free_slots,
+        }
+
+    def reset_counters(self) -> None:
+        """Zero the poll counters (between measurement windows)."""
+        self.packets_in = 0
+        self.packets_out = 0
+        self.drops_no_slot = 0
+        self.completions = 0

@@ -1,0 +1,239 @@
+"""INA protocols on top of the switch dataplane: SwitchML and ATP.
+
+Two baseline in-network-aggregation protocols the paper integrates into
+DistServe (DS-SwitchML, DS-ATP):
+
+* **SwitchML** (Sapio et al., NSDI'21): *synchronous* streaming — the
+  message is chunked to slot size; a fixed window of chunks is in flight;
+  every chunk must be contributed by **all** workers before the switch
+  broadcasts the aggregate and the slot is recycled. Lock-step across
+  workers; throughput is bounded by the slowest worker's link and by the
+  slot window.
+* **ATP** (Lao et al., NSDI'21): *asynchronous* best-effort — workers
+  stream without a global window; when no switch slot is free the chunk
+  **falls back to an end-host parameter server**, costing extra hops.
+  More elastic under multi-tenancy, but fallback traffic adds load on the
+  already-congested Ethernet, which is exactly the degradation the paper
+  measures under bursty traffic.
+
+Both are implemented twice, deliberately:
+
+* a **functional** path that pushes real packets through
+  :class:`~repro.switch.dataplane.SwitchDataplane` and returns the exact
+  aggregated vector (tests assert bit-exactness and fallback accounting);
+* an **analytic timing model** used by the communication-latency
+  estimators and benchmarks, where per-chunk simulation would be too slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.switch.dataplane import (
+    ResultPacket,
+    SlotPoolExhausted,
+    SwitchDataplane,
+    UpdatePacket,
+    dequantize,
+    quantize,
+)
+
+#: Per-packet wire/processing overhead on the worker-switch RTT. The paper
+#: treats in-switch aggregation as ~1 us; NIC+PCIe adds a few microseconds.
+DEFAULT_RTT = 8e-6
+
+#: ATP fallback efficiency: chunks aggregated at an end-host server pay a
+#: second network traversal plus host processing.
+ATP_FALLBACK_PENALTY = 2.5
+
+
+# ---------------------------------------------------------------------------
+# Functional aggregation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AggregationStats:
+    """Accounting from a functional all-reduce run."""
+
+    n_chunks: int
+    switch_chunks: int
+    fallback_chunks: int
+    packets_sent: int
+
+
+def _chunk_bounds(n: int, chunk_elems: int) -> list[tuple[int, int]]:
+    return [(i, min(i + chunk_elems, n)) for i in range(0, n, chunk_elems)]
+
+
+def switchml_allreduce(
+    dataplane: SwitchDataplane,
+    worker_arrays: list[np.ndarray],
+    job_id: int = 0,
+    window: int | None = None,
+) -> tuple[np.ndarray, AggregationStats]:
+    """Synchronous SwitchML all-reduce of ``worker_arrays``.
+
+    Streams chunks through the dataplane with a window no larger than the
+    slot pool; returns the exact element-wise sum (via fixed-point) and
+    packet statistics. All workers proceed in lock-step, mirroring the
+    protocol's synchronous window.
+    """
+    if not worker_arrays:
+        raise ValueError("need at least one worker array")
+    n = len(worker_arrays[0])
+    for w in worker_arrays:
+        if len(w) != n:
+            raise ValueError("worker arrays must have equal length")
+    fanout = len(worker_arrays)
+    window = window or dataplane.n_slots
+    window = min(window, dataplane.n_slots)
+    quants = [quantize(w, dataplane.scale_bits) for w in worker_arrays]
+    bounds = _chunk_bounds(n, dataplane.slot_elements)
+    out_q = np.zeros(n, dtype=np.int64)
+    packets = 0
+    # Process in windows of `window` chunks; within a window, workers send
+    # round-robin (chunk-major) like the real protocol's packet trains.
+    for wstart in range(0, len(bounds), window):
+        batch = bounds[wstart : wstart + window]
+        for ci, (lo, hi) in enumerate(batch, start=wstart):
+            for wid, q in enumerate(quants):
+                pkt = UpdatePacket(job_id, ci, wid, q[lo:hi])
+                res = dataplane.process_update(pkt, fanout)
+                packets += 1
+                if res is not None:
+                    out_q[lo:hi] = res.payload
+    stats = AggregationStats(
+        n_chunks=len(bounds),
+        switch_chunks=len(bounds),
+        fallback_chunks=0,
+        packets_sent=packets,
+    )
+    return dequantize(out_q, dataplane.scale_bits), stats
+
+
+def atp_allreduce(
+    dataplane: SwitchDataplane,
+    worker_arrays: list[np.ndarray],
+    job_id: int = 0,
+) -> tuple[np.ndarray, AggregationStats]:
+    """Asynchronous ATP all-reduce with end-host fallback.
+
+    Workers stream every chunk immediately (no window). When the slot pool
+    is exhausted the chunk is aggregated at an end-host parameter server
+    instead — numerically identical, but counted as a fallback chunk so
+    timing models can charge the extra hops.
+    """
+    if not worker_arrays:
+        raise ValueError("need at least one worker array")
+    n = len(worker_arrays[0])
+    for w in worker_arrays:
+        if len(w) != n:
+            raise ValueError("worker arrays must have equal length")
+    fanout = len(worker_arrays)
+    quants = [quantize(w, dataplane.scale_bits) for w in worker_arrays]
+    bounds = _chunk_bounds(n, dataplane.slot_elements)
+    out_q = np.zeros(n, dtype=np.int64)
+    packets = 0
+    fallback = 0
+    for ci, (lo, hi) in enumerate(bounds):
+        try:
+            result: ResultPacket | None = None
+            for wid, q in enumerate(quants):
+                pkt = UpdatePacket(job_id, ci, wid, q[lo:hi])
+                result = dataplane.process_update(pkt, fanout)
+                packets += 1
+            assert result is not None, "last worker must complete the chunk"
+            out_q[lo:hi] = result.payload
+        except SlotPoolExhausted:
+            # End-host fallback: the parameter server sums this chunk.
+            fallback += 1
+            acc = np.zeros(hi - lo, dtype=np.int64)
+            for q in quants:
+                acc += q[lo:hi]
+                packets += 1
+            out_q[lo:hi] = acc
+    stats = AggregationStats(
+        n_chunks=len(bounds),
+        switch_chunks=len(bounds) - fallback,
+        fallback_chunks=fallback,
+        packets_sent=packets,
+    )
+    return dequantize(out_q, dataplane.scale_bits), stats
+
+
+# ---------------------------------------------------------------------------
+# Analytic timing models
+# ---------------------------------------------------------------------------
+
+def switchml_time(
+    message_bytes: float,
+    worker_bandwidths: np.ndarray,
+    n_slots: int,
+    slot_payload_bytes: int,
+    rtt: float = DEFAULT_RTT,
+    agg_latency: float = 1e-6,
+) -> float:
+    """Completion time of a synchronous SwitchML all-reduce.
+
+    The steady-state per-worker goodput is bounded by (a) the slowest
+    worker's available link bandwidth and (b) the window: at most
+    ``n_slots`` chunks in flight, each taking one RTT to turn around, so
+    window goodput = ``n_slots * slot_payload_bytes / rtt``. Completion
+    adds one pipeline fill (RTT) and the in-switch aggregation constant.
+    """
+    if message_bytes <= 0:
+        return 0.0
+    bw = np.asarray(worker_bandwidths, dtype=np.float64)
+    if bw.size == 0 or np.any(bw <= 0):
+        raise ValueError("worker bandwidths must be positive and non-empty")
+    link_goodput = float(bw.min())
+    window_goodput = n_slots * slot_payload_bytes / rtt
+    goodput = min(link_goodput, window_goodput)
+    return message_bytes / goodput + rtt + agg_latency
+
+
+def atp_time(
+    message_bytes: float,
+    worker_bandwidths: np.ndarray,
+    n_slots: int,
+    slot_payload_bytes: int,
+    rtt: float = DEFAULT_RTT,
+    agg_latency: float = 1e-6,
+    contention: float = 0.0,
+) -> float:
+    """Completion time of an asynchronous ATP all-reduce.
+
+    ATP is not window-limited (asynchronous streaming) but under slot
+    *contention* a fraction of chunks falls back to end-host aggregation,
+    each paying :data:`ATP_FALLBACK_PENALTY` x the in-switch cost.
+    ``contention`` in [0, 1] is the fraction of the slot pool unavailable
+    (other tenants / bursty overlap); the fallback fraction grows once the
+    in-flight demand exceeds the available pool.
+    """
+    if message_bytes <= 0:
+        return 0.0
+    if not 0.0 <= contention <= 1.0:
+        raise ValueError(f"contention in [0,1], got {contention}")
+    bw = np.asarray(worker_bandwidths, dtype=np.float64)
+    if bw.size == 0 or np.any(bw <= 0):
+        raise ValueError("worker bandwidths must be positive and non-empty")
+    link_goodput = float(bw.min())
+    available_slots = max(1.0, (1.0 - contention) * n_slots)
+    # Chunks the protocol wants in flight to saturate the link:
+    demand = link_goodput * rtt / slot_payload_bytes
+    in_switch_frac = min(1.0, available_slots / max(demand, 1e-9))
+    mean_cost = in_switch_frac + (1.0 - in_switch_frac) * ATP_FALLBACK_PENALTY
+    goodput = link_goodput / mean_cost
+    return message_bytes / goodput + rtt + agg_latency
+
+
+def ina_effective_throughput(
+    message_bytes: float,
+    completion_time: float,
+) -> float:
+    """Aggregation goodput (bytes/s) from a message size and its time."""
+    if completion_time <= 0:
+        raise ValueError("completion_time must be > 0")
+    return message_bytes / completion_time

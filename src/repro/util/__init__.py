@@ -1,0 +1,26 @@
+"""Shared utilities: units, seeded RNG, ASCII tables, validation."""
+
+from repro.util import units
+from repro.util.rng import make_rng, spawn
+from repro.util.tables import format_table, print_table, speedup_rows
+from repro.util.validation import (
+    require_divides,
+    require_in_range,
+    require_nonnegative,
+    require_positive,
+    require_type,
+)
+
+__all__ = [
+    "units",
+    "make_rng",
+    "spawn",
+    "format_table",
+    "print_table",
+    "speedup_rows",
+    "require_divides",
+    "require_in_range",
+    "require_nonnegative",
+    "require_positive",
+    "require_type",
+]

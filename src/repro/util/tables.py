@@ -1,0 +1,82 @@
+"""Plain-text result tables for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures show.
+This module renders aligned ASCII tables without any third-party dependency
+so bench output is stable and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out: list[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    floatfmt: str = ".4g",
+) -> None:
+    """Print :func:`format_table` output followed by a blank line."""
+    print(format_table(headers, rows, title=title, floatfmt=floatfmt))
+    print()
+
+
+def speedup_rows(
+    baseline_names: Sequence[str],
+    baseline_values: Sequence[float],
+    ours_name: str,
+    ours_value: float,
+    higher_is_better: bool = True,
+) -> list[list[Any]]:
+    """Build '<ours> vs <baseline>' improvement rows for a metric.
+
+    For throughput-like metrics (``higher_is_better``) the factor is
+    ``ours / baseline``; for latency-like metrics the row reports the
+    relative reduction ``1 - ours / baseline``.
+    """
+    rows: list[list[Any]] = []
+    for name, val in zip(baseline_names, baseline_values):
+        if val <= 0:
+            rows.append([f"{ours_name} vs {name}", float("nan")])
+        elif higher_is_better:
+            rows.append([f"{ours_name} vs {name}", ours_value / val])
+        else:
+            rows.append([f"{ours_name} vs {name}", 1.0 - ours_value / val])
+    return rows

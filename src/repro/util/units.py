@@ -1,0 +1,88 @@
+"""Unit constants and conversion helpers.
+
+Internal conventions for the whole ``repro`` package:
+
+* time is in **seconds**,
+* data sizes are in **bytes**,
+* bandwidths are in **bytes per second**,
+* memory capacities are in **bytes**.
+
+The paper quotes bandwidths in mixed units (600 GB/s NVLink, 100 Gbps
+Ethernet); every external figure is converted through this module exactly
+once, at construction time, so the rest of the code never multiplies by 8 or
+1e9 inline.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Data size units (bytes)
+# ---------------------------------------------------------------------------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+# ---------------------------------------------------------------------------
+# Time units (seconds)
+# ---------------------------------------------------------------------------
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+
+# ---------------------------------------------------------------------------
+# Bandwidth units (bytes / second)
+# ---------------------------------------------------------------------------
+GBPS_BITS = 1e9 / 8.0  # 1 gigabit per second, expressed in bytes/s
+GBPS_BYTES = 1e9       # 1 gigabyte per second, expressed in bytes/s
+
+
+def gbit_per_s(x: float) -> float:
+    """Convert a bandwidth given in gigabits per second to bytes/s."""
+    return x * GBPS_BITS
+
+
+def gbyte_per_s(x: float) -> float:
+    """Convert a bandwidth given in gigabytes per second to bytes/s."""
+    return x * GBPS_BYTES
+
+
+def gib(x: float) -> float:
+    """Convert gibibytes to bytes (GPU memory sizes are binary-prefixed)."""
+    return x * GIB
+
+
+def to_us(seconds: float) -> float:
+    """Express a duration in microseconds (for reporting only)."""
+    return seconds / US
+
+
+def to_ms(seconds: float) -> float:
+    """Express a duration in milliseconds (for reporting only)."""
+    return seconds / MS
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count, decimal prefixes (``1.5 MB``)."""
+    for unit, div in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_bandwidth(bps: float) -> str:
+    """Human-readable bandwidth in the unit the paper uses (Gbps)."""
+    return f"{bps * 8.0 / 1e9:.1f} Gbps"
+
+
+def fmt_seconds(t: float) -> str:
+    """Human-readable duration with an auto-selected unit."""
+    if abs(t) >= 1.0:
+        return f"{t:.3f} s"
+    if abs(t) >= MS:
+        return f"{t / MS:.2f} ms"
+    return f"{t / US:.1f} us"

@@ -1,0 +1,49 @@
+"""Lightweight argument-validation helpers.
+
+These raise early with actionable messages instead of letting a bad
+parameter propagate into NaNs deep inside the planner or the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_nonnegative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_range(
+    name: str, value: float, lo: float, hi: float, inclusive: bool = True
+) -> float:
+    """Raise ``ValueError`` unless ``lo <= value <= hi`` (or strict)."""
+    ok = lo <= value <= hi if inclusive else lo < value < hi
+    if not ok:
+        bounds = f"[{lo}, {hi}]" if inclusive else f"({lo}, {hi})"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def require_type(name: str, value: Any, typ: type) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``typ``."""
+    if not isinstance(value, typ):
+        raise TypeError(
+            f"{name} must be {typ.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def require_divides(name_a: str, a: int, name_b: str, b: int) -> None:
+    """Raise ``ValueError`` unless ``a`` divides ``b`` exactly."""
+    if b % a != 0:
+        raise ValueError(f"{name_a}={a} must divide {name_b}={b}")

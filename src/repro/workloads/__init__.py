@@ -1,0 +1,28 @@
+"""Workload generators: ShareGPT/LongBench-like traces, arrival processes."""
+
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    effective_rate,
+    poisson_arrivals,
+)
+from repro.workloads.longbench import (
+    LongBenchConfig,
+    generate_longbench_trace,
+)
+from repro.workloads.sharegpt import (
+    ShareGPTConfig,
+    generate_sharegpt_trace,
+)
+from repro.workloads.traces import Trace, TraceRequest
+
+__all__ = [
+    "bursty_arrivals",
+    "effective_rate",
+    "poisson_arrivals",
+    "LongBenchConfig",
+    "generate_longbench_trace",
+    "ShareGPTConfig",
+    "generate_sharegpt_trace",
+    "Trace",
+    "TraceRequest",
+]

@@ -1,0 +1,79 @@
+"""Synthetic ShareGPT-like chatbot workload.
+
+The real ShareGPT dataset (user-shared ChatGPT conversations) is not
+redistributable here; the generator below matches the marginal length
+statistics reported for it in the DistServe evaluation (the same usage as
+this paper): prompts are short-to-moderate and heavy-tailed (mean in the
+low hundreds of tokens), responses are conversational (mean ~200-350
+tokens), both well modelled by clipped log-normals. Since only the
+marginal length distributions and arrival process enter every evaluated
+metric, this preserves the experiment's behaviour.
+
+SLA targets from Section V: testbed chatbot 2.5 s TTFT / 0.15 s TPOT;
+large-scale simulation 4 s TTFT / 0.2 s TPOT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.arrivals import bursty_arrivals, poisson_arrivals
+from repro.workloads.traces import Trace, TraceRequest
+
+
+@dataclass(frozen=True)
+class ShareGPTConfig:
+    """Length-distribution knobs of the synthetic chatbot workload."""
+
+    input_median: float = 160.0
+    input_sigma: float = 1.0       # log-normal shape
+    input_min: int = 4
+    input_max: int = 2048
+    output_median: float = 220.0
+    output_sigma: float = 0.8
+    output_min: int = 8
+    output_max: int = 1024
+
+
+def sample_lengths(
+    n: int, cfg: ShareGPTConfig, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``n`` (input, output) token-length pairs."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    ins = rng.lognormal(np.log(cfg.input_median), cfg.input_sigma, size=n)
+    outs = rng.lognormal(np.log(cfg.output_median), cfg.output_sigma, size=n)
+    ins = np.clip(np.rint(ins), cfg.input_min, cfg.input_max).astype(np.int64)
+    outs = np.clip(np.rint(outs), cfg.output_min, cfg.output_max).astype(
+        np.int64
+    )
+    return ins, outs
+
+
+def generate_sharegpt_trace(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    cfg: ShareGPTConfig | None = None,
+    bursty: bool = False,
+    burst_factor: float = 4.0,
+) -> Trace:
+    """Chatbot trace at ``rate`` req/s for ``duration`` seconds.
+
+    ``bursty=True`` switches to the MMPP arrival process with burst
+    periods at ``burst_factor`` x the base rate — the traffic condition
+    under which the paper reports homogeneous-INA congestion collapse.
+    """
+    cfg = cfg or ShareGPTConfig()
+    if bursty:
+        times = bursty_arrivals(rate, rate * burst_factor, duration, rng)
+    else:
+        times = poisson_arrivals(rate, duration, rng)
+    ins, outs = sample_lengths(len(times), cfg, rng)
+    reqs = [
+        TraceRequest(i, float(t), int(l), int(o))
+        for i, (t, l, o) in enumerate(zip(times, ins, outs))
+    ]
+    return Trace(name="sharegpt-chatbot", requests=reqs)

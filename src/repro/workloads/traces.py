@@ -1,0 +1,129 @@
+"""Request traces: containers and statistics.
+
+A trace is a time-ordered list of requests (arrival time, prompt length,
+output length). The paper replays ShareGPT and LongBench with Poisson
+arrival times ("since all the datasets do not include timestamps, we
+generate request arrival times using a Poisson distribution"); our traces
+come from the synthetic generators in :mod:`repro.workloads.sharegpt` /
+:mod:`repro.workloads.longbench`, which match those datasets' published
+length statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.llm.batch import BatchSpec
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One inference request of a workload trace."""
+
+    request_id: int
+    arrival_time: float
+    input_len: int
+    output_len: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+        if self.input_len <= 0:
+            raise ValueError("input_len must be > 0")
+        if self.output_len <= 0:
+            raise ValueError("output_len must be > 0")
+
+
+@dataclass
+class Trace:
+    """A named, time-sorted request trace."""
+
+    name: str
+    requests: list[TraceRequest] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        times = [r.arrival_time for r in self.requests]
+        if any(b < a for a, b in zip(times, times[1:])):
+            self.requests = sorted(
+                self.requests, key=lambda r: r.arrival_time
+            )
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Last arrival time (0 for an empty trace)."""
+        return self.requests[-1].arrival_time if self.requests else 0.0
+
+    @property
+    def mean_rate(self) -> float:
+        """Empirical arrival rate (requests/s)."""
+        if len(self.requests) < 2 or self.duration == 0:
+            return 0.0
+        return len(self.requests) / self.duration
+
+    def input_lengths(self) -> np.ndarray:
+        return np.array([r.input_len for r in self.requests], dtype=np.int64)
+
+    def output_lengths(self) -> np.ndarray:
+        return np.array([r.output_len for r in self.requests], dtype=np.int64)
+
+    def representative_batch(self, q: int) -> BatchSpec:
+        """A planner-input batch of size ``q`` from the trace's means.
+
+        The planner needs a forecast ``BatchSpec`` (Table I's Q, K_in,
+        K_out); the natural forecast is ``q`` requests at the trace's mean
+        lengths, which preserves K_in and K_out exactly and approximates
+        K_in2 from the empirical second moment.
+        """
+        if not self.requests:
+            raise ValueError("empty trace")
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        ins = self.input_lengths()
+        outs = self.output_lengths()
+        # Preserve the second moment: use the RMS input length so that
+        # q * l^2 == q * E[l^2], keeping the attention cost honest.
+        rms_in = int(round(float(np.sqrt(np.mean(ins.astype(float) ** 2)))))
+        mean_out = int(round(float(outs.mean())))
+        return BatchSpec.uniform(q, max(1, rms_in), max(1, mean_out))
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics for reporting."""
+        ins = self.input_lengths().astype(float)
+        outs = self.output_lengths().astype(float)
+        return {
+            "n": float(len(self.requests)),
+            "duration_s": self.duration,
+            "rate_rps": self.mean_rate,
+            "input_mean": float(ins.mean()) if ins.size else 0.0,
+            "input_p50": float(np.median(ins)) if ins.size else 0.0,
+            "input_p95": float(np.percentile(ins, 95)) if ins.size else 0.0,
+            "output_mean": float(outs.mean()) if outs.size else 0.0,
+            "output_p50": float(np.median(outs)) if outs.size else 0.0,
+            "output_p95": float(np.percentile(outs, 95)) if outs.size else 0.0,
+        }
+
+    def rescale_rate(self, new_rate: float) -> "Trace":
+        """Copy of the trace with arrival times scaled to a new mean rate."""
+        if new_rate <= 0:
+            raise ValueError(f"new_rate must be > 0, got {new_rate}")
+        old = self.mean_rate
+        if old == 0:
+            raise ValueError("cannot rescale a trace with zero rate")
+        k = old / new_rate
+        return Trace(
+            name=f"{self.name}@{new_rate:g}rps",
+            requests=[
+                TraceRequest(
+                    r.request_id, r.arrival_time * k, r.input_len, r.output_len
+                )
+                for r in self.requests
+            ],
+        )

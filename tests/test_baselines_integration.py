@@ -1,0 +1,154 @@
+"""Integration: the four systems end-to-end on the testbed.
+
+These tests assert the paper's *qualitative* results at small scale:
+HeroServe leads the baselines on latency under the cross-server
+deployment, and the online scheduler actually routes traffic.
+"""
+
+import pytest
+
+from repro.baselines import (
+    ALL_SYSTEMS,
+    DISTSERVE,
+    DS_SWITCHML,
+    HEROSERVE,
+    SYSTEM_BY_NAME,
+    build_system,
+    make_rate_runner,
+    simulate_trace,
+)
+from repro.core import SLA_TESTBED_CHATBOT
+from repro.core.plan import ParallelConfig
+from repro.llm import OPT_66B, A100, V100, CostModelBank
+from repro.network import build_testbed
+from repro.serving import EngineConfig
+from repro.util.rng import make_rng
+from repro.workloads import generate_sharegpt_trace
+
+FORCED = ParallelConfig(8, 1, 8, 1)  # the paper's cross-server regime
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed()
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return CostModelBank(OPT_66B, {"A100": A100, "V100": V100})
+
+
+@pytest.fixture(scope="module")
+def systems(tb, bank):
+    trace = generate_sharegpt_trace(1.0, 30, make_rng(0))
+    fore = trace.representative_batch(8)
+    return {
+        spec.name: build_system(
+            spec, tb, OPT_66B, bank, SLA_TESTBED_CHATBOT, fore,
+            arrival_rate=1.0, forced_parallel=FORCED,
+        )
+        for spec in ALL_SYSTEMS
+    }
+
+
+@pytest.fixture(scope="module")
+def results(systems):
+    trace = generate_sharegpt_trace(1.0, 60, make_rng(42))
+    return {
+        name: simulate_trace(sys_, trace)
+        for name, sys_ in systems.items()
+    }
+
+
+class TestSpecs:
+    def test_registry(self):
+        assert SYSTEM_BY_NAME["HeroServe"] is HEROSERVE
+        assert len(ALL_SYSTEMS) == 4
+
+    def test_only_heroserve_heterogeneous_online(self):
+        for s in ALL_SYSTEMS:
+            assert s.heterogeneous == (s.name == "HeroServe")
+            assert s.online == (s.name == "HeroServe")
+
+
+class TestPlans:
+    def test_all_plans_built(self, systems):
+        for name, sys_ in systems.items():
+            assert sys_.plan.parallel == FORCED, name
+
+    def test_pools_disjoint_across_phases(self, systems):
+        for sys_ in systems.values():
+            pre = set(sys_.plan.prefill.gpu_ids)
+            dec = set(sys_.plan.decode.gpu_ids)
+            assert not pre & dec
+
+    def test_fresh_context_isolated(self, systems):
+        s = systems["HeroServe"]
+        c1, c2 = s.fresh_context(), s.fresh_context()
+        c1.linkstate.register([0], 1e9)
+        assert c2.linkstate.load()[0] == 0.0
+
+
+class TestPaperOrdering:
+    def test_heroserve_lowest_ttft(self, results):
+        hero = results["HeroServe"].mean_ttft()
+        for name in ("DistServe", "DS-ATP", "DS-SwitchML"):
+            assert hero < results[name].mean_ttft(), name
+
+    def test_heroserve_lowest_tpot(self, results):
+        hero = results["HeroServe"].mean_tpot()
+        for name in ("DistServe", "DS-ATP", "DS-SwitchML"):
+            assert hero <= results[name].mean_tpot() * 1.02, name
+
+    def test_ina_beats_ring_on_ttft(self, results):
+        """Both INA baselines improve on plain ring (Section II-C)."""
+        ring = results["DistServe"].mean_ttft()
+        assert results["DS-SwitchML"].mean_ttft() < ring
+        assert results["DS-ATP"].mean_ttft() < ring
+
+    def test_attainment_ordering(self, results):
+        assert (
+            results["HeroServe"].attainment()
+            >= results["DistServe"].attainment()
+        )
+
+    def test_all_complete(self, results):
+        counts = {m.n_finished for m in results.values()}
+        assert len(counts) == 1  # same trace, all completed
+
+
+class TestOnlineScheduler:
+    def test_controller_engaged(self, systems):
+        """HeroServe's run must exercise the policy tables."""
+        from repro.core import CentralController
+
+        sys_ = systems["HeroServe"]
+        ctx = sys_.fresh_context()
+        controller = CentralController(ctx=ctx, scheme=sys_.spec.scheme)
+        from repro.serving import ServingSimulator
+
+        trace = generate_sharegpt_trace(1.0, 20, make_rng(1))
+        sim = ServingSimulator(
+            ctx=ctx, plan=sys_.plan, model=OPT_66B, bank=sys_.bank,
+            sla=SLA_TESTBED_CHATBOT, trace=trace, controller=controller,
+        )
+        sim.run()
+        assert controller.n_groups() >= 1
+        assert controller.refreshes > 0
+        sched = controller.scheduler_for(sys_.plan.prefill.stages[0])
+        assert sched.table.selections.sum() > 0
+
+
+class TestRateRunner:
+    def test_runner_interface(self, systems):
+        sys_ = systems["DistServe"]
+
+        def trace_at(rate):
+            return generate_sharegpt_trace(rate, 20, make_rng(5))
+
+        run = make_rate_runner(
+            sys_, trace_at, engine_config=EngineConfig(drain_time=120)
+        )
+        metrics, offered = run(0.5)
+        assert offered > 0
+        assert metrics.n_finished <= offered

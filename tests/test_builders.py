@@ -1,0 +1,134 @@
+"""Topology builders: testbed, xtracks clusters, Fig. 2 example."""
+
+import pytest
+
+from repro.network import (
+    ETH_100G,
+    LinkKind,
+    build_fig2_example,
+    build_testbed,
+    build_xtracks_cluster,
+)
+from repro.network.builders import XTRACKS_PRESETS
+from repro.util import units
+
+
+class TestTestbed:
+    def test_gpu_count(self):
+        tb = build_testbed()
+        assert len(tb.topology.gpu_ids()) == 16  # 4 servers x 4 GPUs
+
+    def test_server_specs(self):
+        tb = build_testbed()
+        mems = {
+            tb.topology.nodes[g].memory_bytes
+            for g in tb.topology.gpu_ids()
+        }
+        assert mems == {units.gib(40), units.gib(32)}
+
+    def test_gpu_models_recorded(self):
+        tb = build_testbed()
+        models = set(tb.gpu_models.values())
+        assert models == {"A100", "V100"}
+
+    def test_two_access_switches(self):
+        tb = build_testbed(tracks=2)
+        assert len(tb.access_switches) == 2
+        assert tb.core_switches == []
+
+    def test_cross_connected_ports(self):
+        """GPU g of a server attaches to switch g % tracks."""
+        tb = build_testbed(tracks=2)
+        topo = tb.topology
+        for server, gpus in tb.server_gpus.items():
+            for i, g in enumerate(gpus):
+                eth_neighbors = [
+                    topo.links[lid].dst
+                    for lid in topo.adj[g]
+                    if topo.links[lid].kind == LinkKind.ETHERNET
+                ]
+                assert eth_neighbors == [tb.access_switches[i % 2]]
+
+    def test_intra_server_nvlink_clique(self):
+        tb = build_testbed()
+        topo = tb.topology
+        gpus = tb.server_gpus[0]
+        for i, u in enumerate(gpus):
+            for v in gpus[i + 1 :]:
+                link = topo.find_link(u, v)
+                assert link is not None and link.kind == LinkKind.NVLINK
+
+    def test_validates(self):
+        build_testbed().topology.validate()
+
+    def test_bad_tracks(self):
+        with pytest.raises(ValueError):
+            build_testbed(tracks=0)
+
+    def test_ina_capable_switches(self):
+        tb = build_testbed()
+        assert tb.ina_capable_switches() == tb.access_switches
+
+
+class TestXtracks:
+    @pytest.mark.parametrize("tracks", [2, 8])
+    def test_unit_structure(self, tracks):
+        built = build_xtracks_cluster(tracks, n_units=2)
+        preset = XTRACKS_PRESETS[tracks]
+        n_servers = 2 * preset["servers_per_unit"]
+        assert len(built.topology.servers()) == n_servers
+        assert len(built.access_switches) == 2 * tracks
+
+    def test_core_ratio_2tracks_smaller(self):
+        """2tracks is core-constrained relative to 8tracks (paper V-B)."""
+        c2 = build_xtracks_cluster(2, n_units=4)
+        c8 = build_xtracks_cluster(8, n_units=4)
+        ratio2 = len(c2.access_switches) / max(1, len(c2.core_switches))
+        ratio8 = len(c8.access_switches) / max(1, len(c8.core_switches))
+        assert ratio2 > ratio8
+
+    def test_eight_gpus_per_server(self):
+        built = build_xtracks_cluster(2, n_units=1)
+        for gpus in built.server_gpus.values():
+            assert len(gpus) == 8
+
+    def test_port_striping(self):
+        built = build_xtracks_cluster(2, n_units=1)
+        topo = built.topology
+        gpus = built.server_gpus[0]
+        switches = {
+            topo.links[lid].dst
+            for g in gpus
+            for lid in topo.adj[g]
+            if topo.links[lid].kind == LinkKind.ETHERNET
+        }
+        assert len(switches) == 2  # striped over both unit switches
+
+    def test_validates(self):
+        build_xtracks_cluster(8, n_units=1).topology.validate()
+
+    def test_bad_tracks_rejected(self):
+        with pytest.raises(ValueError):
+            build_xtracks_cluster(3)
+
+    def test_bad_units_rejected(self):
+        with pytest.raises(ValueError):
+            build_xtracks_cluster(2, n_units=0)
+
+
+class TestFig2:
+    def test_shape(self):
+        f = build_fig2_example()
+        assert len(f.topology.gpu_ids()) == 4
+        assert len(f.access_switches) == 2
+        assert len(f.core_switches) == 1
+
+    def test_eth_bandwidth_default(self):
+        f = build_fig2_example()
+        eth = [
+            l for l in f.topology.links if l.kind == LinkKind.ETHERNET
+        ]
+        assert all(l.capacity == ETH_100G for l in eth)
+
+    def test_validates(self):
+        build_fig2_example().topology.validate()

@@ -1,0 +1,99 @@
+"""Candidate generation (Algorithm 1 step 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import generate_candidates, min_gpus_required, phase_configs
+from repro.llm import OPT_66B, OPT_175B, TINY
+from repro.util import units
+
+
+def mems(n, gib):
+    return np.full(n, units.gib(gib))
+
+
+class TestMinGpus:
+    def test_formula(self):
+        m = mems(8, 40)
+        need = min_gpus_required(OPT_66B, m, 0.65)
+        assert need == int(
+            np.ceil(OPT_66B.param_bytes / (units.gib(40) * 0.65))
+        )
+
+    def test_tiny_fits_one(self):
+        assert min_gpus_required(TINY, mems(4, 40), 0.65) == 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            min_gpus_required(TINY, np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            min_gpus_required(TINY, mems(2, 40), 1.5)
+
+
+class TestPhaseConfigs:
+    def test_tp_divides_heads(self):
+        for pt, _ in phase_configs(OPT_66B, 16, mems(16, 40), 0.65):
+            assert OPT_66B.n_heads % pt == 0
+
+    def test_memory_filter(self):
+        """Every returned config's shard fits the given GPUs."""
+        m = mems(8, 40)
+        for pt, pp in phase_configs(OPT_66B, 8, m, 0.65):
+            shard = OPT_66B.param_bytes / (pt * pp)
+            assert shard <= units.gib(40) * 0.65 + 1
+
+    def test_opt66b_tp4_excluded_on_40g(self):
+        cfgs = phase_configs(OPT_66B, 16, mems(16, 40), 0.65)
+        assert (4, 1) not in cfgs   # 51 GB shard demand > 26 GB budget
+        assert (8, 1) in cfgs
+
+    def test_respects_available_count(self):
+        cfgs = phase_configs(OPT_66B, 8, mems(8, 40), 0.65)
+        assert all(pt * pp <= 8 for pt, pp in cfgs)
+
+    def test_sorted_fewest_gpus_first(self):
+        cfgs = phase_configs(OPT_175B, 48, mems(48, 40), 0.65)
+        sizes = [pt * pp for pt, pp in cfgs]
+        assert sizes == sorted(sizes)
+
+    def test_pp_bounded_by_layers(self):
+        cfgs = phase_configs(TINY, 64, mems(64, 40), 0.65, max_pipe=8)
+        assert all(pp <= TINY.n_layers for _, pp in cfgs)
+
+
+class TestGenerateCandidates:
+    def test_cap_respected(self):
+        space = generate_candidates(
+            OPT_66B, mems(16, 40), mems(16, 40), max_candi=5
+        )
+        assert len(space.candidates) <= 5
+
+    def test_stratified_keeps_extremes(self):
+        """Truncation must keep both the smallest and largest configs."""
+        full = generate_candidates(
+            OPT_175B, mems(48, 40), mems(48, 40), max_candi=10_000
+        )
+        capped = generate_candidates(
+            OPT_175B, mems(48, 40), mems(48, 40), max_candi=10
+        )
+        assert capped.candidates[0] == full.candidates[0]
+        assert capped.candidates[-1] == full.candidates[-1]
+
+    def test_empty_when_infeasible(self):
+        """OPT-175B cannot fit on four 40GB GPUs."""
+        space = generate_candidates(OPT_175B, mems(4, 40), mems(4, 40))
+        assert space.candidates == ()
+        assert space.min_gpus_prefill > 4
+
+    def test_min_counts_reported(self):
+        space = generate_candidates(OPT_66B, mems(16, 40), mems(16, 32))
+        # 132 GB of weights over 40 GiB GPUs at r_frac=0.65 -> >= 5 GPUs;
+        # the smaller V100 pool needs at least as many.
+        assert space.min_gpus_prefill >= 5
+        assert space.min_gpus_decode >= space.min_gpus_prefill
+
+    def test_bad_max_candi(self):
+        with pytest.raises(ValueError):
+            generate_candidates(
+                TINY, mems(2, 40), mems(2, 40), max_candi=0
+            )

@@ -1,0 +1,134 @@
+"""Capacity search (max rate under SLA) and background traffic."""
+
+import numpy as np
+import pytest
+
+from repro.core import SLA_TESTBED_CHATBOT
+from repro.network import LinkLoadTracker, build_testbed
+from repro.serving import (
+    BackgroundTraffic,
+    BackgroundTrafficConfig,
+    RatePoint,
+    ServingMetrics,
+    find_max_rate,
+    rate_sweep,
+)
+from repro.serving.request import RequestState
+from repro.sim import EventQueue
+from repro.workloads import TraceRequest
+
+
+def synthetic_runner(capacity: float):
+    """A fake system: attainment is 1 below `capacity`, 0 above."""
+
+    def run(rate: float):
+        m = ServingMetrics(sla=SLA_TESTBED_CHATBOT)
+        n = 50
+        for i in range(n):
+            r = RequestState(TraceRequest(i, float(i), 10, 11))
+            r.first_token_time = r.arrival_time + (
+                0.1 if rate <= capacity else 10.0
+            )
+            r.finish_time = r.first_token_time + 1.0
+            r.phase = r.phase
+            m.record_finish(r)
+        return m, n
+
+    return run
+
+
+class TestFindMaxRate:
+    def test_bisection_converges(self):
+        run = synthetic_runner(capacity=2.0)
+        best, probes = find_max_rate(run, lo=0.5, hi=4.0, iterations=10)
+        assert best == pytest.approx(2.0, abs=0.02)
+        assert len(probes) >= 3
+
+    def test_lo_fails_returns_zero(self):
+        run = synthetic_runner(capacity=0.1)
+        best, _ = find_max_rate(run, lo=0.5, hi=4.0)
+        assert best == 0.0
+
+    def test_hi_passes_returns_hi(self):
+        run = synthetic_runner(capacity=100.0)
+        best, _ = find_max_rate(run, lo=0.5, hi=4.0)
+        assert best == 4.0
+
+    def test_bad_bracket(self):
+        with pytest.raises(ValueError):
+            find_max_rate(synthetic_runner(1.0), lo=2.0, hi=1.0)
+
+    def test_rate_sweep(self):
+        run = synthetic_runner(capacity=2.0)
+        pts = rate_sweep(run, [1.0, 3.0])
+        assert pts[0].attainment == 1.0
+        assert pts[1].attainment == 0.0
+
+    def test_completion_guard(self):
+        """A run that finishes too few requests cannot pass."""
+
+        def run(rate):
+            m = ServingMetrics(sla=SLA_TESTBED_CHATBOT)
+            r = RequestState(TraceRequest(0, 0.0, 10, 11))
+            r.first_token_time = 0.1
+            r.finish_time = 1.0
+            m.record_finish(r)
+            return m, 100  # 1 of 100 finished
+
+        best, _ = find_max_rate(run, lo=0.5, hi=1.0)
+        assert best == 0.0
+
+    def test_rate_point_completion(self):
+        pt = RatePoint(1.0, 1.0, 0.1, 0.01, finished=80, offered=100)
+        assert pt.completion == pytest.approx(0.8)
+
+
+class TestBackgroundTraffic:
+    def test_bursts_register_and_release(self):
+        built = build_testbed()
+        ls = LinkLoadTracker(built.topology)
+        q = EventQueue()
+        bg = BackgroundTraffic(
+            built.topology, ls, q,
+            BackgroundTrafficConfig(mean_gap=0.1, mean_duration=0.05),
+            seed=0,
+        )
+        bg.start(horizon=10.0)
+        q.run()
+        assert bg.bursts_started > 10
+        assert np.allclose(ls.load(), 0.0)  # everything released
+
+    def test_load_present_during_run(self):
+        built = build_testbed()
+        ls = LinkLoadTracker(built.topology)
+        q = EventQueue()
+        bg = BackgroundTraffic(
+            built.topology, ls, q,
+            BackgroundTrafficConfig(
+                mean_gap=0.01, mean_duration=1.0, intensity=0.5
+            ),
+            seed=1,
+        )
+        bg.start(horizon=5.0)
+        q.run(until=2.0)
+        assert ls.load().max() > 0
+
+    def test_intensity_validation(self):
+        built = build_testbed()
+        ls = LinkLoadTracker(built.topology)
+        with pytest.raises(ValueError):
+            BackgroundTraffic(
+                built.topology, ls, EventQueue(),
+                BackgroundTrafficConfig(intensity=1.5),
+            )
+
+    def test_requires_ethernet(self):
+        from repro.network import LinkKind, Topology
+        from repro.util import units
+
+        t = Topology()
+        a = t.add_gpu("a", 0, units.gib(1))
+        b = t.add_gpu("b", 0, units.gib(1))
+        t.add_link(a, b, LinkKind.NVLINK, 1e9)
+        with pytest.raises(ValueError, match="Ethernet"):
+            BackgroundTraffic(t, LinkLoadTracker(t), EventQueue())

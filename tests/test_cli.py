@@ -1,0 +1,50 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "OPT-66B" in out
+        assert "testbed" in out
+
+    def test_plan_hybrid(self, capsys):
+        assert main(["plan", "--scheme", "hybrid", "--rate", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme=hybrid" in out
+        assert "prefill" in out
+
+    def test_plan_ring(self, capsys):
+        assert main(["plan", "--scheme", "ring", "--rate", "0.3"]) == 0
+        assert "scheme=ring" in capsys.readouterr().out
+
+    def test_plan_unknown_model(self):
+        with pytest.raises(KeyError):
+            main(["plan", "--model", "GPT-7"])
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--scheme", "teleportation"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_quickstart_small(self, capsys):
+        assert main(
+            ["quickstart", "--rate", "0.4", "--duration", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "attainment" in out
+
+    def test_compare_small(self, capsys):
+        assert main(
+            ["compare", "--rate", "0.8", "--duration", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        for name in ("DistServe", "DS-ATP", "DS-SwitchML", "HeroServe"):
+            assert name in out

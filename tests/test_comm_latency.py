@@ -1,0 +1,158 @@
+"""Assembled Eq. 5/7 phase-communication estimates and scheme ordering."""
+
+import pytest
+
+from repro.comm import (
+    CommContext,
+    SchemeKind,
+    allreduce_bytes,
+    decode_activation_bytes,
+    estimate_group_step,
+    estimate_phase_comm,
+    pipeline_sync_time,
+    prefill_activation_bytes,
+    stage_boundary_time,
+    sync_steps_per_pass,
+)
+from repro.llm import OPT_66B, TINY
+from repro.network import build_testbed
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed()
+
+
+@pytest.fixture(scope="module")
+def homo(tb):
+    return CommContext.from_built(tb, heterogeneous=False)
+
+
+@pytest.fixture(scope="module")
+def het(tb):
+    return CommContext.from_built(tb, heterogeneous=True)
+
+
+class TestHelpers:
+    def test_sync_steps_two_per_layer(self):
+        assert sync_steps_per_pass(OPT_66B, 1) == 2 * 64
+        assert sync_steps_per_pass(OPT_66B, 4) == 2 * 16
+
+    def test_sync_steps_bad_pipe(self):
+        with pytest.raises(ValueError):
+            sync_steps_per_pass(OPT_66B, 0)
+
+    def test_allreduce_bytes(self):
+        assert allreduce_bytes(OPT_66B, 100) == 100 * 9216 * 2
+
+    def test_activation_bytes(self):
+        assert prefill_activation_bytes(OPT_66B, 10) == 10 * 9216 * 2
+        assert decode_activation_bytes(OPT_66B, 4) == 4 * 9216 * 2
+
+
+class TestSchemeOrdering:
+    """The paper's central comparison at the step level."""
+
+    def test_cross_server_ordering(self, homo, het, tb):
+        g = tb.topology.gpu_ids()[:8]  # 2 A100 servers
+        d = 44e6  # prefill-sized payload
+        t_ring = estimate_group_step(homo, g, d, SchemeKind.RING).step_time
+        t_sml = estimate_group_step(
+            homo, g, d, SchemeKind.INA_SYNC
+        ).step_time
+        t_atp = estimate_group_step(
+            homo, g, d, SchemeKind.INA_ASYNC
+        ).step_time
+        t_hyb = estimate_group_step(het, g, d, SchemeKind.HYBRID).step_time
+        assert t_hyb < t_sml < t_atp < t_ring
+
+    def test_atp_contention_degrades(self, homo, tb):
+        g = tb.topology.gpu_ids()[:8]
+        t0 = estimate_group_step(
+            homo, g, 44e6, SchemeKind.INA_ASYNC, contention=0.0
+        ).step_time
+        t1 = estimate_group_step(
+            homo, g, 44e6, SchemeKind.INA_ASYNC, contention=0.9
+        ).step_time
+        assert t1 > t0
+
+    def test_ina_falls_back_to_ring_when_worse(self, homo, tb):
+        """Eq. 7 argmin: with a tiny slot window, SwitchML's cap makes the
+        ring cheaper and beta must be selected."""
+        g = tb.topology.gpu_ids()[:8]
+        est = estimate_group_step(
+            homo, g, 44e6, SchemeKind.INA_SYNC, n_slots=1, slot_payload=64
+        )
+        assert est.mode == "ring"
+
+    def test_single_gpu_always_ring_zero(self, homo, tb):
+        est = estimate_group_step(
+            homo, tb.topology.gpu_ids()[:1], 1e6, SchemeKind.INA_SYNC
+        )
+        assert est.step_time == 0.0
+
+    def test_links_reported(self, homo, tb):
+        g = tb.topology.gpu_ids()[:8]
+        est = estimate_group_step(homo, g, 1e6, SchemeKind.INA_SYNC)
+        assert len(est.links) > 0
+
+
+class TestPipeline:
+    def test_boundary_min_max(self, homo, tb):
+        g = tb.topology.gpu_ids()
+        senders, receivers = g[:4], g[4:8]
+        t = stage_boundary_time(homo, senders, receivers, 1e6)
+        brute = min(
+            max(homo.path_time(a, k, 1e6) for k in receivers)
+            for a in senders
+        )
+        assert t == pytest.approx(brute)
+
+    def test_empty_stage_rejected(self, homo):
+        with pytest.raises(ValueError):
+            stage_boundary_time(homo, [], [1], 1e6)
+
+    def test_pipeline_sums_boundaries(self, homo, tb):
+        g = tb.topology.gpu_ids()
+        stages = [g[:4], g[4:8], g[8:12]]
+        t = pipeline_sync_time(homo, stages, 1e6)
+        t01 = stage_boundary_time(homo, stages[0], stages[1], 1e6)
+        t12 = stage_boundary_time(homo, stages[1], stages[2], 1e6)
+        assert t == pytest.approx(t01 + t12)
+
+
+class TestPhaseComm:
+    def test_total_includes_steps_and_pipeline(self, homo, tb):
+        g = tb.topology.gpu_ids()
+        stages = [g[:4], g[4:8]]
+        est = estimate_phase_comm(
+            homo, stages, TINY, tokens=128, scheme=SchemeKind.RING
+        )
+        steps = sync_steps_per_pass(TINY, 2)
+        manual = steps * sum(e.step_time for e in est.per_stage)
+        assert est.total_time == pytest.approx(
+            manual + est.pipeline_time
+        )
+
+    def test_single_stage_no_pipeline(self, homo, tb):
+        g = tb.topology.gpu_ids()[:4]
+        est = estimate_phase_comm(
+            homo, [g], TINY, tokens=128, scheme=SchemeKind.RING
+        )
+        assert est.pipeline_time == 0.0
+
+    def test_empty_stages_rejected(self, homo):
+        with pytest.raises(ValueError):
+            estimate_phase_comm(
+                homo, [], TINY, tokens=1, scheme=SchemeKind.RING
+            )
+
+    def test_hybrid_phase_cheaper_cross_server(self, homo, het, tb):
+        g = tb.topology.gpu_ids()[:8]
+        ring = estimate_phase_comm(
+            homo, [g], OPT_66B, tokens=2048, scheme=SchemeKind.RING
+        )
+        hyb = estimate_phase_comm(
+            het, [g], OPT_66B, tokens=2048, scheme=SchemeKind.HYBRID
+        )
+        assert hyb.total_time < ring.total_time

@@ -1,0 +1,127 @@
+"""Discrete-event kernel: ordering, cancellation, bounded runs."""
+
+import pytest
+
+from repro.sim import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(2.0, log.append, "b")
+        q.schedule(1.0, log.append, "a")
+        q.schedule(3.0, log.append, "c")
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        log = []
+        for i in range(5):
+            q.schedule(1.0, log.append, i)
+        q.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [1.5]
+        assert q.now == 1.5
+
+    def test_schedule_at_absolute(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.step()
+        ev = q.schedule_at(5.0, lambda: None)
+        assert ev.time == 5.0
+
+    def test_negative_delay_raises(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_raises(self):
+        q = EventQueue()
+        q.schedule(2.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        q = EventQueue()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                q.schedule(1.0, chain, n + 1)
+
+        q.schedule(0.0, chain, 0)
+        q.run()
+        assert log == [0, 1, 2, 3]
+        assert q.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(1.0, log.append, "x")
+        q.schedule(2.0, log.append, "y")
+        ev.cancel()
+        q.run()
+        assert log == ["y"]
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 2.0
+
+
+class TestBoundedRun:
+    def test_run_until(self):
+        q = EventQueue()
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, log.append, t)
+        q.run(until=2.5)
+        assert log == [1.0, 2.0]
+        assert q.now == 2.5
+        q.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_run_until_advances_clock_when_empty(self):
+        q = EventQueue()
+        q.run(until=10.0)
+        assert q.now == 10.0
+
+    def test_max_events(self):
+        q = EventQueue()
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, log.append, t)
+        q.run(max_events=2)
+        assert log == [1.0, 2.0]
+
+    def test_events_fired_counter(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        q.run()
+        assert q.events_fired == 2
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False

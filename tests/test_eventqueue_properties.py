@@ -1,0 +1,89 @@
+"""Property-based tests of the DES kernel against a reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import EventQueue
+
+# An operation is (delay_or_time, cancel_index_or_None).
+ops_strategy = st.lists(
+    st.tuples(
+        st.floats(0.0, 100.0),
+        st.one_of(st.none(), st.integers(0, 50)),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=ops_strategy)
+    def test_fire_order_matches_sorted_model(self, ops):
+        """Whatever is scheduled up front fires in (time, insertion)
+        order, cancelled events excepted."""
+        q = EventQueue()
+        fired: list[int] = []
+        events = []
+        for i, (delay, _) in enumerate(ops):
+            events.append(
+                q.schedule(delay, fired.append, i)
+            )
+        # Cancel the requested subset.
+        cancelled = set()
+        for i, (_, cancel) in enumerate(ops):
+            if cancel is not None and cancel < len(events):
+                events[cancel].cancel()
+                cancelled.add(cancel)
+        q.run()
+        expected = [
+            i
+            for i, (delay, _) in sorted(
+                enumerate(ops), key=lambda t: (t[1][0], t[0])
+            )
+            if i not in cancelled
+        ]
+        assert fired == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=ops_strategy,
+        cutoff=st.floats(0.0, 100.0),
+    )
+    def test_run_until_is_prefix(self, ops, cutoff):
+        """run(until=t) fires exactly the events with time <= t, and a
+        subsequent run() completes the rest — no loss, no duplication."""
+        q = EventQueue()
+        fired: list[int] = []
+        for i, (delay, _) in enumerate(ops):
+            q.schedule(delay, fired.append, i)
+        q.run(until=cutoff)
+        n_early = len(fired)
+        for i in fired:
+            assert ops[i][0] <= cutoff
+        q.run()
+        assert len(fired) == len(ops)
+        assert sorted(fired) == list(range(len(ops)))
+        # The early prefix stayed a prefix.
+        assert all(
+            ops[i][0] <= cutoff for i in fired[:n_early]
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=ops_strategy)
+    def test_clock_monotone(self, ops):
+        q = EventQueue()
+        stamps: list[float] = []
+        for delay, _ in ops:
+            q.schedule(delay, lambda: stamps.append(q.now))
+        q.run()
+        assert stamps == sorted(stamps)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=ops_strategy)
+    def test_events_fired_counter_exact(self, ops):
+        q = EventQueue()
+        for delay, _ in ops:
+            q.schedule(delay, lambda: None)
+        q.run()
+        assert q.events_fired == len(ops)

@@ -1,0 +1,129 @@
+"""Max-min fair flow allocation: feasibility, fairness, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.flows import (
+    Flow,
+    build_incidence,
+    flow_completion_times,
+    max_min_fair_rates,
+)
+
+
+def mk_flows(paths, demands=None):
+    demands = demands or [float("inf")] * len(paths)
+    return [
+        Flow(flow_id=i, links=tuple(p), demand=d)
+        for i, (p, d) in enumerate(zip(paths, demands))
+    ]
+
+
+class TestBasics:
+    def test_single_flow_gets_capacity(self):
+        flows = mk_flows([[0]])
+        rates = max_min_fair_rates(flows, np.array([10.0]))
+        assert rates[0] == pytest.approx(10.0)
+
+    def test_two_flows_share_equally(self):
+        flows = mk_flows([[0], [0]])
+        rates = max_min_fair_rates(flows, np.array([10.0]))
+        assert np.allclose(rates, [5.0, 5.0])
+
+    def test_demand_cap_respected(self):
+        flows = mk_flows([[0], [0]], demands=[2.0, float("inf")])
+        rates = max_min_fair_rates(flows, np.array([10.0]))
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+    def test_classic_parking_lot(self):
+        """Long flow across both links, one short flow per link."""
+        # link 0 and link 1 capacity 10; flow A uses [0,1], B uses [0], C [1]
+        flows = mk_flows([[0, 1], [0], [1]])
+        rates = max_min_fair_rates(flows, np.array([10.0, 10.0]))
+        assert np.allclose(rates, [5.0, 5.0, 5.0])
+
+    def test_bottleneck_isolation(self):
+        """A flow on an empty link is not throttled by others."""
+        flows = mk_flows([[0], [1], [1]])
+        rates = max_min_fair_rates(flows, np.array([10.0, 4.0]))
+        assert rates[0] == pytest.approx(10.0)
+        assert np.allclose(rates[1:], [2.0, 2.0])
+
+    def test_empty_flow_list(self):
+        assert max_min_fair_rates([], np.array([1.0])).size == 0
+
+    def test_flow_id_mismatch_raises(self):
+        flows = [Flow(flow_id=1, links=(0,))]
+        with pytest.raises(ValueError):
+            max_min_fair_rates(flows, np.array([1.0]))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(flow_id=0, links=())
+
+    def test_bad_link_id_raises(self):
+        flows = mk_flows([[5]])
+        with pytest.raises(ValueError):
+            build_incidence(flows, 2)
+
+
+class TestCompletionTimes:
+    def test_sizes_over_rates(self):
+        flows = mk_flows([[0], [0]])
+        times = flow_completion_times(
+            flows, np.array([10.0, 20.0]), np.array([10.0])
+        )
+        assert times[0] == pytest.approx(2.0)  # 10 bytes at 5 B/s
+        assert times[1] == pytest.approx(4.0)
+
+    def test_shape_mismatch_raises(self):
+        flows = mk_flows([[0]])
+        with pytest.raises(ValueError):
+            flow_completion_times(flows, np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestMaxMinProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_links=st.integers(1, 6),
+        n_flows=st.integers(1, 12),
+        seed=st.integers(0, 10_000),
+    )
+    def test_feasible_and_pareto(self, n_links, n_flows, seed):
+        """No link oversubscribed; every flow crosses a saturated link or
+        meets its demand (max-min optimality certificate)."""
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(1.0, 100.0, size=n_links)
+        paths = []
+        for _ in range(n_flows):
+            k = int(rng.integers(1, n_links + 1))
+            paths.append(
+                list(rng.choice(n_links, size=k, replace=False))
+            )
+        flows = mk_flows(paths)
+        rates = max_min_fair_rates(flows, caps)
+        # Feasibility.
+        load = np.zeros(n_links)
+        for f, r in zip(flows, rates):
+            for lid in f.links:
+                load[lid] += r
+        assert np.all(load <= caps * (1 + 1e-6))
+        # Optimality: each flow is blocked by some saturated link.
+        sat = load >= caps * (1 - 1e-6)
+        for f in flows:
+            assert any(sat[lid] for lid in f.links)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_equal_paths_equal_rates(self, seed):
+        """Flows with identical paths must receive identical rates."""
+        rng = np.random.default_rng(seed)
+        n_links = 4
+        caps = rng.uniform(1.0, 50.0, size=n_links)
+        path = list(rng.choice(n_links, size=2, replace=False))
+        flows = mk_flows([path, path, path])
+        rates = max_min_fair_rates(flows, caps)
+        assert np.allclose(rates, rates[0])

@@ -1,0 +1,106 @@
+"""KV-cache transfer latency (Eqs. 14-15) and pairings."""
+
+import pytest
+
+from repro.comm import CommContext
+from repro.core import estimate_kv_transfer_time, kv_pairings, kv_transfer_flows
+from repro.llm import OPT_66B, TINY
+from repro.network import build_testbed
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed()
+
+
+@pytest.fixture(scope="module")
+def ctx(tb):
+    return CommContext.from_built(tb, heterogeneous=False)
+
+
+class TestPairings:
+    def test_shares_sum_to_one(self):
+        pre = [(0, 1, 2, 3), (4, 5, 6, 7)]
+        dec = [(8, 9), (10, 11), (12, 13)]
+        pairs = kv_pairings(pre, dec)
+        assert sum(s for _, _, s in pairs) == pytest.approx(1.0)
+
+    def test_identical_layouts_one_to_one(self):
+        pre = [(0, 1), (2, 3)]
+        dec = [(8, 9), (10, 11)]
+        pairs = kv_pairings(pre, dec)
+        assert len(pairs) == 4
+        assert all(s == pytest.approx(0.25) for _, _, s in pairs)
+        assert {(p, d) for p, d, _ in pairs} == {
+            (0, 8), (1, 9), (2, 10), (3, 11)
+        }
+
+    def test_tp_mismatch_overlaps(self):
+        """Prefill TP4 -> decode TP2: each decode GPU receives from 2."""
+        pre = [(0, 1, 2, 3)]
+        dec = [(8, 9)]
+        pairs = kv_pairings(pre, dec)
+        receivers = {}
+        for p, d, s in pairs:
+            receivers.setdefault(d, 0.0)
+            receivers[d] += s
+        assert receivers[8] == pytest.approx(0.5)
+        assert receivers[9] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kv_pairings([], [(1,)])
+
+
+class TestTransferTime:
+    def test_positive_cross_cluster(self, ctx, tb):
+        g = tb.topology.gpu_ids()
+        t = estimate_kv_transfer_time(
+            ctx, OPT_66B, 1024, [g[:4]], [g[8:12]]
+        )
+        assert t > 0
+
+    def test_scales_with_kin(self, ctx, tb):
+        g = tb.topology.gpu_ids()
+        t1 = estimate_kv_transfer_time(ctx, OPT_66B, 512, [g[:4]], [g[8:12]])
+        t2 = estimate_kv_transfer_time(ctx, OPT_66B, 2048, [g[:4]], [g[8:12]])
+        assert t2 > t1
+
+    def test_more_decode_tp_parallelises(self, ctx, tb):
+        """Wider decode TP spreads the same bytes over more NICs, but each
+        prefill GPU then serialises more destinations - the net must stay
+        within 2x of the one-to-one case (sanity envelope)."""
+        g = tb.topology.gpu_ids()
+        t_pair = estimate_kv_transfer_time(
+            ctx, OPT_66B, 1024, [g[:4]], [g[8:12]]
+        )
+        t_wide = estimate_kv_transfer_time(
+            ctx, OPT_66B, 1024, [g[:4]], [g[8:16]]
+        )
+        assert t_wide < 2 * t_pair
+
+    def test_zero_kin_rejected(self, ctx, tb):
+        g = tb.topology.gpu_ids()
+        with pytest.raises(ValueError):
+            estimate_kv_transfer_time(ctx, TINY, 0, [g[:2]], [g[8:10]])
+
+
+class TestFlows:
+    def test_flow_paths_valid(self, ctx, tb):
+        g = tb.topology.gpu_ids()
+        flows = kv_transfer_flows(ctx, TINY, 256, [g[:4]], [g[8:12]])
+        assert flows
+        topo = tb.topology
+        for links, nbytes in flows:
+            assert nbytes > 0
+            for a, b in zip(links, links[1:]):
+                assert topo.links[a].dst == topo.links[b].src
+
+    def test_total_bytes_conserved(self, ctx, tb):
+        from repro.llm import kv_bytes_per_token
+
+        g = tb.topology.gpu_ids()
+        k_in = 256
+        flows = kv_transfer_flows(ctx, TINY, k_in, [g[:4]], [g[8:12]])
+        total = sum(b for _, b in flows)
+        assert total == pytest.approx(kv_bytes_per_token(TINY) * k_in)

@@ -1,0 +1,132 @@
+"""Link-load tracker: registration, availability floor, EWMA polling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import LinkLoadTracker, build_testbed
+from repro.network.linkstate import MIN_AVAILABLE_FRACTION
+
+
+@pytest.fixture
+def tracker():
+    return LinkLoadTracker(build_testbed().topology)
+
+
+class TestRegistration:
+    def test_register_reduces_available(self, tracker):
+        before = tracker.available()[0]
+        tracker.register([0], 1e9)
+        assert tracker.available()[0] == pytest.approx(before - 1e9)
+
+    def test_release_restores(self, tracker):
+        before = tracker.available().copy()
+        h = tracker.register([0, 2, 4], 5e8)
+        tracker.release(h)
+        assert np.allclose(tracker.available(), before)
+
+    def test_additive_loads(self, tracker):
+        tracker.register([0], 1e9)
+        tracker.register([0], 2e9)
+        assert tracker.load()[0] == pytest.approx(3e9)
+
+    def test_duplicate_links_in_one_registration(self, tracker):
+        tracker.register([0, 0], 1e9)
+        assert tracker.load()[0] == pytest.approx(2e9)
+
+    def test_release_unknown_handle_raises(self, tracker):
+        with pytest.raises(KeyError):
+            tracker.release(999)
+
+    def test_negative_rate_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.register([0], -1.0)
+
+    def test_bad_link_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.register([10**6], 1.0)
+
+    def test_active_registrations(self, tracker):
+        h = tracker.register([0], 1.0)
+        assert tracker.active_registrations() == 1
+        tracker.release(h)
+        assert tracker.active_registrations() == 0
+
+
+class TestAvailability:
+    def test_floor_never_zero(self, tracker):
+        cap = tracker.capacity[0]
+        tracker.register([0], cap * 10)  # oversubscribe wildly
+        avail = tracker.available()[0]
+        assert avail == pytest.approx(MIN_AVAILABLE_FRACTION * cap)
+
+    def test_utilization_can_exceed_one(self, tracker):
+        cap = tracker.capacity[0]
+        tracker.register([0], 2 * cap)
+        assert tracker.utilization()[0] == pytest.approx(2.0)
+
+    def test_path_bottleneck(self, tracker):
+        tracker.register([0], tracker.capacity[0] * 0.5)
+        b = tracker.path_bottleneck([0, 2])
+        assert b == pytest.approx(
+            min(tracker.available()[0], tracker.available()[2])
+        )
+
+    def test_path_bottleneck_empty(self, tracker):
+        assert tracker.path_bottleneck([]) == float("inf")
+
+    def test_path_max_utilization(self, tracker):
+        cap = tracker.capacity
+        tracker.register([0], 0.5 * cap[0])
+        tracker.register([2], 0.25 * cap[2])
+        assert tracker.path_max_utilization([0, 2]) == pytest.approx(0.5)
+
+    def test_path_max_utilization_empty(self, tracker):
+        assert tracker.path_max_utilization([]) == 0.0
+
+
+class TestPolling:
+    def test_ewma_converges_to_constant_load(self, tracker):
+        cap = tracker.capacity[0]
+        tracker.register([0], 0.4 * cap)
+        for _ in range(50):
+            tracker.poll()
+        assert tracker.ewma_utilization()[0] == pytest.approx(0.4, abs=1e-3)
+
+    def test_ewma_starts_at_zero(self, tracker):
+        assert np.all(tracker.ewma_utilization() == 0.0)
+
+    def test_reset(self, tracker):
+        tracker.register([0], 1e9)
+        tracker.poll()
+        tracker.reset()
+        assert np.all(tracker.load() == 0.0)
+        assert np.all(tracker.ewma_utilization() == 0.0)
+        assert tracker.active_registrations() == 0
+
+    def test_bad_alpha_rejected(self):
+        topo = build_testbed().topology
+        with pytest.raises(ValueError):
+            LinkLoadTracker(topo, ewma_alpha=0.0)
+
+
+class TestRegisterReleaseProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.lists(st.integers(0, 20), min_size=1, max_size=5),
+                st.floats(0.0, 1e9),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_all_released_returns_to_zero(self, ops):
+        """Any register/release sequence fully undone leaves zero load."""
+        tracker = LinkLoadTracker(build_testbed().topology)
+        handles = [tracker.register(links, rate) for links, rate in ops]
+        for h in handles:
+            tracker.release(h)
+        assert np.allclose(tracker.load(), 0.0, atol=1e-3)

@@ -1,0 +1,77 @@
+"""GPU memory model: shards, KV capacity, feasibility."""
+
+import pytest
+
+from repro.llm import (
+    OPT_66B,
+    TINY,
+    MemoryBudget,
+    kv_bytes_per_token,
+    kv_bytes_per_token_per_gpu,
+    min_memory_per_gpu,
+    weight_shard_bytes,
+)
+from repro.util import units
+
+
+class TestShards:
+    def test_weight_shard_divides(self):
+        full = weight_shard_bytes(OPT_66B, 1, 1)
+        assert weight_shard_bytes(OPT_66B, 4, 2) == pytest.approx(full / 8)
+
+    def test_min_memory_formula(self):
+        """Algorithm 1: m_req = R / (pt * pp * r_frac)."""
+        m = min_memory_per_gpu(OPT_66B, 4, 1, 0.65)
+        assert m == pytest.approx(OPT_66B.param_bytes / (4 * 0.65))
+
+    def test_min_memory_bad_rfrac(self):
+        with pytest.raises(ValueError):
+            min_memory_per_gpu(OPT_66B, 1, 1, 1.0)
+
+    def test_kv_bytes_per_token(self):
+        expected = 2 * OPT_66B.n_layers * OPT_66B.hidden_size * 2
+        assert kv_bytes_per_token(OPT_66B) == expected
+
+    def test_kv_per_gpu_divides(self):
+        whole = kv_bytes_per_token(OPT_66B)
+        assert kv_bytes_per_token_per_gpu(OPT_66B, 4, 2) == whole / 8
+
+
+class TestMemoryBudget:
+    def test_opt66b_tp4_on_40gb_infeasible_at_065(self):
+        """The cross-server regime: TP4 shard exceeds 65% of a 40GB A100."""
+        b = MemoryBudget(OPT_66B, 4, 1, units.gib(40), r_frac=0.65)
+        assert not b.feasible
+
+    def test_opt66b_tp8_on_40gb_feasible(self):
+        b = MemoryBudget(OPT_66B, 8, 1, units.gib(40), r_frac=0.65)
+        assert b.feasible
+
+    def test_kv_capacity_positive_when_feasible(self):
+        b = MemoryBudget(OPT_66B, 8, 1, units.gib(40))
+        assert b.max_cached_tokens() > 0
+
+    def test_kv_capacity_zero_when_weights_overflow(self):
+        b = MemoryBudget(OPT_66B, 1, 1, units.gib(40))
+        assert b.kv_capacity_bytes_per_gpu == 0.0
+        assert b.max_cached_tokens() == 0
+
+    def test_more_parallelism_more_tokens(self):
+        t8 = MemoryBudget(OPT_66B, 8, 1, units.gib(40)).max_cached_tokens()
+        t16 = MemoryBudget(OPT_66B, 8, 2, units.gib(40)).max_cached_tokens()
+        assert t16 > t8
+
+    def test_utilization(self):
+        b = MemoryBudget(TINY, 1, 1, units.gib(4))
+        cap = b.max_cached_tokens()
+        assert b.utilization(cap // 2) == pytest.approx(0.5, rel=0.01)
+
+    def test_utilization_no_capacity_is_inf(self):
+        b = MemoryBudget(OPT_66B, 1, 1, units.gib(40))
+        assert b.utilization(10) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(TINY, 1, 1, 0.0)
+        with pytest.raises(ValueError):
+            MemoryBudget(TINY, 1, 1, units.gib(1), r_frac=0.0)

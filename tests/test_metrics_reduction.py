@@ -1,0 +1,72 @@
+"""ServingMetrics reductions and memory-sample arithmetic."""
+
+import math
+
+import pytest
+
+from repro.core import SLA_TESTBED_CHATBOT
+from repro.serving import MemorySample, ServingMetrics
+from repro.serving.request import RequestState
+from repro.workloads import TraceRequest
+
+
+def finished(rid, arrival, ttft, tpot, out_len=11):
+    r = RequestState(TraceRequest(rid, arrival, 100, out_len))
+    r.first_token_time = arrival + ttft
+    r.finish_time = r.first_token_time + tpot * (out_len - 1)
+    return r
+
+
+class TestMemorySample:
+    def test_utilization(self):
+        s = MemorySample(1.0, 50, 200)
+        assert s.utilization == pytest.approx(0.25)
+
+    def test_zero_capacity_nan(self):
+        assert math.isnan(MemorySample(0.0, 0, 0).utilization)
+
+
+class TestReductions:
+    def make(self, ttfts, tpots):
+        m = ServingMetrics(sla=SLA_TESTBED_CHATBOT)
+        for i, (a, b) in enumerate(zip(ttfts, tpots)):
+            m.record_finish(finished(i, float(i), a, b))
+        return m
+
+    def test_means(self):
+        m = self.make([1.0, 3.0], [0.1, 0.2])
+        assert m.mean_ttft() == pytest.approx(2.0)
+        assert m.mean_tpot() == pytest.approx(0.15)
+
+    def test_attainment_counts_both_slos(self):
+        # SLA: ttft 2.5, tpot 0.15.
+        m = self.make(
+            [1.0, 1.0, 3.0, 1.0],
+            [0.1, 0.2, 0.1, 0.1],
+        )
+        # req0 ok, req1 tpot miss, req2 ttft miss, req3 ok.
+        assert m.attainment() == pytest.approx(0.5)
+
+    def test_p90_at_least_median_scale(self):
+        m = self.make([0.1] * 9 + [10.0], [0.01] * 10)
+        assert m.p90_ttft() >= 0.1
+        assert m.p90_ttft() <= 10.0
+
+    def test_memory_stats(self):
+        m = ServingMetrics(sla=SLA_TESTBED_CHATBOT)
+        m.record_memory(0.0, 10, 100)
+        m.record_memory(1.0, 30, 100)
+        assert m.mean_memory_utilization() == pytest.approx(0.2)
+        assert m.peak_memory_utilization() == pytest.approx(0.3)
+
+    def test_empty_memory_nan(self):
+        m = ServingMetrics(sla=SLA_TESTBED_CHATBOT)
+        assert math.isnan(m.mean_memory_utilization())
+        assert math.isnan(m.peak_memory_utilization())
+
+    def test_summary_roundtrip(self):
+        m = self.make([1.0], [0.1])
+        s = m.summary()
+        assert s["finished"] == 1.0
+        assert s["attainment"] == 1.0
+        assert s["mean_ttft_s"] == pytest.approx(1.0)

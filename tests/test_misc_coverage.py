@@ -1,0 +1,61 @@
+"""Remaining small-surface coverage: arrivals helpers, netestimate
+contention passthrough, sim exports."""
+
+import pytest
+
+from repro.comm import CommContext, SchemeKind
+from repro.core import estimate_network_latency
+from repro.llm import OPT_66B
+from repro.network import build_testbed
+from repro.util.rng import make_rng
+from repro.workloads import effective_rate, poisson_arrivals
+
+
+class TestEffectiveRate:
+    def test_matches_poisson(self):
+        times = poisson_arrivals(4.0, 500.0, make_rng(0))
+        assert effective_rate(times, 500.0) == pytest.approx(4.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_rate([], 0.0)
+
+
+class TestNetEstimateContention:
+    def test_contention_reaches_atp_model(self):
+        """estimate_network_latency must forward contention to the
+        per-group ATP pricing: high contention inflates T_n."""
+        built = build_testbed()
+        ctx = CommContext.from_built(built, heterogeneous=False)
+        gpus = built.topology.gpu_ids()[:8]
+        kw = dict(
+            p_tens=8, p_pipe=1, model=OPT_66B, tokens=2048,
+            scheme=SchemeKind.INA_ASYNC, rng=make_rng(0), perturb=False,
+        )
+        t0 = estimate_network_latency(ctx, gpus, contention=0.0, **kw)
+        t1 = estimate_network_latency(ctx, gpus, contention=0.95, **kw)
+        assert t1.t_network >= t0.t_network
+
+    def test_perturb_flag_respected(self):
+        built = build_testbed()
+        ctx = CommContext.from_built(built, heterogeneous=False)
+        gpus = built.topology.gpu_ids()
+        est = estimate_network_latency(
+            ctx, gpus, 4, 2, OPT_66B, tokens=256,
+            scheme=SchemeKind.RING, rng=make_rng(1),
+            perturb=False,
+        )
+        assert len(est.stages) == 2
+
+
+class TestSimExports:
+    def test_module_surface(self):
+        import repro.sim as sim
+
+        assert sim.__all__ == ["Event", "EventQueue"]
+        q = sim.EventQueue()
+        ev = q.schedule(1.0, lambda: None, tag="t")
+        assert isinstance(ev, sim.Event)
+        assert "pending" in repr(ev)
+        ev.cancel()
+        assert "cancelled" in repr(ev)

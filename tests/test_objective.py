@@ -1,0 +1,121 @@
+"""Queueing model and SLA objective (Eq. 1, P-K formula)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SLA_TESTBED_CHATBOT,
+    ServiceEstimate,
+    SlaSpec,
+    evaluate_objective,
+    queueing_delay,
+)
+
+
+def est(tn_p=0.1, tc_p=0.5, tn_d=0.01, tc_d=0.03, tf=0.2, out=100.0):
+    return ServiceEstimate(
+        t_network_prefill=tn_p,
+        t_compute_prefill=tc_p,
+        t_network_decode=tn_d,
+        t_compute_decode=tc_d,
+        t_kv_transfer=tf,
+        mean_output_tokens=out,
+    )
+
+
+class TestQueueing:
+    def test_pk_formula(self):
+        lam, s = 0.5, 1.0
+        rho = lam * s
+        expected = lam * s**2 / (2 * (1 - rho))
+        assert queueing_delay(lam, s) == pytest.approx(expected)
+
+    def test_unstable_infinite(self):
+        assert queueing_delay(1.0, 1.0) == float("inf")
+        assert queueing_delay(2.0, 1.0) == float("inf")
+
+    def test_zero_rate_zero_delay(self):
+        assert queueing_delay(0.0, 5.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            queueing_delay(-1.0, 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lam=st.floats(0.01, 10.0),
+        s=st.floats(0.001, 10.0),
+    )
+    def test_monotone_in_load(self, lam, s):
+        if lam * s >= 0.99:
+            return
+        d1 = queueing_delay(lam, s)
+        d2 = queueing_delay(lam * 1.01, s)
+        assert d2 >= d1
+
+
+class TestServiceEstimate:
+    def test_ttft_eq3(self):
+        e = est()
+        assert e.t_prefill == pytest.approx(0.6)
+
+    def test_tpot_eq4_amortises_kv(self):
+        e = est()
+        assert e.t_decode == pytest.approx(0.01 + 0.03 + 0.2 / 100.0)
+
+    def test_t_serve_eq2(self):
+        e = est()
+        expected = 0.6 + 100 * 0.04 + 0.2
+        assert e.t_serve == pytest.approx(expected)
+
+    def test_kv_amortisation_floor(self):
+        e = est(out=0.5)  # degenerate tiny outputs
+        assert math.isfinite(e.t_decode)
+
+
+class TestEvaluate:
+    def test_sla_pass(self):
+        r = evaluate_objective(
+            est(), 0.1, SLA_TESTBED_CHATBOT, concurrency=32
+        )
+        assert r.sla_ok
+        assert r.scalability > 0
+
+    def test_ttft_violation(self):
+        r = evaluate_objective(
+            est(tc_p=5.0), 0.1, SLA_TESTBED_CHATBOT, concurrency=32
+        )
+        assert not r.sla_ok
+
+    def test_tpot_violation(self):
+        r = evaluate_objective(
+            est(tc_d=0.3), 0.1, SLA_TESTBED_CHATBOT, concurrency=32
+        )
+        assert not r.sla_ok
+
+    def test_unstable_fails(self):
+        r = evaluate_objective(est(), 100.0, SLA_TESTBED_CHATBOT)
+        assert not r.sla_ok
+        assert r.scalability == 0.0
+
+    def test_concurrency_stabilises(self):
+        """Batching width turns an unstable queue into a stable one."""
+        lam = 2.0
+        r1 = evaluate_objective(est(), lam, SLA_TESTBED_CHATBOT, 1)
+        r64 = evaluate_objective(est(), lam, SLA_TESTBED_CHATBOT, 64)
+        assert not r1.sla_ok and r64.sla_ok
+
+    def test_h_is_reciprocal(self):
+        r = evaluate_objective(est(), 0.1, SLA_TESTBED_CHATBOT, 64)
+        assert r.scalability == pytest.approx(1.0 / r.t_request)
+
+    def test_bad_concurrency(self):
+        with pytest.raises(ValueError):
+            evaluate_objective(est(), 0.1, SLA_TESTBED_CHATBOT, 0)
+
+    def test_sla_spec_validation(self):
+        with pytest.raises(ValueError):
+            SlaSpec(ttft=0, tpot=1)

@@ -1,0 +1,107 @@
+"""Plan dataclasses: Table II structure and invariants."""
+
+import pytest
+
+from repro.comm.latency import GroupCommEstimate, SchemeKind
+from repro.core.plan import ParallelConfig, PhasePlan, Plan
+
+
+def est(mode="ina", switch=3, t=1e-3):
+    return GroupCommEstimate(
+        scheme=SchemeKind.INA_SYNC,
+        mode=mode,
+        ina_switch=switch if mode == "ina" else None,
+        step_time=t,
+        links=(0, 1),
+    )
+
+
+class TestParallelConfig:
+    def test_counts(self):
+        p = ParallelConfig(8, 2, 4, 3)
+        assert p.prefill_gpus == 16
+        assert p.decode_gpus == 12
+        assert p.total_gpus == 28
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            ParallelConfig(1, 1, 1, 0)
+
+    def test_str(self):
+        s = str(ParallelConfig(8, 1, 2, 4))
+        assert "TP8" in s and "PP4" in s
+
+    def test_equality(self):
+        assert ParallelConfig(2, 2, 2, 2) == ParallelConfig(2, 2, 2, 2)
+
+
+class TestPhasePlan:
+    def test_gpu_ids_flatten(self):
+        pp = PhasePlan(
+            stages=((1, 2), (3, 4)),
+            comm=(est(), est("ring", None)),
+            t_network=1.0,
+            t_compute=2.0,
+        )
+        assert pp.gpu_ids == (1, 2, 3, 4)
+
+    def test_alpha_beta_complement(self):
+        pp = PhasePlan(
+            stages=((1, 2), (3, 4), (5, 6)),
+            comm=(est("ina"), est("ring", None), est("ina")),
+            t_network=1.0,
+            t_compute=2.0,
+        )
+        assert pp.alpha == (1, 0, 1)
+        assert pp.beta == (0, 1, 0)
+        # Eq. 7: alpha(i) + beta(i) = 1 for plain INA/ring selectors.
+        assert all(a + b == 1 for a, b in zip(pp.alpha, pp.beta))
+
+    def test_ina_switches(self):
+        pp = PhasePlan(
+            stages=((1, 2), (3, 4)),
+            comm=(est("ina", 9), est("ring", None)),
+            t_network=1.0,
+            t_compute=2.0,
+        )
+        assert pp.ina_switches == (9, None)
+
+
+class TestPlan:
+    def make_plan(self):
+        pp = PhasePlan(
+            stages=((1, 2),),
+            comm=(est(),),
+            t_network=0.1,
+            t_compute=0.4,
+        )
+        dp = PhasePlan(
+            stages=((3, 4),),
+            comm=(est("ring", None),),
+            t_network=0.01,
+            t_compute=0.02,
+        )
+        return Plan(
+            parallel=ParallelConfig(2, 1, 2, 1),
+            scheme=SchemeKind.HYBRID,
+            prefill=pp,
+            decode=dp,
+            t_kv_transfer=0.05,
+            t_prefill=0.5,
+            t_decode=0.03,
+            scalability=0.2,
+            planned_rate=0.5,
+        )
+
+    def test_summary_contents(self):
+        s = self.make_plan().summary()
+        assert "hybrid" in s
+        assert "H=0.200" in s
+        assert "prefill GPUs: (1, 2)" in s
+
+    def test_frozen(self):
+        p = self.make_plan()
+        with pytest.raises(AttributeError):
+            p.scalability = 1.0

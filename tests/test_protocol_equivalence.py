@@ -1,0 +1,75 @@
+"""Cross-protocol properties of the functional INA implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch import (
+    SwitchDataplane,
+    atp_allreduce,
+    switchml_allreduce,
+)
+
+
+class TestProtocolEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_workers=st.integers(1, 5),
+        n=st.integers(1, 400),
+        seed=st.integers(0, 1000),
+    )
+    def test_switchml_and_atp_agree(self, n_workers, n, seed):
+        """Synchronous and asynchronous aggregation must produce the
+        same fixed-point result for the same inputs."""
+        rng = np.random.default_rng(seed)
+        arrs = [rng.uniform(-50, 50, size=n) for _ in range(n_workers)]
+        a, _ = switchml_allreduce(
+            SwitchDataplane(n_slots=8, slot_elements=53), arrs
+        )
+        b, _ = atp_allreduce(
+            SwitchDataplane(n_slots=8, slot_elements=53), arrs
+        )
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        slot_elems=st.integers(8, 128),
+    )
+    def test_result_independent_of_chunking(self, seed, slot_elems):
+        """Chunk size (slot payload) must not change the aggregate."""
+        rng = np.random.default_rng(seed)
+        arrs = [rng.normal(size=333) for _ in range(3)]
+        a, _ = switchml_allreduce(
+            SwitchDataplane(n_slots=16, slot_elements=slot_elems), arrs
+        )
+        b, _ = switchml_allreduce(
+            SwitchDataplane(n_slots=16, slot_elements=256), arrs
+        )
+        assert np.allclose(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_result_independent_of_worker_order(self, seed):
+        """Fixed-point commutativity: permuting workers is bit-exact."""
+        rng = np.random.default_rng(seed)
+        arrs = [rng.normal(size=100) for _ in range(4)]
+        a, _ = switchml_allreduce(
+            SwitchDataplane(n_slots=8, slot_elements=32), arrs
+        )
+        b, _ = switchml_allreduce(
+            SwitchDataplane(n_slots=8, slot_elements=32),
+            list(reversed(arrs)),
+        )
+        assert np.array_equal(a, b)
+
+    def test_dataplane_reusable_across_jobs(self):
+        """One dataplane serves consecutive jobs without residue."""
+        dp = SwitchDataplane(n_slots=4, slot_elements=16)
+        x = [np.ones(40), 2 * np.ones(40)]
+        out1, _ = switchml_allreduce(dp, x, job_id=0)
+        out2, _ = switchml_allreduce(dp, x, job_id=1)
+        assert np.allclose(out1, out2)
+        assert dp.pending_chunks() == 0
+        assert dp.free_slots == 4

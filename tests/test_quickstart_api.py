@@ -1,0 +1,68 @@
+"""Top-level package API: exports and the README quickstart path."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_systems_exported(self):
+        assert repro.HEROSERVE.name == "HeroServe"
+        assert len(repro.ALL_SYSTEMS) == 4
+
+    def test_subpackage_alls_resolve(self):
+        import repro.baselines
+        import repro.comm
+        import repro.core
+        import repro.llm
+        import repro.network
+        import repro.serving
+        import repro.switch
+        import repro.util
+        import repro.workloads
+
+        for mod in (
+            repro.baselines,
+            repro.comm,
+            repro.core,
+            repro.llm,
+            repro.network,
+            repro.serving,
+            repro.switch,
+            repro.util,
+            repro.workloads,
+        ):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"
+
+
+class TestQuickstart:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return repro.quick_testbed(rate=0.5, duration=20.0, seed=1)
+
+    def test_returns_system_and_metrics(self, result):
+        system, metrics = result
+        assert system.spec.name == "HeroServe"
+        assert metrics.n_finished > 0
+
+    def test_metrics_sane(self, result):
+        _, metrics = result
+        s = metrics.summary()
+        assert 0.0 <= s["attainment"] <= 1.0
+        assert s["mean_ttft_s"] > 0
+        assert s["mean_tpot_s"] > 0
+
+    def test_plan_uses_testbed_gpus(self, result):
+        system, _ = result
+        gpus = set(system.plan.prefill.gpu_ids) | set(
+            system.plan.decode.gpu_ids
+        )
+        assert gpus <= set(system.built.topology.gpu_ids())

@@ -1,0 +1,112 @@
+"""Seeded RNG helpers, ASCII tables, and validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import choice_without_replacement, make_rng, spawn
+from repro.util.tables import format_table, speedup_rows
+from repro.util.validation import (
+    require_divides,
+    require_in_range,
+    require_nonnegative,
+    require_positive,
+    require_type,
+)
+
+
+class TestRng:
+    def test_default_seed_deterministic(self):
+        a = make_rng().integers(0, 1000, size=10)
+        b = make_rng().integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        a = make_rng(42).random()
+        b = make_rng(42).random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_spawn_independent(self):
+        children = spawn(make_rng(0), 3)
+        vals = [c.random() for c in children]
+        assert len(set(vals)) == 3
+
+    def test_spawn_deterministic(self):
+        v1 = [c.random() for c in spawn(make_rng(0), 2)]
+        v2 = [c.random() for c in spawn(make_rng(0), 2)]
+        assert v1 == v2
+
+    def test_choice_without_replacement(self):
+        got = choice_without_replacement(make_rng(0), range(10), 5)
+        assert len(got) == len(set(got)) == 5
+
+    def test_choice_too_many_raises(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(make_rng(0), [1, 2], 3)
+
+
+class TestTables:
+    def test_basic_render(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [3, 4.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, sep, 2 rows
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789]], floatfmt=".2f")
+        assert "1.23" in out
+
+    def test_speedup_rows_higher_better(self):
+        rows = speedup_rows(["base"], [2.0], "ours", 3.0)
+        assert rows[0][1] == pytest.approx(1.5)
+
+    def test_speedup_rows_lower_better(self):
+        rows = speedup_rows(
+            ["base"], [2.0], "ours", 1.0, higher_is_better=False
+        )
+        assert rows[0][1] == pytest.approx(0.5)  # 50% reduction
+
+    def test_speedup_rows_zero_baseline(self):
+        rows = speedup_rows(["base"], [0.0], "ours", 1.0)
+        assert np.isnan(rows[0][1])
+
+
+class TestValidation:
+    def test_require_positive_ok(self):
+        assert require_positive("x", 1.0) == 1.0
+
+    def test_require_positive_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            require_positive("x", 0)
+
+    def test_require_nonnegative(self):
+        assert require_nonnegative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            require_nonnegative("x", -1)
+
+    def test_require_in_range_inclusive(self):
+        assert require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_require_in_range_exclusive(self):
+        with pytest.raises(ValueError):
+            require_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_require_type(self):
+        assert require_type("x", 3, int) == 3
+        with pytest.raises(TypeError):
+            require_type("x", "s", int)
+
+    def test_require_divides(self):
+        require_divides("a", 4, "b", 12)
+        with pytest.raises(ValueError):
+            require_divides("a", 5, "b", 12)

@@ -1,0 +1,158 @@
+"""Serving simulator: lifecycle, conservation, memory, SLA accounting."""
+
+import math
+
+import pytest
+
+from repro.baselines import DISTSERVE, HEROSERVE, build_system, simulate_trace
+from repro.core import SLA_TESTBED_CHATBOT
+from repro.llm import OPT_66B, A100, V100, CostModelBank
+from repro.network import build_testbed
+from repro.serving import EngineConfig, RequestPhase
+from repro.serving.request import RequestState
+from repro.util.rng import make_rng
+from repro.workloads import Trace, TraceRequest, generate_sharegpt_trace
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed()
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return CostModelBank(OPT_66B, {"A100": A100, "V100": V100})
+
+
+@pytest.fixture(scope="module")
+def hero(tb, bank):
+    trace = generate_sharegpt_trace(0.5, 30, make_rng(0))
+    return build_system(
+        HEROSERVE, tb, OPT_66B, bank, SLA_TESTBED_CHATBOT,
+        trace.representative_batch(8), arrival_rate=0.5,
+    )
+
+
+class TestRequestState:
+    def test_metrics(self):
+        r = RequestState(TraceRequest(0, 10.0, 100, 21))
+        r.first_token_time = 11.0
+        r.finish_time = 15.0
+        assert r.ttft == pytest.approx(1.0)
+        assert r.tpot == pytest.approx(4.0 / 20)
+        assert r.latency == pytest.approx(5.0)
+        assert r.kv_tokens == 121
+
+    def test_meets_sla(self):
+        r = RequestState(TraceRequest(0, 0.0, 10, 11))
+        r.first_token_time = 1.0
+        r.finish_time = 2.0
+        assert r.meets_sla(1.5, 0.2)
+        assert not r.meets_sla(0.5, 0.2)
+        assert not r.meets_sla(1.5, 0.05)
+
+
+class TestLifecycle:
+    def test_all_requests_finish(self, hero):
+        trace = generate_sharegpt_trace(0.5, 30, make_rng(1))
+        m = simulate_trace(hero, trace)
+        assert m.n_finished == len(trace)
+
+    def test_request_timestamps_ordered(self, hero):
+        trace = generate_sharegpt_trace(0.5, 30, make_rng(2))
+        m = simulate_trace(hero, trace)
+        for r in m.finished:
+            assert r.arrival_time <= r.prefill_start
+            assert r.prefill_start <= r.first_token_time
+            assert r.first_token_time <= r.kv_done_time
+            assert r.kv_done_time <= r.decode_start
+            assert r.decode_start < r.finish_time
+            assert r.phase == RequestPhase.FINISHED
+
+    def test_tokens_generated_equals_output(self, hero):
+        trace = generate_sharegpt_trace(0.5, 20, make_rng(3))
+        m = simulate_trace(hero, trace)
+        for r in m.finished:
+            assert r.tokens_generated == r.output_len
+
+    def test_deterministic(self, hero):
+        trace = generate_sharegpt_trace(0.5, 20, make_rng(4))
+        m1 = simulate_trace(hero, trace)
+        m2 = simulate_trace(hero, trace)
+        assert m1.summary() == m2.summary()
+
+    def test_memory_never_exceeds_capacity(self, hero):
+        trace = generate_sharegpt_trace(1.5, 30, make_rng(5))
+        m = simulate_trace(hero, trace)
+        for s in m.memory_timeline:
+            assert 0 <= s.used_tokens <= s.capacity_tokens
+
+    def test_memory_returns_to_zero(self, hero):
+        trace = generate_sharegpt_trace(0.5, 20, make_rng(6))
+        m = simulate_trace(hero, trace)
+        assert m.memory_timeline[-1].used_tokens == 0
+
+    def test_counters_consistent(self, hero):
+        trace = generate_sharegpt_trace(0.5, 20, make_rng(7))
+        m = simulate_trace(hero, trace)
+        total_tokens = sum(r.output_len for r in m.finished)
+        # Each decode iteration emits >= 1 token.
+        assert m.decode_iterations <= total_tokens
+        assert m.prefill_batches <= len(trace)
+
+
+class TestBatching:
+    def test_prefill_token_budget(self, tb, bank):
+        """A tiny token budget forces one request per prefill batch."""
+        trace = Trace(
+            "t",
+            [TraceRequest(i, 0.0, 400, 4) for i in range(4)],
+        )
+        sys_ = build_system(
+            DISTSERVE, tb, OPT_66B, bank, SLA_TESTBED_CHATBOT,
+            trace.representative_batch(4), arrival_rate=0.1,
+        )
+        cfg = EngineConfig(max_prefill_tokens=500, drain_time=600)
+        m = simulate_trace(sys_, trace, engine_config=cfg)
+        assert m.prefill_batches == 4
+
+    def test_oversize_request_still_served(self, tb, bank):
+        """A single request larger than the token budget must not wedge."""
+        trace = Trace("t", [TraceRequest(0, 0.0, 900, 4)])
+        sys_ = build_system(
+            DISTSERVE, tb, OPT_66B, bank, SLA_TESTBED_CHATBOT,
+            trace.representative_batch(1), arrival_rate=0.1,
+        )
+        cfg = EngineConfig(max_prefill_tokens=500, drain_time=600)
+        m = simulate_trace(sys_, trace, engine_config=cfg)
+        assert m.n_finished == 1
+
+
+class TestMetricsReduction:
+    def test_attainment_range(self, hero):
+        trace = generate_sharegpt_trace(1.0, 30, make_rng(8))
+        m = simulate_trace(hero, trace)
+        assert 0.0 <= m.attainment() <= 1.0
+
+    def test_empty_metrics_nan(self, hero):
+        from repro.serving import ServingMetrics
+
+        m = ServingMetrics(sla=SLA_TESTBED_CHATBOT)
+        assert m.attainment() == 0.0
+        assert math.isnan(m.mean_ttft())
+
+    def test_percentiles_ordered(self, hero):
+        trace = generate_sharegpt_trace(1.0, 40, make_rng(9))
+        m = simulate_trace(hero, trace)
+        assert m.p90_ttft() >= 0
+        assert m.p90_tpot() >= 0
+        assert m.p90_ttft() >= m.mean_ttft() * 0.3  # sanity
+
+    def test_summary_keys(self, hero):
+        trace = generate_sharegpt_trace(0.5, 20, make_rng(10))
+        s = simulate_trace(hero, trace).summary()
+        for k in (
+            "finished", "attainment", "mean_ttft_s", "mean_tpot_s",
+            "mean_mem_util",
+        ):
+            assert k in s

@@ -1,0 +1,130 @@
+"""Switch dataplane: slots, exact-match table, fixed-point exactness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch import (
+    SlotPoolExhausted,
+    SwitchDataplane,
+    UpdatePacket,
+    dequantize,
+    quantize,
+)
+
+
+def push(dp, job, chunk, worker, payload, fanout):
+    return dp.process_update(
+        UpdatePacket(job, chunk, worker, payload), fanout
+    )
+
+
+class TestQuantization:
+    def test_roundtrip(self):
+        x = np.array([0.5, -1.25, 3.0])
+        assert np.allclose(dequantize(quantize(x)), x)
+
+    def test_sum_exactness(self):
+        """Fixed-point addition is exact: order of workers is irrelevant."""
+        rng = np.random.default_rng(0)
+        xs = [rng.normal(size=100) for _ in range(8)]
+        qs = [quantize(x) for x in xs]
+        total_fwd = sum(qs[i] for i in range(8))
+        total_rev = sum(qs[i] for i in reversed(range(8)))
+        assert np.array_equal(total_fwd, total_rev)
+
+    def test_overflow_detected(self):
+        with pytest.raises(OverflowError):
+            quantize(np.array([1e30]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    def test_quantize_error_bound(self, values):
+        x = np.array(values)
+        err = np.abs(dequantize(quantize(x)) - x)
+        assert np.all(err <= 2.0 ** -24)
+
+
+class TestAggregation:
+    def test_basic_aggregate(self):
+        dp = SwitchDataplane(n_slots=4, slot_elements=8)
+        a = quantize(np.arange(8.0))
+        b = quantize(np.ones(8))
+        assert push(dp, 0, 0, 0, a, 2) is None
+        res = push(dp, 0, 0, 1, b, 2)
+        assert res is not None
+        assert np.array_equal(res.payload, a + b)
+
+    def test_slot_recycled_after_completion(self):
+        dp = SwitchDataplane(n_slots=1, slot_elements=4)
+        p = quantize(np.ones(4))
+        push(dp, 0, 0, 0, p, 1)  # fanout 1 completes immediately
+        assert dp.free_slots == 1
+        push(dp, 0, 1, 0, p, 1)  # next chunk reuses the slot
+        assert dp.free_slots == 1
+
+    def test_duplicate_worker_idempotent(self):
+        dp = SwitchDataplane(n_slots=2, slot_elements=4)
+        p = quantize(np.ones(4))
+        push(dp, 0, 0, 0, p, 2)
+        assert push(dp, 0, 0, 0, p, 2) is None  # retransmit ignored
+        res = push(dp, 0, 0, 1, p, 2)
+        assert np.array_equal(res.payload, 2 * quantize(np.ones(4)))
+
+    def test_pool_exhaustion(self):
+        dp = SwitchDataplane(n_slots=1, slot_elements=4)
+        p = quantize(np.ones(4))
+        push(dp, 0, 0, 0, p, 2)  # occupies the only slot (incomplete)
+        with pytest.raises(SlotPoolExhausted):
+            push(dp, 0, 1, 0, p, 2)
+        assert dp.drops_no_slot == 1
+
+    def test_separate_jobs_separate_slots(self):
+        dp = SwitchDataplane(n_slots=2, slot_elements=4)
+        p = quantize(np.ones(4))
+        push(dp, 0, 0, 0, p, 2)
+        push(dp, 1, 0, 0, p, 2)
+        assert dp.pending_chunks() == 2
+
+    def test_fanout_mismatch_rejected(self):
+        dp = SwitchDataplane(n_slots=2, slot_elements=4)
+        p = quantize(np.ones(4))
+        push(dp, 0, 0, 0, p, 2)
+        with pytest.raises(ValueError, match="fanout"):
+            push(dp, 0, 0, 1, p, 3)
+
+    def test_oversize_payload_rejected(self):
+        dp = SwitchDataplane(n_slots=1, slot_elements=4)
+        with pytest.raises(ValueError):
+            push(dp, 0, 0, 0, quantize(np.ones(5)), 2)
+
+    def test_partial_final_chunk(self):
+        dp = SwitchDataplane(n_slots=1, slot_elements=8)
+        p = quantize(np.ones(3))
+        res = push(dp, 0, 0, 0, p, 1)
+        assert len(res.payload) == 3
+
+
+class TestCounters:
+    def test_counters_track_traffic(self):
+        dp = SwitchDataplane(n_slots=2, slot_elements=4)
+        p = quantize(np.ones(4))
+        push(dp, 0, 0, 0, p, 2)
+        push(dp, 0, 0, 1, p, 2)
+        c = dp.counters()
+        assert c["packets_in"] == 2
+        assert c["completions"] == 1
+        assert c["packets_out"] == 2  # broadcast to both contributors
+
+    def test_reset_counters(self):
+        dp = SwitchDataplane(n_slots=2, slot_elements=4)
+        push(dp, 0, 0, 0, quantize(np.ones(4)), 1)
+        dp.reset_counters()
+        assert dp.counters()["packets_in"] == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SwitchDataplane(n_slots=0)
+        with pytest.raises(ValueError):
+            SwitchDataplane(slot_elements=0)

@@ -1,0 +1,158 @@
+"""SwitchML / ATP protocols: functional exactness and timing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch import (
+    SwitchDataplane,
+    UpdatePacket,
+    atp_allreduce,
+    atp_time,
+    ina_effective_throughput,
+    quantize,
+    switchml_allreduce,
+    switchml_time,
+)
+
+
+class TestSwitchMLFunctional:
+    def test_exact_sum(self):
+        rng = np.random.default_rng(1)
+        arrs = [rng.normal(size=500) for _ in range(4)]
+        dp = SwitchDataplane(n_slots=8, slot_elements=64)
+        out, stats = switchml_allreduce(dp, arrs)
+        assert np.allclose(out, sum(arrs), atol=1e-6)
+        assert stats.fallback_chunks == 0
+
+    def test_window_smaller_than_chunks(self):
+        rng = np.random.default_rng(2)
+        arrs = [rng.normal(size=1000) for _ in range(3)]
+        dp = SwitchDataplane(n_slots=2, slot_elements=32)
+        out, stats = switchml_allreduce(dp, arrs, window=2)
+        assert np.allclose(out, sum(arrs), atol=1e-6)
+        assert stats.n_chunks == int(np.ceil(1000 / 32))
+
+    def test_packet_count(self):
+        arrs = [np.ones(64) for _ in range(4)]
+        dp = SwitchDataplane(n_slots=4, slot_elements=32)
+        _, stats = switchml_allreduce(dp, arrs)
+        assert stats.packets_sent == stats.n_chunks * 4
+
+    def test_single_worker(self):
+        dp = SwitchDataplane(n_slots=4, slot_elements=32)
+        out, _ = switchml_allreduce(dp, [np.arange(10.0)])
+        assert np.allclose(out, np.arange(10.0))
+
+    def test_mismatched_lengths_rejected(self):
+        dp = SwitchDataplane()
+        with pytest.raises(ValueError):
+            switchml_allreduce(dp, [np.ones(4), np.ones(5)])
+
+    def test_empty_worker_list_rejected(self):
+        with pytest.raises(ValueError):
+            switchml_allreduce(SwitchDataplane(), [])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_workers=st.integers(1, 6),
+        n=st.integers(1, 300),
+        seed=st.integers(0, 1000),
+    )
+    def test_exactness_property(self, n_workers, n, seed):
+        rng = np.random.default_rng(seed)
+        arrs = [rng.uniform(-10, 10, size=n) for _ in range(n_workers)]
+        dp = SwitchDataplane(n_slots=4, slot_elements=37)
+        out, _ = switchml_allreduce(dp, arrs)
+        assert np.allclose(out, np.sum(arrs, axis=0), atol=1e-5)
+
+
+class TestATPFunctional:
+    def test_exact_sum_no_contention(self):
+        rng = np.random.default_rng(3)
+        arrs = [rng.normal(size=400) for _ in range(4)]
+        dp = SwitchDataplane(n_slots=64, slot_elements=64)
+        out, stats = atp_allreduce(dp, arrs)
+        assert np.allclose(out, sum(arrs), atol=1e-6)
+        assert stats.fallback_chunks == 0
+
+    def test_fallback_under_slot_contention(self):
+        """Slots held by another tenant force end-host fallback — and the
+        result must still be exact."""
+        dp = SwitchDataplane(n_slots=2, slot_elements=32)
+        # Another job occupies both slots with incomplete chunks.
+        blocker = quantize(np.ones(32))
+        dp.process_update(UpdatePacket(99, 0, 0, blocker), 2)
+        dp.process_update(UpdatePacket(99, 1, 0, blocker), 2)
+        rng = np.random.default_rng(4)
+        arrs = [rng.normal(size=128) for _ in range(3)]
+        out, stats = atp_allreduce(dp, arrs, job_id=1)
+        assert stats.fallback_chunks == stats.n_chunks  # all fell back
+        assert np.allclose(out, sum(arrs), atol=1e-6)
+
+    def test_stats_add_up(self):
+        dp = SwitchDataplane(n_slots=64, slot_elements=64)
+        arrs = [np.ones(256) for _ in range(2)]
+        _, stats = atp_allreduce(dp, arrs)
+        assert stats.switch_chunks + stats.fallback_chunks == stats.n_chunks
+
+
+class TestTimingModels:
+    def test_switchml_link_bound(self):
+        """Large window: goodput equals the slowest link."""
+        t = switchml_time(
+            1e8, np.array([12.5e9, 10e9]), n_slots=10_000,
+            slot_payload_bytes=1024,
+        )
+        assert 1e8 / t == pytest.approx(10e9, rel=0.01)
+
+    def test_switchml_window_bound(self):
+        """Tiny window: goodput equals slots * payload / RTT."""
+        t = switchml_time(
+            1e8, np.array([12.5e9]), n_slots=8, slot_payload_bytes=1024,
+            rtt=8e-6,
+        )
+        expected = 8 * 1024 / 8e-6
+        assert 1e8 / t == pytest.approx(expected, rel=0.01)
+
+    def test_switchml_zero_message(self):
+        assert switchml_time(0, np.array([1e9]), 8, 1024) == 0.0
+
+    def test_switchml_monotone_in_size(self):
+        bw = np.array([12.5e9])
+        t1 = switchml_time(1e6, bw, 128, 1024)
+        t2 = switchml_time(2e6, bw, 128, 1024)
+        assert t2 > t1
+
+    def test_atp_no_contention_close_to_link(self):
+        t = atp_time(
+            1e8, np.array([12.5e9]), n_slots=1024,
+            slot_payload_bytes=1024, contention=0.0,
+        )
+        assert 1e8 / t == pytest.approx(12.5e9, rel=0.02)
+
+    def test_atp_degrades_with_contention(self):
+        kw = dict(
+            worker_bandwidths=np.array([12.5e9]),
+            n_slots=128,
+            slot_payload_bytes=1024,
+        )
+        t0 = atp_time(1e8, contention=0.0, **kw)
+        t9 = atp_time(1e8, contention=0.9, **kw)
+        assert t9 > t0 * 1.3  # fallback penalty visible
+
+    def test_atp_contention_bounds(self):
+        with pytest.raises(ValueError):
+            atp_time(1.0, np.array([1e9]), 8, 1024, contention=1.5)
+
+    def test_bad_bandwidths_rejected(self):
+        with pytest.raises(ValueError):
+            switchml_time(1.0, np.array([]), 8, 1024)
+        with pytest.raises(ValueError):
+            atp_time(1.0, np.array([-1.0]), 8, 1024)
+
+    def test_effective_throughput(self):
+        assert ina_effective_throughput(100.0, 2.0) == 50.0
+        with pytest.raises(ValueError):
+            ina_effective_throughput(1.0, 0.0)

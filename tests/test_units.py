@@ -1,0 +1,65 @@
+"""Unit conversions and formatting helpers."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestConversions:
+    def test_gbit_per_s(self):
+        assert units.gbit_per_s(100.0) == pytest.approx(12.5e9)
+
+    def test_gbyte_per_s(self):
+        assert units.gbyte_per_s(600.0) == pytest.approx(600e9)
+
+    def test_gib(self):
+        assert units.gib(40) == 40 * (1 << 30)
+
+    def test_gbit_gbyte_ratio(self):
+        assert units.gbyte_per_s(1.0) == pytest.approx(
+            8.0 * units.gbit_per_s(1.0)
+        )
+
+    def test_to_us_roundtrip(self):
+        assert units.to_us(1.5e-6) == pytest.approx(1.5)
+
+    def test_to_ms_roundtrip(self):
+        assert units.to_ms(0.25) == pytest.approx(250.0)
+
+
+class TestFormatting:
+    def test_fmt_bytes_gb(self):
+        assert units.fmt_bytes(2.5e9) == "2.50 GB"
+
+    def test_fmt_bytes_mb(self):
+        assert units.fmt_bytes(1_500_000) == "1.50 MB"
+
+    def test_fmt_bytes_small(self):
+        assert units.fmt_bytes(12) == "12 B"
+
+    def test_fmt_bandwidth_gbps(self):
+        assert units.fmt_bandwidth(12.5e9) == "100.0 Gbps"
+
+    def test_fmt_seconds_scales(self):
+        assert units.fmt_seconds(2.0).endswith(" s")
+        assert units.fmt_seconds(2e-3).endswith(" ms")
+        assert units.fmt_seconds(2e-6).endswith(" us")
+
+    def test_fmt_seconds_value(self):
+        assert units.fmt_seconds(160e-6) == "160.0 us"
+
+
+class TestConstants:
+    def test_minute(self):
+        assert units.MINUTE == 60.0
+
+    def test_mb_decimal(self):
+        assert units.MB == 10**6
+
+    def test_mib_binary(self):
+        assert units.MIB == 2**20
+
+    def test_us_ms(self):
+        assert math.isclose(units.US * 1000, units.MS)

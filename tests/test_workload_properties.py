@@ -1,0 +1,68 @@
+"""Cross-cutting property tests on workloads feeding the planner.
+
+These tie the workload generators to the Table I quantities the planner
+actually consumes, over randomised parameters.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm import BatchSpec
+from repro.util.rng import make_rng
+from repro.workloads import (
+    generate_longbench_trace,
+    generate_sharegpt_trace,
+)
+
+
+class TestForecastProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rate=st.floats(0.5, 4.0),
+        seed=st.integers(0, 500),
+        q=st.integers(1, 32),
+    )
+    def test_representative_batch_is_valid_batchspec(self, rate, seed, q):
+        trace = generate_sharegpt_trace(rate, 60.0, make_rng(seed))
+        b = trace.representative_batch(q)
+        assert isinstance(b, BatchSpec)
+        assert b.q == q
+        assert b.k_in > 0 and b.k_out > 0
+        # Cauchy-Schwarz on the uniform representative batch.
+        assert b.k_in2 * b.q >= b.k_in**2 - 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_forecast_kin_tracks_trace_mean(self, seed):
+        """The RMS-based forecast never *under*-estimates the mean K_in
+        (it preserves the second moment, which bounds the first)."""
+        trace = generate_sharegpt_trace(2.0, 120.0, make_rng(seed))
+        b = trace.representative_batch(8)
+        mean_in = float(trace.input_lengths().mean())
+        assert b.k_in / b.q >= mean_in * 0.99
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), factor=st.floats(1.5, 4.0))
+    def test_rescale_preserves_lengths(self, seed, factor):
+        trace = generate_longbench_trace(1.0, 100.0, make_rng(seed))
+        scaled = trace.rescale_rate(trace.mean_rate * factor)
+        assert np.array_equal(
+            trace.input_lengths(), scaled.input_lengths()
+        )
+        assert np.array_equal(
+            trace.output_lengths(), scaled.output_lengths()
+        )
+        assert len(scaled) == len(trace)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_chat_vs_longbench_separation(self, seed):
+        """The two workloads must stay distinguishable for any seed —
+        the planner's per-workload configurations depend on it."""
+        rng = make_rng(seed)
+        chat = generate_sharegpt_trace(3.0, 120.0, rng)
+        lb = generate_longbench_trace(3.0, 120.0, rng)
+        assert (
+            lb.input_lengths().mean() > 3 * chat.input_lengths().mean()
+        )

@@ -1,0 +1,146 @@
+"""Workload generators: arrivals, traces, length statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import make_rng
+from repro.workloads import (
+    Trace,
+    TraceRequest,
+    bursty_arrivals,
+    generate_longbench_trace,
+    generate_sharegpt_trace,
+    poisson_arrivals,
+)
+
+
+class TestArrivals:
+    def test_poisson_rate(self):
+        times = poisson_arrivals(10.0, 1000.0, make_rng(0))
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+
+    def test_poisson_sorted_in_range(self):
+        times = poisson_arrivals(5.0, 100.0, make_rng(1))
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0 and times[-1] < 100.0
+
+    def test_poisson_deterministic(self):
+        a = poisson_arrivals(2.0, 50.0, make_rng(7))
+        b = poisson_arrivals(2.0, 50.0, make_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10.0, make_rng(0))
+
+    def test_bursty_rate_between_base_and_burst(self):
+        times = bursty_arrivals(1.0, 10.0, 2000.0, make_rng(0))
+        rate = len(times) / 2000.0
+        assert 1.0 < rate < 10.0
+
+    def test_bursty_sorted(self):
+        times = bursty_arrivals(1.0, 5.0, 100.0, make_rng(2))
+        assert np.all(np.diff(times) >= 0)
+
+    def test_bursty_has_bursts(self):
+        """Index-of-dispersion of counts must exceed Poisson's ~1."""
+        times = bursty_arrivals(1.0, 20.0, 2000.0, make_rng(3))
+        counts, _ = np.histogram(times, bins=np.arange(0, 2001, 10.0))
+        iod = counts.var() / counts.mean()
+        assert iod > 2.0
+
+
+class TestTrace:
+    def test_sorted_on_construction(self):
+        t = Trace(
+            "x",
+            [
+                TraceRequest(0, 5.0, 10, 10),
+                TraceRequest(1, 1.0, 10, 10),
+            ],
+        )
+        assert [r.arrival_time for r in t] == [1.0, 5.0]
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            TraceRequest(0, -1.0, 10, 10)
+        with pytest.raises(ValueError):
+            TraceRequest(0, 0.0, 0, 10)
+        with pytest.raises(ValueError):
+            TraceRequest(0, 0.0, 10, 0)
+
+    def test_mean_rate(self):
+        t = Trace(
+            "x",
+            [TraceRequest(i, float(i), 10, 10) for i in range(1, 11)],
+        )
+        assert t.mean_rate == pytest.approx(1.0)
+
+    def test_rescale_rate(self):
+        t = generate_sharegpt_trace(2.0, 100.0, make_rng(0))
+        t2 = t.rescale_rate(4.0)
+        assert t2.mean_rate == pytest.approx(4.0, rel=0.01)
+        assert len(t2) == len(t)
+
+    def test_representative_batch_preserves_moments(self):
+        t = generate_sharegpt_trace(2.0, 200.0, make_rng(0))
+        b = t.representative_batch(8)
+        ins = t.input_lengths().astype(float)
+        rms = np.sqrt((ins**2).mean())
+        assert b.q == 8
+        assert b.k_in / 8 == pytest.approx(rms, rel=0.02)
+
+    def test_representative_batch_validation(self):
+        t = generate_sharegpt_trace(2.0, 20.0, make_rng(0))
+        with pytest.raises(ValueError):
+            t.representative_batch(0)
+        with pytest.raises(ValueError):
+            Trace("empty").representative_batch(1)
+
+    def test_stats_keys(self):
+        t = generate_sharegpt_trace(2.0, 50.0, make_rng(0))
+        s = t.stats()
+        assert s["n"] == len(t)
+        assert s["input_p95"] >= s["input_p50"]
+
+
+class TestShareGPT:
+    def test_length_scales(self):
+        t = generate_sharegpt_trace(5.0, 500.0, make_rng(0))
+        s = t.stats()
+        # Chatbot shape: moderate prompts, conversational outputs.
+        assert 100 < s["input_mean"] < 500
+        assert 100 < s["output_mean"] < 500
+
+    def test_clipping(self):
+        t = generate_sharegpt_trace(5.0, 500.0, make_rng(1))
+        assert t.input_lengths().max() <= 2048
+        assert t.input_lengths().min() >= 4
+
+    def test_bursty_flag(self):
+        t = generate_sharegpt_trace(
+            2.0, 500.0, make_rng(2), bursty=True
+        )
+        assert len(t) > 0
+
+
+class TestLongBench:
+    def test_longer_inputs_shorter_outputs_than_chat(self):
+        rng = make_rng(0)
+        chat = generate_sharegpt_trace(5.0, 300.0, rng)
+        lb = generate_longbench_trace(5.0, 300.0, rng)
+        assert lb.stats()["input_mean"] > 5 * chat.stats()["input_mean"]
+        assert lb.stats()["output_mean"] < chat.stats()["output_mean"]
+
+    def test_clipping(self):
+        t = generate_longbench_trace(5.0, 200.0, make_rng(1))
+        assert t.input_lengths().min() >= 1024
+        assert t.input_lengths().max() <= 16384
+
+    @settings(max_examples=10, deadline=None)
+    @given(rate=st.floats(0.5, 5.0), seed=st.integers(0, 100))
+    def test_rate_property(self, rate, seed):
+        t = generate_longbench_trace(rate, 400.0, make_rng(seed))
+        assert t.mean_rate == pytest.approx(rate, rel=0.35)
