@@ -6,7 +6,9 @@ constant-size candidate list, (b) asynchronous prefill/decode estimation
 threads and (c) offline precomputation of the shortest-path/latency
 matrices. We time Algorithm 1 against the reference planner that lacks
 all three (candidate sweep, sequential estimation, per-candidate
-Dijkstra) on both the testbed and a cluster miniature.
+Dijkstra) on both the testbed and a cluster miniature, and break the
+Algorithm 1 time down by phase (candidate enumeration, k-means grouping,
+perturbation, objective evaluation) via the profiling hooks.
 """
 
 import pytest
@@ -16,15 +18,22 @@ from repro.core import SLA_TESTBED_CHATBOT
 from repro.core.planner import ExhaustivePlanner, OfflinePlanner
 from repro.llm import OPT_66B, OPT_175B, BatchSpec
 from repro.network import build_testbed, build_xtracks_cluster
+from repro.obs import Observer
 
-from common import make_cluster_bank, save_result, make_testbed_bank
+from common import (
+    make_cluster_bank,
+    phase_breakdown_rows,
+    save_result,
+    make_testbed_bank,
+)
 from repro.util.tables import format_table
 
 
 def plan_pair(built, model, bank, batch):
     ctx = CommContext.from_built(built, heterogeneous=True)
     fast = OfflinePlanner(
-        ctx, model, bank, SLA_TESTBED_CHATBOT, SchemeKind.HYBRID
+        ctx, model, bank, SLA_TESTBED_CHATBOT, SchemeKind.HYBRID,
+        observer=Observer(),
     ).plan(batch, arrival_rate=0.5)
     slow = ExhaustivePlanner(
         ctx, model, bank, SLA_TESTBED_CHATBOT, SchemeKind.HYBRID
@@ -48,6 +57,19 @@ def run_planner_comparison():
     )
     out.append(("2tracks OPT-175B", fast, slow))
     return out
+
+
+def phase_table(results):
+    """Per-phase breakdown of Algorithm 1's solve time, per setting."""
+    rows = []
+    for label, fast, _slow in results:
+        for phase_row in phase_breakdown_rows(fast.phase_times):
+            rows.append([label, *phase_row])
+    return format_table(
+        ["setting", "phase", "ms", "share"],
+        rows,
+        title="Algorithm 1 phase breakdown (profiling hooks)",
+    )
 
 
 @pytest.mark.benchmark(group="planner")
@@ -87,12 +109,19 @@ def test_planner_solve_time(benchmark):
             "(paper: 28.57% faster than DistServe's search)"
         ),
     )
+    breakdown = phase_table(results)
     print("\n" + table)
-    save_result("planner_time", table)
+    print("\n" + breakdown)
+    save_result("planner_time", table + "\n\n" + breakdown)
 
     for label, fast, slow in results:
         assert fast.plan is not None, label
         assert slow.plan is not None, label
+        # The profiling hooks must attribute the solve time to phases.
+        assert fast.phase_times, label
+        assert any(
+            name.startswith("planner.") for name in fast.phase_times
+        ), label
         # Heuristic at least 25% faster (the paper's 28.57% claim scale).
         assert fast.wall_time < slow.wall_time * 0.75, label
         # And it must not lose solution quality materially.

@@ -24,6 +24,7 @@ from repro.core.objective import SlaSpec
 from repro.core.plan import ParallelConfig
 from repro.llm import A100, V100, CostModelBank, ModelConfig
 from repro.network.builders import BuiltTopology
+from repro.obs import Observer
 from repro.serving import EngineConfig
 from repro.serving.metrics import SLA_ATTAINMENT_TARGET, ServingMetrics
 from repro.util.rng import make_rng
@@ -51,6 +52,27 @@ def save_result(name: str, text: str) -> str:
     with open(path, "w") as fh:
         fh.write(text + "\n")
     return path
+
+
+def observed_engine_config(**kwargs) -> tuple[EngineConfig, Observer]:
+    """EngineConfig with a live observer attached, for benches that want
+    a trace/metrics dump alongside the table (``**kwargs`` forwarded to
+    :class:`EngineConfig`)."""
+    observer = Observer()
+    return EngineConfig(observer=observer, **kwargs), observer
+
+
+def phase_breakdown_rows(
+    phase_times: dict[str, float]
+) -> list[list[str]]:
+    """Format planner ``PlannerReport.phase_times`` for a table."""
+    total = sum(phase_times.values()) or 1.0
+    return [
+        [name, f"{secs * 1e3:.1f}", f"{secs / total:.0%}"]
+        for name, secs in sorted(
+            phase_times.items(), key=lambda kv: -kv[1]
+        )
+    ]
 
 
 def make_testbed_bank(model: ModelConfig) -> CostModelBank:

@@ -10,7 +10,8 @@ Scheduling on Heterogeneous Networks". The package provides:
 * :mod:`repro.core` — the paper's offline planner and online scheduler;
 * :mod:`repro.serving` — discrete-event serving simulator and metrics;
 * :mod:`repro.workloads` — ShareGPT/LongBench-like trace generators;
-* :mod:`repro.baselines` — HeroServe vs DistServe / DS-ATP / DS-SwitchML.
+* :mod:`repro.baselines` — HeroServe vs DistServe / DS-ATP / DS-SwitchML;
+* :mod:`repro.obs` — tracing, metrics registry, profiling, logging.
 
 Quickstart::
 
@@ -49,15 +50,29 @@ from repro.llm import (
     ModelConfig,
 )
 from repro.network import build_testbed, build_xtracks_cluster
+from repro.obs import (
+    MetricsRegistry,
+    NullObserver,
+    Observer,
+    PhaseProfiler,
+    TraceRecorder,
+    setup_logging,
+)
 from repro.serving import EngineConfig, ServingMetrics, find_max_rate
 from repro.workloads import generate_longbench_trace, generate_sharegpt_trace
 
 
-def quick_testbed(rate: float = 0.5, duration: float = 60.0, seed: int = 0):
+def quick_testbed(
+    rate: float = 0.5,
+    duration: float = 60.0,
+    seed: int = 0,
+    engine_config: EngineConfig | None = None,
+):
     """Plan and simulate HeroServe on the paper's testbed in one call.
 
     Returns ``(system, metrics)``. Meant for the README quickstart; the
-    examples directory shows the full API.
+    examples directory shows the full API. Pass
+    ``EngineConfig(observer=Observer())`` to collect traces/metrics.
     """
     from repro.llm import A100, V100
     from repro.util.rng import make_rng
@@ -74,7 +89,7 @@ def quick_testbed(rate: float = 0.5, duration: float = 60.0, seed: int = 0):
         trace.representative_batch(8),
         arrival_rate=rate,
     )
-    metrics = simulate_trace(system, trace)
+    metrics = simulate_trace(system, trace, engine_config=engine_config)
     return system, metrics
 
 
@@ -102,6 +117,12 @@ __all__ = [
     "ModelConfig",
     "build_testbed",
     "build_xtracks_cluster",
+    "MetricsRegistry",
+    "NullObserver",
+    "Observer",
+    "PhaseProfiler",
+    "TraceRecorder",
+    "setup_logging",
     "EngineConfig",
     "ServingMetrics",
     "find_max_rate",

@@ -7,6 +7,12 @@ Commands
 ``compare``    — 4-system comparison at a given rate (Fig. 7 style)
 ``plan``       — run the offline planner and print the chosen plan
 
+Observability flags (``quickstart`` / ``compare`` / ``plan``):
+``--trace-out FILE``   — write a Chrome-tracing JSON (``.jsonl`` for the
+line-oriented dump) of prefill/decode/KV-transfer/all-reduce spans;
+``--metrics-out FILE`` — write the metrics snapshot (JSON, or text
+exposition for ``.txt``/``.prom``); ``-v/-vv`` — INFO/DEBUG logging.
+
 This is a convenience wrapper over the public API; the examples/ and
 benchmarks/ directories show the full surface.
 """
@@ -14,9 +20,42 @@ benchmarks/ directories show the full surface.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.comm import SchemeKind
+from repro.obs import NULL_OBSERVER, Observer, setup_logging
+
+
+def _make_observer(args) -> "Observer | None":
+    """An :class:`Observer` when any telemetry output was requested."""
+    if getattr(args, "trace_out", None) or getattr(
+        args, "metrics_out", None
+    ):
+        return Observer()
+    return None
+
+
+def _export(observer, args, suffix: str = "") -> None:
+    """Write requested outputs, optionally suffixing the file stem."""
+    if observer is None:
+        return
+
+    def _name(path: str | None) -> str | None:
+        if path is None or not suffix:
+            return path
+        stem, dot, ext = path.rpartition(".")
+        if not dot:
+            return f"{path}-{suffix}"
+        return f"{stem}-{suffix}.{ext}"
+
+    observer.export(
+        trace_path=_name(args.trace_out),
+        metrics_path=_name(args.metrics_out),
+    )
+    for path in (_name(args.trace_out), _name(args.metrics_out)):
+        if path:
+            print(f"wrote {path}")
 
 
 def cmd_info(_args) -> int:
@@ -41,14 +80,23 @@ def cmd_info(_args) -> int:
 
 def cmd_quickstart(args) -> int:
     from repro import quick_testbed
+    from repro.serving import EngineConfig
 
+    observer = _make_observer(args)
+    engine_config = (
+        EngineConfig(observer=observer) if observer is not None else None
+    )
     system, metrics = quick_testbed(
-        rate=args.rate, duration=args.duration, seed=args.seed
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        engine_config=engine_config,
     )
     print(system.plan.summary())
     print()
     for k, v in metrics.summary().items():
         print(f"  {k:20s} {v:.4g}")
+    _export(observer, args)
     return 0
 
 
@@ -58,6 +106,7 @@ def cmd_compare(args) -> int:
         SLA_TESTBED_CHATBOT,
         OPT_66B,
         CostModelBank,
+        EngineConfig,
         build_system,
         build_testbed,
         generate_sharegpt_trace,
@@ -81,7 +130,14 @@ def cmd_compare(args) -> int:
             arrival_rate=args.rate,
             forced_parallel=ParallelConfig(8, 1, 8, 1),
         )
-        m = simulate_trace(system, trace)
+        observer = _make_observer(args)
+        engine_config = (
+            EngineConfig(observer=observer)
+            if observer is not None
+            else None
+        )
+        m = simulate_trace(system, trace, engine_config=engine_config)
+        _export(observer, args, suffix=spec.name.lower())
         rows.append(
             [
                 spec.name,
@@ -117,8 +173,10 @@ def cmd_plan(args) -> int:
     ctx = CommContext.from_built(
         built, heterogeneous=scheme == SchemeKind.HYBRID
     )
+    observer = _make_observer(args)
     planner = OfflinePlanner(
-        ctx, model, bank, SLA_TESTBED_CHATBOT, scheme
+        ctx, model, bank, SLA_TESTBED_CHATBOT, scheme,
+        observer=observer or NULL_OBSERVER,
     )
     report = planner.plan(
         BatchSpec.uniform(8, args.input_len, args.output_len),
@@ -129,6 +187,9 @@ def cmd_plan(args) -> int:
         f"feasible: {report.candidates_feasible}, "
         f"solve time: {report.wall_time:.2f}s"
     )
+    if report.phase_times:
+        print(observer.profiler.report("planner phase breakdown"))
+    _export(observer, args)
     if report.plan is None:
         print("no SLA-feasible plan; rejections:")
         for r in report.rejected[:5]:
@@ -139,25 +200,63 @@ def cmd_plan(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    common = argparse.ArgumentParser(add_help=False)
+    # SUPPRESS instead of 0: the subparser re-parses this flag, and a
+    # concrete default would clobber a "-v" given before the subcommand.
+    common.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=argparse.SUPPRESS,
+        help="-v for INFO, -vv for DEBUG (default WARNING)",
+    )
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write spans as Chrome-tracing JSON (.jsonl for line dump)",
+    )
+    obs_flags.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write metrics snapshot (JSON; .txt/.prom for exposition)",
+    )
+
     parser = argparse.ArgumentParser(
-        prog="repro", description=__doc__,
+        prog="repro", description=__doc__, parents=[common],
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="package and topology summary")
+    sub.add_parser(
+        "info", help="package and topology summary", parents=[common]
+    )
 
-    p = sub.add_parser("quickstart", help="HeroServe on the testbed")
+    p = sub.add_parser(
+        "quickstart",
+        help="HeroServe on the testbed",
+        parents=[common, obs_flags],
+    )
     p.add_argument("--rate", type=float, default=1.0)
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("compare", help="4-system comparison")
+    p = sub.add_parser(
+        "compare",
+        help="4-system comparison",
+        parents=[common, obs_flags],
+    )
     p.add_argument("--rate", type=float, default=1.2)
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=7)
 
-    p = sub.add_parser("plan", help="run the offline planner")
+    p = sub.add_parser(
+        "plan",
+        help="run the offline planner",
+        parents=[common, obs_flags],
+    )
     p.add_argument("--model", default="OPT-66B")
     p.add_argument(
         "--scheme",
@@ -169,6 +268,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--output-len", type=int, default=220)
 
     args = parser.parse_args(argv)
+    # Fail on an unwritable output directory now, not after the run.
+    for attr in ("trace_out", "metrics_out"):
+        path = getattr(args, attr, None)
+        if path:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                parser.error(
+                    f"--{attr.replace('_', '-')}: "
+                    f"directory {parent!r} does not exist"
+                )
+    verbosity = getattr(args, "verbose", 0)
+    if verbosity:
+        setup_logging(verbosity)
     handlers = {
         "info": cmd_info,
         "quickstart": cmd_quickstart,

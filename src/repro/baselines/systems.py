@@ -153,8 +153,11 @@ def simulate_trace(
 ) -> ServingMetrics:
     """Run one trace through a system with fresh network state."""
     ctx = system.fresh_context()
+    cfg = engine_config or EngineConfig()
     controller = (
-        CentralController(ctx=ctx, scheme=system.spec.scheme)
+        CentralController(
+            ctx=ctx, scheme=system.spec.scheme, observer=cfg.observer
+        )
         if system.spec.online
         else None
     )
@@ -166,7 +169,7 @@ def simulate_trace(
         sla=system.sla,
         trace=trace,
         controller=controller,
-        config=engine_config,
+        config=cfg,
     )
     if background is not None:
         bg = BackgroundTraffic(
@@ -176,7 +179,7 @@ def simulate_trace(
             config=background,
             seed=background_seed,
         )
-        bg.start(trace.duration + (engine_config or EngineConfig()).drain_time)
+        bg.start(trace.duration + cfg.drain_time)
     return sim.run()
 
 
@@ -230,7 +233,11 @@ def build_fleet(
         heterogeneous=spec.heterogeneous,
     )
     controller = (
-        CentralController(ctx=run_ctx, scheme=spec.scheme)
+        CentralController(
+            ctx=run_ctx,
+            scheme=spec.scheme,
+            observer=(engine_config or EngineConfig()).observer,
+        )
         if spec.online
         else None
     )

@@ -19,6 +19,10 @@ from dataclasses import dataclass, field
 from repro.comm.context import CommContext
 from repro.comm.latency import SchemeKind
 from repro.core.scheduler import CommDecision, LoadAwareScheduler
+from repro.obs.logging_config import get_logger
+from repro.obs.observer import NULL_OBSERVER
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -29,6 +33,8 @@ class CentralController:
     scheme: SchemeKind
     refresh_period: float = 0.05
     n_switch_candidates: int = 2
+    #: observability sink shared with the engine (no-op by default)
+    observer: object = NULL_OBSERVER
     _schedulers: dict[tuple[int, ...], LoadAwareScheduler] = field(
         default_factory=dict
     )
@@ -42,11 +48,17 @@ class CentralController:
         key = tuple(sorted(gpus))
         sched = self._schedulers.get(key)
         if sched is None:
+            log.debug(
+                "creating scheduler for group %s (scheme=%s)",
+                key,
+                self.scheme.value,
+            )
             sched = LoadAwareScheduler(
                 self.ctx,
                 list(gpus),
                 self.scheme,
                 n_switch_candidates=self.n_switch_candidates,
+                observer=self.observer,
             )
             self._schedulers[key] = sched
         return sched

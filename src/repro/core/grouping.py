@@ -18,6 +18,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.profile import NULL_PROFILER
 from repro.util.rng import make_rng
 
 
@@ -143,6 +144,7 @@ def group_gpus(
     rng: np.random.Generator | None = None,
     perturb: bool = True,
     max_rounds: int = 5,
+    profiler=None,
 ) -> list[list[int]]:
     """Full Algorithm 2 grouping: k-means-constrained + perturbation.
 
@@ -150,13 +152,21 @@ def group_gpus(
     :func:`repro.network.routing.gpu_latency_submatrix`). ``cost_fn``
     scores a group given GPU *node ids*; the default is the worst
     intra-group latency. Returns groups of GPU node ids.
+
+    ``profiler`` (a :class:`repro.obs.profile.PhaseProfiler`) splits the
+    wall time into the k-means and perturbation phases for the planner
+    breakdown.
     """
+    profiler = profiler or NULL_PROFILER
     gpu_ids = list(gpu_ids)
     dist = np.asarray(latency_matrix, dtype=np.float64)
     if dist.shape != (len(gpu_ids), len(gpu_ids)):
         raise ValueError("latency matrix shape must match gpu_ids")
     rng = rng or make_rng()
-    idx_groups = constrained_kmeans_groups(dist, n_groups, group_size, rng)
+    with profiler.phase("grouping.kmeans"):
+        idx_groups = constrained_kmeans_groups(
+            dist, n_groups, group_size, rng
+        )
 
     if cost_fn is None:
         def pos_cost(g: Sequence[int]) -> float:
@@ -172,14 +182,15 @@ def group_gpus(
     spare = [i for i in range(len(gpu_ids)) if i not in used]
 
     if perturb:
-        if spare:
-            idx_groups, _, _ = _swap_with_spare(
-                idx_groups, spare, pos_cost, rng, max_rounds
-            )
-        else:
-            idx_groups, _, _ = swap_perturbation(
-                idx_groups, pos_cost, rng, max_rounds=max_rounds
-            )
+        with profiler.phase("grouping.perturb"):
+            if spare:
+                idx_groups, _, _ = _swap_with_spare(
+                    idx_groups, spare, pos_cost, rng, max_rounds
+                )
+            else:
+                idx_groups, _, _ = swap_perturbation(
+                    idx_groups, pos_cost, rng, max_rounds=max_rounds
+                )
     return [[gpu_ids[i] for i in g] for g in idx_groups]
 
 

@@ -34,6 +34,7 @@ from repro.comm.latency import (
 from repro.core.grouping import group_gpus
 from repro.llm.models import ModelConfig
 from repro.network.routing import gpu_latency_submatrix
+from repro.obs.profile import NULL_PROFILER
 from repro.util.rng import make_rng
 
 
@@ -62,6 +63,7 @@ def estimate_network_latency(
     perturb: bool = True,
     max_rounds: int = 5,
     contention: float = 0.0,
+    profiler=None,
 ) -> NetworkEstimate:
     """Full Algorithm 2 for one phase of one candidate configuration.
 
@@ -72,6 +74,7 @@ def estimate_network_latency(
     aggregation switch) are rewarded — the joint computation/communication
     optimisation the paper emphasises.
     """
+    profiler = profiler or NULL_PROFILER
     gpus = list(admissible_gpus)
     need = p_tens * p_pipe
     if len(gpus) < need:
@@ -87,7 +90,8 @@ def estimate_network_latency(
             ctx, group, data, scheme, contention=contention
         ).step_time
 
-    dist = ctx.gpu_distance_matrix(gpus)
+    with profiler.phase("netestimate.distance_matrix"):
+        dist = ctx.gpu_distance_matrix(gpus)
     stages = group_gpus(
         dist,
         gpus,
@@ -97,16 +101,18 @@ def estimate_network_latency(
         rng=rng,
         perturb=perturb,
         max_rounds=max_rounds,
+        profiler=profiler,
     )
-    phase = estimate_phase_comm(
-        ctx,
-        stages,
-        model,
-        tokens,
-        scheme,
-        activation_bytes=activation_bytes,
-        contention=contention,
-    )
+    with profiler.phase("netestimate.mode_selection"):
+        phase = estimate_phase_comm(
+            ctx,
+            stages,
+            model,
+            tokens,
+            scheme,
+            activation_bytes=activation_bytes,
+            contention=contention,
+        )
     return NetworkEstimate(
         stages=tuple(tuple(s) for s in stages),
         phase=phase,

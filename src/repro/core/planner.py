@@ -47,7 +47,11 @@ from repro.llm.costmodel import CostModelBank
 from repro.llm.memory import MemoryBudget, min_memory_per_gpu
 from repro.llm.models import ModelConfig
 from repro.network.builders import BuiltTopology
+from repro.obs.logging_config import get_logger
+from repro.obs.observer import NULL_OBSERVER
 from repro.util.rng import make_rng, spawn
+
+log = get_logger(__name__)
 
 
 def split_pools(built: BuiltTopology) -> tuple[list[int], list[int]]:
@@ -111,6 +115,8 @@ class PlannerReport:
     candidates_feasible: int
     wall_time: float
     rejected: list[str] = field(default_factory=list)
+    #: wall-clock seconds per planner phase (empty without an observer)
+    phase_times: dict[str, float] = field(default_factory=dict)
 
 
 class OfflinePlanner:
@@ -126,6 +132,7 @@ class OfflinePlanner:
         prefill_pool: list[int] | None = None,
         decode_pool: list[int] | None = None,
         config: PlannerConfig | None = None,
+        observer: object = NULL_OBSERVER,
     ) -> None:
         self.ctx = ctx
         self.model = model
@@ -133,6 +140,7 @@ class OfflinePlanner:
         self.sla = sla
         self.scheme = scheme
         self.config = config or PlannerConfig()
+        self.observer = observer or NULL_OBSERVER
         if prefill_pool is None or decode_pool is None:
             auto_pre, auto_dec = split_pools(ctx.built)
             prefill_pool = prefill_pool or auto_pre
@@ -200,19 +208,23 @@ class OfflinePlanner:
         admissible = self._admissible(self.prefill_pool, p_tens, p_pipe)
         if len(admissible) < p_tens * p_pipe:
             return None
-        est = estimate_network_latency(
-            self._phase_ctx(),
-            admissible,
-            p_tens,
-            p_pipe,
-            self.model,
-            tokens=batch.k_in,
-            scheme=self.scheme,
-            activation_bytes=prefill_activation_bytes(self.model, batch.k_in),
-            rng=rng,
-            perturb=self.config.perturb,
-            max_rounds=self.config.perturb_rounds,
-        )
+        with self.observer.phase("planner.estimate_prefill"):
+            est = estimate_network_latency(
+                self._phase_ctx(),
+                admissible,
+                p_tens,
+                p_pipe,
+                self.model,
+                tokens=batch.k_in,
+                scheme=self.scheme,
+                activation_bytes=prefill_activation_bytes(
+                    self.model, batch.k_in
+                ),
+                rng=rng,
+                perturb=self.config.perturb,
+                max_rounds=self.config.perturb_rounds,
+                profiler=self.observer.profiler,
+            )
         hw = self.ctx.group_hardware(
             [g for st in est.stages for g in st]
         )
@@ -236,19 +248,23 @@ class OfflinePlanner:
         admissible = self._admissible(self.decode_pool, p_tens, p_pipe)
         if len(admissible) < p_tens * p_pipe:
             return None
-        est = estimate_network_latency(
-            self._phase_ctx(),
-            admissible,
-            p_tens,
-            p_pipe,
-            self.model,
-            tokens=batch.q,
-            scheme=self.scheme,
-            activation_bytes=decode_activation_bytes(self.model, batch.q),
-            rng=rng,
-            perturb=self.config.perturb,
-            max_rounds=self.config.perturb_rounds,
-        )
+        with self.observer.phase("planner.estimate_decode"):
+            est = estimate_network_latency(
+                self._phase_ctx(),
+                admissible,
+                p_tens,
+                p_pipe,
+                self.model,
+                tokens=batch.q,
+                scheme=self.scheme,
+                activation_bytes=decode_activation_bytes(
+                    self.model, batch.q
+                ),
+                rng=rng,
+                perturb=self.config.perturb,
+                max_rounds=self.config.perturb_rounds,
+                profiler=self.observer.profiler,
+            )
         hw = self.ctx.group_hardware(
             [g for st in est.stages for g in st]
         )
@@ -293,7 +309,13 @@ class OfflinePlanner:
                 min_gpus_decode=forced_parallel.decode_gpus,
             )
         else:
-            cand = self._candidates()
+            with self.observer.phase("planner.candidates"):
+                cand = self._candidates()
+        log.debug(
+            "planning over %d candidates (scheme=%s)",
+            len(cand.candidates),
+            self.scheme.value,
+        )
         rng = make_rng(self.config.seed)
         best: Plan | None = None
         best_obj: ObjectiveResult | None = None
@@ -328,46 +350,58 @@ class OfflinePlanner:
                 )
             if pre is None or dec is None:
                 rejected.append(f"{pall}: insufficient admissible GPUs")
+                log.debug("rejected %s: insufficient admissible GPUs", pall)
                 continue
 
-            t_f = estimate_kv_transfer_time(
-                self.ctx, self.model, batch.k_in, pre.stages, dec.stages
-            )
-            est = ServiceEstimate(
-                t_network_prefill=pre.t_network,
-                t_compute_prefill=pre.t_compute,
-                t_network_decode=dec.t_network,
-                t_compute_decode=dec.t_compute,
-                t_kv_transfer=t_f,
-                mean_output_tokens=batch.k_out / batch.q,
-            )
-            # Concurrency is capped by the decode cluster's KV capacity:
-            # "insufficient memory to serve all requests" adds queueing.
-            topo = self.ctx.built.topology
-            dec_min_mem = min(
-                topo.nodes[g].memory_bytes
-                for st in dec.stages
-                for g in st
-            )
-            budget = MemoryBudget(
-                self.model,
-                pall.p_tens_decode,
-                pall.p_pipe_decode,
-                dec_min_mem,
-                r_frac=self.config.r_frac,
-            )
-            tokens_per_req = (batch.k_in + batch.k_out / 2.0) / batch.q
-            mem_conc = int(budget.max_cached_tokens() / max(tokens_per_req, 1))
-            # Decode concurrency: memory-limited, up to the continuous-
-            # batching width (the engine's default decode batch cap).
-            concurrency = max(1, min(64, mem_conc))
-            obj = evaluate_objective(
-                est, arrival_rate, self.sla, concurrency=concurrency
-            )
+            with self.observer.phase("planner.objective"):
+                t_f = estimate_kv_transfer_time(
+                    self.ctx, self.model, batch.k_in, pre.stages, dec.stages
+                )
+                est = ServiceEstimate(
+                    t_network_prefill=pre.t_network,
+                    t_compute_prefill=pre.t_compute,
+                    t_network_decode=dec.t_network,
+                    t_compute_decode=dec.t_compute,
+                    t_kv_transfer=t_f,
+                    mean_output_tokens=batch.k_out / batch.q,
+                )
+                # Concurrency is capped by the decode cluster's KV
+                # capacity: "insufficient memory to serve all requests"
+                # adds queueing.
+                topo = self.ctx.built.topology
+                dec_min_mem = min(
+                    topo.nodes[g].memory_bytes
+                    for st in dec.stages
+                    for g in st
+                )
+                budget = MemoryBudget(
+                    self.model,
+                    pall.p_tens_decode,
+                    pall.p_pipe_decode,
+                    dec_min_mem,
+                    r_frac=self.config.r_frac,
+                )
+                tokens_per_req = (batch.k_in + batch.k_out / 2.0) / batch.q
+                mem_conc = int(
+                    budget.max_cached_tokens() / max(tokens_per_req, 1)
+                )
+                # Decode concurrency: memory-limited, up to the
+                # continuous-batching width (the engine's default decode
+                # batch cap).
+                concurrency = max(1, min(64, mem_conc))
+                obj = evaluate_objective(
+                    est, arrival_rate, self.sla, concurrency=concurrency
+                )
             if not obj.sla_ok and forced_parallel is None:
                 rejected.append(
                     f"{pall}: SLA miss (TTFT {obj.t_prefill:.3f}s, "
                     f"TPOT {obj.t_decode:.3f}s)"
+                )
+                log.debug(
+                    "rejected %s: SLA miss (TTFT %.3fs, TPOT %.3fs)",
+                    pall,
+                    obj.t_prefill,
+                    obj.t_decode,
                 )
                 continue
             n_feasible += 1
@@ -394,12 +428,29 @@ class OfflinePlanner:
                     scalability=obj.scalability,
                     planned_rate=arrival_rate,
                 )
+        wall = time.perf_counter() - t0
+        if best is None:
+            log.info(
+                "no SLA-feasible plan among %d candidates (%.2fs)",
+                len(cand.candidates),
+                wall,
+            )
+        else:
+            log.info(
+                "planned %s in %.2fs (%d/%d feasible, H=%.3f)",
+                best.parallel,
+                wall,
+                n_feasible,
+                len(cand.candidates),
+                best.scalability,
+            )
         return PlannerReport(
             plan=best,
             candidates_evaluated=len(cand.candidates),
             candidates_feasible=n_feasible,
-            wall_time=time.perf_counter() - t0,
+            wall_time=wall,
             rejected=rejected,
+            phase_times=self.observer.profiler.phase_times(),
         )
 
     def _candidates(self) -> CandidateSpace:

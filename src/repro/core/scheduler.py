@@ -41,6 +41,7 @@ from repro.comm.ring import (
     ring_order,
 )
 from repro.core.policy import Policy, PolicyCostTable
+from repro.obs.observer import NULL_OBSERVER
 
 
 @dataclass(frozen=True)
@@ -89,12 +90,14 @@ class LoadAwareScheduler:
         n_switch_candidates: int = 2,
         window: float = 0.1,
         gamma: float = 0.3,
+        observer: object = NULL_OBSERVER,
     ) -> None:
         if not gpus:
             raise ValueError("empty GPU group")
         self.ctx = ctx
         self.gpus = list(gpus)
         self.scheme = scheme
+        self.observer = observer or NULL_OBSERVER
         self._leaders_by_switch: dict[int, list[int]] = {}
         policies = self._build_policies(n_switch_candidates)
         self.table = PolicyCostTable(policies, window=window, gamma=gamma)
@@ -224,6 +227,10 @@ class LoadAwareScheduler:
             self.table.refresh_utilization(self.ctx.linkstate)
         policy = self.table.select(data_bytes)
         t = self._estimate_time(policy, data_bytes)
+        if self.observer.enabled:
+            self.observer.policy_selected(
+                tuple(self.gpus), policy.name, policy.mode
+            )
         return CommDecision(policy=policy, step_time=t, links=policy.links)
 
     def refresh(self) -> None:

@@ -115,6 +115,49 @@ class LinkLoadTracker:
 
     # -- monitoring --------------------------------------------------------
 
+    def _kind_names(self) -> list[str]:
+        from repro.network.topology import LinkKind
+
+        if not hasattr(self, "_kind_name_cache"):
+            kinds = self.topology.kind_array()
+            self._kind_name_cache = [
+                LinkKind(int(k)).name.lower() for k in kinds
+            ]
+        return self._kind_name_cache
+
+    def utilization_by_kind(self) -> dict[str, tuple[float, float]]:
+        """``{kind: (mean, max)}`` instantaneous utilisation per link kind.
+
+        The aggregate the observability layer exports as gauges — the
+        simulator's stand-in for the per-technology dashboards built from
+        DCGM (NVLink/PCIe) and switch counters (Ethernet) in §III-D.
+        """
+        util = self.utilization()
+        names = self._kind_names()
+        out: dict[str, tuple[float, float]] = {}
+        for kind in sorted(set(names)):
+            mask = np.array([n == kind for n in names])
+            u = util[mask]
+            if u.size:
+                out[kind] = (float(u.mean()), float(u.max()))
+        return out
+
+    def busy_links(
+        self, min_util: float = 0.0
+    ) -> list[tuple[int, str, float]]:
+        """``(link_id, kind, utilisation)`` for links above ``min_util``.
+
+        Bounded export for per-link gauges: idle links are skipped so a
+        large fabric does not flood the metrics snapshot with zeros.
+        """
+        util = self.utilization()
+        names = self._kind_names()
+        return [
+            (int(i), names[i], float(u))
+            for i, u in enumerate(util)
+            if u > min_util
+        ]
+
     def poll(self) -> np.ndarray:
         """Update and return the EWMA utilisation (the 'hardware counters').
 

@@ -1,0 +1,56 @@
+"""Observability: tracing, metrics registry, profiling, logging.
+
+Three pillars threaded through the simulator and schedulers by a single
+:class:`Observer` handle (default :class:`NullObserver` — zero overhead
+when disabled):
+
+* :mod:`repro.obs.trace` — request/batch/all-reduce spans exportable as
+  JSONL or Chrome ``chrome://tracing`` JSON;
+* :mod:`repro.obs.metrics` — Prometheus-style counters / gauges /
+  histograms with labels and a text/JSON exposition;
+* :mod:`repro.obs.profile` — wall-clock phase timers for the offline
+  planner (candidate enumeration, grouping, perturbation, objective);
+* :mod:`repro.obs.logging_config` — stdlib logging setup for the CLI's
+  ``-v/-vv`` flags.
+"""
+
+from repro.obs.logging_config import (
+    get_logger,
+    setup_logging,
+    verbosity_to_level,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    PhaseStat,
+)
+from repro.obs.trace import SpanRecord, TraceRecorder
+
+__all__ = [
+    "get_logger",
+    "setup_logging",
+    "verbosity_to_level",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_buckets",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "PhaseProfiler",
+    "PhaseStat",
+    "SpanRecord",
+    "TraceRecorder",
+]

@@ -1,0 +1,83 @@
+"""Stdlib logging configuration for the ``repro`` package.
+
+Every module logs through ``logging.getLogger("repro.<module>")`` via
+:func:`get_logger`; nothing is emitted until :func:`setup_logging`
+attaches a handler (library-friendly: a NullHandler guards the root
+package logger). The CLI's ``-v/-vv`` flags map to INFO/DEBUG, default
+WARNING.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = [
+    "PACKAGE_LOGGER",
+    "get_logger",
+    "setup_logging",
+    "verbosity_to_level",
+]
+
+PACKAGE_LOGGER = "repro"
+
+DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+DEFAULT_DATEFMT = "%H:%M:%S"
+
+# Library default: stay silent unless the application configures logging.
+logging.getLogger(PACKAGE_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger namespaced under the package root.
+
+    Accepts either a module ``__name__`` (already ``repro.*``) or a bare
+    suffix like ``"planner"``.
+    """
+    if name == PACKAGE_LOGGER or name.startswith(PACKAGE_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{PACKAGE_LOGGER}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """CLI ``-v`` count -> logging level (0 WARNING, 1 INFO, >=2 DEBUG)."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_logging(
+    verbosity: int = 0,
+    stream=None,
+    fmt: str = DEFAULT_FORMAT,
+) -> logging.Logger:
+    """Attach (or retune) a stream handler on the package logger.
+
+    Idempotent: repeated calls adjust the level of the existing handler
+    instead of stacking duplicates, so tests and REPL sessions can call
+    it freely.
+    """
+    logger = logging.getLogger(PACKAGE_LOGGER)
+    level = verbosity_to_level(verbosity)
+    stream = stream if stream is not None else sys.stderr
+
+    handler = None
+    for h in logger.handlers:
+        if isinstance(h, logging.StreamHandler) and not isinstance(
+            h, logging.NullHandler
+        ):
+            handler = h
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(
+            logging.Formatter(fmt, datefmt=DEFAULT_DATEFMT)
+        )
+        logger.addHandler(handler)
+    else:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,367 @@
+"""Prometheus-style metrics registry: counters, gauges, histograms.
+
+The paper's control centre aggregates DCGM and switch hardware counters
+into a live cluster view (§III-D, §IV); production serving stacks expose
+the same signals as a Prometheus scrape surface. This module provides
+that surface for the simulator — stdlib + numpy only, no client library:
+
+* :class:`Counter` — monotonically increasing, labelled;
+* :class:`Gauge` — last-set value, labelled;
+* :class:`Histogram` — cumulative-bucket histogram with quantile
+  estimation, so TTFT/TPOT distributions can be *streamed* as requests
+  finish instead of reduced only at the end of a run;
+* :class:`MetricsRegistry` — owns the instruments and renders a
+  JSON snapshot or a text exposition.
+
+Label values are passed as keyword arguments::
+
+    reg = MetricsRegistry()
+    sel = reg.counter("policy_selections_total", "per-policy decisions")
+    sel.inc(policy="hybrid-ina@12", group="0-1-2-3")
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_buckets",
+]
+
+#: A labelset as stored internally: sorted (key, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _labelkey(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _labelstr(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def default_latency_buckets() -> tuple[float, ...]:
+    """Geometric bucket ladder covering 0.1 ms .. ~2 min latencies.
+
+    Tight enough that a histogram quantile lands within one bucket of
+    the exact :func:`numpy.percentile` over the same samples (the
+    acceptance bar for streaming TTFT/TPOT against
+    :class:`~repro.serving.metrics.ServingMetrics`).
+    """
+    buckets = []
+    b = 1e-4
+    while b < 150.0:
+        buckets.append(round(b, 10))
+        b *= 1.45
+    return tuple(buckets)
+
+
+@dataclass
+class _Instrument:
+    name: str
+    help: str
+    kind: str = field(default="", init=False)
+
+    def _key(self, labels: dict[str, str]) -> LabelKey:
+        return _labelkey(labels)
+
+
+@dataclass
+class Counter(_Instrument):
+    """Monotonically increasing counter with labels."""
+
+    _values: dict[LabelKey, float] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self.kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every labelset."""
+        return sum(self._values.values())
+
+    def collect(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "values": [
+                {"labels": dict(k), "value": v}
+                for k, v in sorted(self._values.items())
+            ],
+        }
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{_labelstr(k)} {v:g}"
+            for k, v in sorted(self._values.items())
+        ]
+
+
+@dataclass
+class Gauge(_Instrument):
+    """Last-observed value with labels (link utilisation, KV occupancy)."""
+
+    _values: dict[LabelKey, float] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self.kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), float("nan"))
+
+    def collect(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "values": [
+                {"labels": dict(k), "value": v}
+                for k, v in sorted(self._values.items())
+            ],
+        }
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{_labelstr(k)} {v:g}"
+            for k, v in sorted(self._values.items())
+        ]
+
+
+class _HistogramChild:
+    """Bucket counts for one labelset."""
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # final slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+
+@dataclass
+class Histogram(_Instrument):
+    """Fixed-bucket histogram (cumulative exposition, like Prometheus).
+
+    ``buckets`` are upper bounds (le); a final +Inf bucket is implicit.
+    """
+
+    buckets: tuple[float, ...] = field(default_factory=default_latency_buckets)
+    _children: dict[LabelKey, _HistogramChild] = field(
+        default_factory=dict, init=False
+    )
+
+    def __post_init__(self) -> None:
+        self.kind = "histogram"
+        bs = tuple(float(b) for b in self.buckets)
+        if not bs or list(bs) != sorted(bs) or len(set(bs)) != len(bs):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.buckets = bs
+
+    def _child(self, labels: dict[str, str]) -> _HistogramChild:
+        key = self._key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = _HistogramChild(len(self.buckets))
+            self._children[key] = child
+        return child
+
+    def observe(self, value: float, **labels: str) -> None:
+        child = self._child(labels)
+        # First bucket whose upper bound is >= value (bisect-free: the
+        # ladders here are short and observe() is not the hot path).
+        idx = len(self.buckets)
+        for i, ub in enumerate(self.buckets):
+            if value <= ub:
+                idx = i
+                break
+        child.counts[idx] += 1
+        child.sum += value
+        child.count += 1
+
+    def count(self, **labels: str) -> int:
+        child = self._children.get(self._key(labels))
+        return child.count if child else 0
+
+    def sum(self, **labels: str) -> float:
+        child = self._children.get(self._key(labels))
+        return child.sum if child else 0.0
+
+    def mean(self, **labels: str) -> float:
+        child = self._children.get(self._key(labels))
+        if not child or child.count == 0:
+            return float("nan")
+        return child.sum / child.count
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Estimated ``q``-quantile by linear interpolation in-bucket.
+
+        The estimate is exact to within the width of the bucket holding
+        the quantile — the guarantee the integration tests assert
+        against :mod:`repro.serving.metrics` reductions.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        child = self._children.get(self._key(labels))
+        if child is None or child.count == 0:
+            return float("nan")
+        rank = q * child.count
+        cum = 0
+        for i, c in enumerate(child.counts):
+            if c == 0:
+                continue
+            prev_cum = cum
+            cum += c
+            if cum >= rank:
+                lo = 0.0 if i == 0 else self.buckets[i - 1]
+                hi = (
+                    self.buckets[i]
+                    if i < len(self.buckets)
+                    else max(lo, child.sum / child.count)
+                )
+                frac = (rank - prev_cum) / c if c else 0.0
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        return self.buckets[-1]
+
+    def bucket_bounds(self, value: float) -> tuple[float, float]:
+        """(lower, upper) bounds of the bucket holding ``value``."""
+        lo = 0.0
+        for ub in self.buckets:
+            if value <= ub:
+                return lo, ub
+            lo = ub
+        return lo, math.inf
+
+    def collect(self) -> dict:
+        out = []
+        for key, child in sorted(self._children.items()):
+            cum = 0
+            cum_buckets = []
+            for i, c in enumerate(child.counts):
+                cum += c
+                le = self.buckets[i] if i < len(self.buckets) else "+Inf"
+                cum_buckets.append({"le": le, "count": cum})
+            out.append(
+                {
+                    "labels": dict(key),
+                    "count": child.count,
+                    "sum": child.sum,
+                    "buckets": cum_buckets,
+                    "quantiles": {
+                        "p50": self.quantile(0.50, **dict(key)),
+                        "p90": self.quantile(0.90, **dict(key)),
+                        "p99": self.quantile(0.99, **dict(key)),
+                    },
+                }
+            )
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "values": out,
+        }
+
+    def render(self) -> list[str]:
+        lines = []
+        for key, child in sorted(self._children.items()):
+            cum = 0
+            for i, c in enumerate(child.counts):
+                cum += c
+                le = (
+                    f"{self.buckets[i]:g}"
+                    if i < len(self.buckets)
+                    else "+Inf"
+                )
+                lk = _labelkey({**dict(key), "le": le})
+                lines.append(f"{self.name}_bucket{_labelstr(lk)} {cum}")
+            lines.append(f"{self.name}_sum{_labelstr(key)} {child.sum:g}")
+            lines.append(f"{self.name}_count{_labelstr(key)} {child.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Owns every instrument; renders snapshots and text exposition."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _register(self, inst: _Instrument) -> _Instrument:
+        existing = self._instruments.get(inst.name)
+        if existing is not None:
+            if type(existing) is not type(inst):
+                raise ValueError(
+                    f"metric {inst.name!r} re-registered with a "
+                    f"different type"
+                )
+            return existing
+        self._instruments[inst.name] = inst
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        if buckets is None:
+            return self._register(Histogram(name, help))
+        return self._register(Histogram(name, help, buckets=buckets))
+
+    def get(self, name: str) -> _Instrument | None:
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable dump of every instrument."""
+        return {
+            "metrics": [
+                self._instruments[n].collect() for n in self.names()
+            ]
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def render_text(self) -> str:
+        """Prometheus-flavoured text exposition."""
+        lines: list[str] = []
+        for name in self.names():
+            inst = self._instruments[name]
+            if inst.help:
+                lines.append(f"# HELP {name} {inst.help}")
+            lines.append(f"# TYPE {name} {inst.kind}")
+            lines.extend(inst.render())
+        return "\n".join(lines) + "\n"
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")

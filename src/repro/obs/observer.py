@@ -1,0 +1,377 @@
+"""The observer: one handle bundling tracing, metrics and profiling.
+
+A single :class:`Observer` is threaded through
+:class:`~repro.serving.engine.EngineConfig`,
+:class:`~repro.core.controller.CentralController`,
+:class:`~repro.core.scheduler.LoadAwareScheduler` and
+:class:`~repro.core.planner.OfflinePlanner`. Call sites invoke small
+semantic hooks (``request_finished``, ``allreduce_span``,
+``controller_tick`` ...) instead of talking to the recorder directly, so
+the disabled path — :class:`NullObserver`, the default everywhere — is a
+handful of no-op method calls guarded by an ``enabled`` flag and the
+simulator's behaviour and output stay byte-identical to an unobserved
+run.
+
+This mirrors the paper's §III-D monitoring agents: DCGM / switch
+hardware counters become :class:`LinkLoadTracker` samples exported as
+gauges, per-group policy decisions become labelled counters, and request
+lifecycles become Chrome-trace swimlanes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
+from repro.obs.trace import REQUEST_PID, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.network.linkstate import LinkLoadTracker
+    from repro.serving.request import RequestState
+
+__all__ = ["Observer", "NullObserver", "NULL_OBSERVER"]
+
+#: Sampled per-link gauges skip links quieter than this utilisation, so
+#: one busy fabric link is visible without exporting thousands of zeros.
+LINK_GAUGE_MIN_UTIL = 0.01
+
+
+def _span_if_valid(
+    trace: TraceRecorder,
+    track: str,
+    name: str,
+    start: float,
+    end: float,
+    tid: int,
+    **args,
+) -> None:
+    if math.isnan(start) or math.isnan(end) or end < start:
+        return
+    trace.complete(
+        track, name, start, end - start, pid=REQUEST_PID, tid=tid, **args
+    )
+
+
+class Observer:
+    """Recording observer: traces + metrics + profiling all live."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+        profiler: PhaseProfiler | None = None,
+        max_trace_events: int = 1_000_000,
+    ) -> None:
+        self.trace = trace or TraceRecorder(max_events=max_trace_events)
+        self.metrics = metrics or MetricsRegistry()
+        self.profiler = profiler or PhaseProfiler()
+
+        m = self.metrics
+        self._requests = m.counter(
+            "repro_requests_total", "request lifecycle events by kind"
+        )
+        self._prefill_batches = m.counter(
+            "repro_prefill_batches_total", "prefill batches executed"
+        )
+        self._decode_iters = m.counter(
+            "repro_decode_iterations_total", "decode iterations executed"
+        )
+        self._kv_transfers = m.counter(
+            "repro_kv_transfers_total", "prefill->decode KV transfers"
+        )
+        self._policy_selections = m.counter(
+            "repro_policy_selections_total",
+            "per-group all-reduce policy decisions (paper Fig. 5 table)",
+        )
+        self._controller_refreshes = m.counter(
+            "repro_controller_refreshes_total",
+            "central controller Eq. 18 refresh rounds",
+        )
+        self._ttft = m.histogram(
+            "repro_ttft_seconds", "time to first token, streamed"
+        )
+        self._tpot = m.histogram(
+            "repro_tpot_seconds", "time per output token, streamed"
+        )
+        self._batch_size = m.histogram(
+            "repro_batch_size",
+            "batch width per prefill batch / decode iteration",
+            buckets=tuple(float(b) for b in (1, 2, 4, 8, 16, 32, 64, 128)),
+        )
+        self._link_util = m.gauge(
+            "repro_link_utilization",
+            "sampled per-link utilisation (links above "
+            f"{LINK_GAUGE_MIN_UTIL:.0%} only)",
+        )
+        self._link_util_kind = m.gauge(
+            "repro_link_utilization_by_kind",
+            "mean/max sampled utilisation per link kind",
+        )
+        self._kv_util = m.gauge(
+            "repro_kv_cache_utilization", "decode KV cache occupancy"
+        )
+
+    # -- request lifecycle --------------------------------------------------
+
+    def request_arrival(self, ts: float, req: "RequestState") -> None:
+        self._requests.inc(event="arrival")
+        self.trace.instant(
+            "requests",
+            "arrival",
+            ts,
+            request_id=req.request_id,
+            input_len=req.input_len,
+            output_len=req.output_len,
+        )
+
+    def request_dropped(self, ts: float, req: "RequestState") -> None:
+        self._requests.inc(event="dropped")
+        self.trace.instant(
+            "requests", "dropped", ts, request_id=req.request_id
+        )
+
+    def request_finished(self, ts: float, req: "RequestState") -> None:
+        """Stream latency histograms and emit the lifecycle swimlane."""
+        self._requests.inc(event="finished")
+        self._ttft.observe(req.ttft)
+        self._tpot.observe(req.tpot)
+        t = self.trace
+        rid = req.request_id
+        _span_if_valid(
+            t, "requests", "queued", req.arrival_time, req.prefill_start, rid
+        )
+        _span_if_valid(
+            t,
+            "requests",
+            "prefill",
+            req.prefill_start,
+            req.first_token_time,
+            rid,
+            input_len=req.input_len,
+        )
+        _span_if_valid(
+            t,
+            "requests",
+            "kv_transfer",
+            req.first_token_time,
+            req.kv_done_time,
+            rid,
+        )
+        _span_if_valid(
+            t,
+            "requests",
+            "decode_wait",
+            req.kv_done_time,
+            req.decode_start,
+            rid,
+        )
+        _span_if_valid(
+            t,
+            "requests",
+            "decode",
+            req.decode_start,
+            req.finish_time,
+            rid,
+            output_len=req.output_len,
+            ttft_s=req.ttft,
+            tpot_s=req.tpot,
+        )
+
+    # -- engine passes -------------------------------------------------------
+
+    def prefill_span(
+        self, start: float, dur: float, n_requests: int, tokens: int,
+        t_compute: float, t_comm: float,
+    ) -> None:
+        self._prefill_batches.inc()
+        self._batch_size.observe(n_requests, phase="prefill")
+        self.trace.complete(
+            "prefill",
+            f"prefill[{n_requests}r/{tokens}t]",
+            start,
+            dur,
+            n_requests=n_requests,
+            tokens=tokens,
+            t_compute_s=t_compute,
+            t_comm_s=t_comm,
+        )
+
+    def decode_span(
+        self, start: float, dur: float, q: int, context: int,
+        t_compute: float, t_comm: float,
+    ) -> None:
+        self._decode_iters.inc()
+        self._batch_size.observe(q, phase="decode")
+        self.trace.complete(
+            "decode",
+            f"decode[q={q}]",
+            start,
+            dur,
+            q=q,
+            context_tokens=context,
+            t_compute_s=t_compute,
+            t_comm_s=t_comm,
+        )
+
+    def kv_transfer_span(
+        self, start: float, dur: float, n_requests: int, tokens: int
+    ) -> None:
+        self._kv_transfers.inc()
+        self.trace.complete(
+            "kv_transfer",
+            f"kv[{n_requests}r/{tokens}t]",
+            start,
+            dur,
+            n_requests=n_requests,
+            tokens=tokens,
+        )
+
+    def allreduce_span(
+        self,
+        phase: str,
+        start: float,
+        dur: float,
+        group: tuple[int, ...],
+        policy: str,
+        mode: str,
+        steps: int,
+        data_bytes: float,
+    ) -> None:
+        """One group's synchronisation slice of a pass, policy-labelled.
+
+        Nested (by timestamps) inside the owning prefill/decode span.
+        """
+        self.trace.complete(
+            "allreduce",
+            f"allreduce:{policy}",
+            start,
+            dur,
+            phase=phase,
+            group="-".join(str(g) for g in group),
+            policy=policy,
+            mode=mode,
+            steps=steps,
+            data_bytes=data_bytes,
+        )
+
+    def policy_selected(
+        self, group: tuple[int, ...], policy: str, mode: str
+    ) -> None:
+        self._policy_selections.inc(
+            group="-".join(str(g) for g in group), policy=policy, mode=mode
+        )
+
+    # -- controller / link state ----------------------------------------------
+
+    def controller_tick(self, ts: float, refreshed: bool) -> None:
+        if refreshed:
+            self._controller_refreshes.inc()
+            self.trace.instant("controller", "refresh", ts)
+
+    def sample_links(self, ts: float, linkstate: "LinkLoadTracker") -> None:
+        """Export the monitoring agents' view as gauges."""
+        for kind, (mean_u, max_u) in linkstate.utilization_by_kind().items():
+            self._link_util_kind.set(mean_u, kind=kind, stat="mean")
+            self._link_util_kind.set(max_u, kind=kind, stat="max")
+        for link_id, kind, util in linkstate.busy_links(
+            LINK_GAUGE_MIN_UTIL
+        ):
+            self._link_util.set(util, link=str(link_id), kind=kind)
+
+    def kv_sample(self, ts: float, used: int, capacity: int) -> None:
+        if capacity > 0:
+            self._kv_util.set(used / capacity)
+
+    # -- profiling ----------------------------------------------------------
+
+    def phase(self, name: str):
+        """Wall-clock phase timer (planner/grouping phases)."""
+        return self.profiler.phase(name)
+
+    # -- export ---------------------------------------------------------------
+
+    def export(
+        self,
+        trace_path: str | None = None,
+        metrics_path: str | None = None,
+    ) -> None:
+        """Write collected telemetry to disk.
+
+        ``trace_path`` ending in ``.jsonl`` gets the line-oriented dump;
+        anything else gets Chrome-trace JSON (loadable in
+        ``chrome://tracing`` / Perfetto). ``metrics_path`` gets the JSON
+        snapshot, or the text exposition when it ends in ``.txt`` /
+        ``.prom``.
+        """
+        if trace_path is not None:
+            if trace_path.endswith(".jsonl"):
+                self.trace.write_jsonl(trace_path)
+            else:
+                self.trace.write_chrome(trace_path)
+        if metrics_path is not None:
+            if metrics_path.endswith((".txt", ".prom")):
+                with open(metrics_path, "w") as fh:
+                    fh.write(self.metrics.render_text())
+            else:
+                self.metrics.write_json(metrics_path)
+
+
+class NullObserver:
+    """Disabled observer: every hook is a no-op.
+
+    The default on every config/constructor, so existing call sites and
+    benchmarks pay only an attribute check (``obs.enabled``) or an empty
+    method call when observability is off.
+    """
+
+    enabled = False
+    trace = None
+    metrics = None
+    profiler = NULL_PROFILER
+
+    def request_arrival(self, ts, req) -> None:
+        pass
+
+    def request_dropped(self, ts, req) -> None:
+        pass
+
+    def request_finished(self, ts, req) -> None:
+        pass
+
+    def prefill_span(self, *args, **kwargs) -> None:
+        pass
+
+    def decode_span(self, *args, **kwargs) -> None:
+        pass
+
+    def kv_transfer_span(self, *args, **kwargs) -> None:
+        pass
+
+    def allreduce_span(self, *args, **kwargs) -> None:
+        pass
+
+    def policy_selected(self, group, policy, mode) -> None:
+        pass
+
+    def controller_tick(self, ts, refreshed) -> None:
+        pass
+
+    def sample_links(self, ts, linkstate) -> None:
+        pass
+
+    def kv_sample(self, ts, used, capacity) -> None:
+        pass
+
+    def phase(self, name: str):
+        return NULL_PROFILER.phase(name)
+
+    def export(self, trace_path=None, metrics_path=None) -> None:
+        pass
+
+
+#: Shared default instance (stateless, safe to share across engines).
+NULL_OBSERVER = NullObserver()

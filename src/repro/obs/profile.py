@@ -1,0 +1,130 @@
+"""Wall-clock phase profiling for the offline planner.
+
+``bench_planner_time`` historically reported one number per planner run;
+the §III-C3 claim (28.57 % faster than DistServe's search) rests on
+*which* phases the heuristics cut — candidate enumeration, constrained
+k-means grouping, swap perturbation, objective evaluation. A
+:class:`PhaseProfiler` accumulates wall time per named phase so the
+benchmark can print that breakdown.
+
+Thread-safe: the planner's asynchronous prefill/decode estimation runs
+phases from two worker threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["PhaseStat", "PhaseProfiler", "NullProfiler", "NULL_PROFILER"]
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall time for one phase."""
+
+    total: float = 0.0
+    count: int = 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time per named phase."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._stats: dict[str, PhaseStat] = {}
+        self._lock = threading.Lock()
+
+    def record(self, name: str, elapsed: float) -> None:
+        with self._lock:
+            stat = self._stats.get(name)
+            if stat is None:
+                stat = self._stats[name] = PhaseStat()
+            stat.total += elapsed
+            stat.count += 1
+
+    @contextmanager
+    def phase(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - t0)
+
+    def breakdown(self) -> dict[str, PhaseStat]:
+        """Phase -> stats, sorted by descending total time."""
+        with self._lock:
+            items = sorted(
+                self._stats.items(), key=lambda kv: -kv[1].total
+            )
+        return dict(items)
+
+    def phase_times(self) -> dict[str, float]:
+        """Phase -> total seconds (the flat view reports embed)."""
+        return {k: v.total for k, v in self.breakdown().items()}
+
+    def report(self, title: str = "phase breakdown") -> str:
+        rows = self.breakdown()
+        if not rows:
+            return f"{title}: (no phases recorded)"
+        width = max(len(k) for k in rows)
+        lines = [title]
+        for name, stat in rows.items():
+            lines.append(
+                f"  {name:<{width}s}  {stat.total * 1e3:9.2f} ms"
+                f"  x{stat.count:<6d} mean {stat.mean * 1e3:8.3f} ms"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullProfiler:
+    """No-op profiler: ``phase()`` returns a shared, allocation-free
+    context manager, so disabled profiling costs two attribute lookups."""
+
+    enabled = False
+
+    def record(self, name: str, elapsed: float) -> None:
+        pass
+
+    def phase(self, name: str):
+        return _NULL_CONTEXT
+
+    def breakdown(self) -> dict[str, PhaseStat]:
+        return {}
+
+    def phase_times(self) -> dict[str, float]:
+        return {}
+
+    def report(self, title: str = "phase breakdown") -> str:
+        return f"{title}: (profiling disabled)"
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared instance for default arguments.
+NULL_PROFILER = NullProfiler()

@@ -1,0 +1,239 @@
+"""In-memory trace recorder with JSONL and Chrome-trace export.
+
+Spans carry *simulation* timestamps (seconds); the exporters convert to
+the microsecond scale ``chrome://tracing`` / Perfetto expect. Tracks
+(one per activity class: prefill, decode, KV transfer, all-reduce,
+controller) become Chrome *threads*; request-lifecycle spans get their
+own *process* so per-request swimlanes do not collide with the engine
+tracks.
+
+The recorder is bounded: past ``max_events`` new records are counted as
+dropped instead of growing without limit, so tracing a week-long
+simulated trace cannot exhaust host memory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SpanRecord", "TraceRecorder", "ENGINE_PID", "REQUEST_PID"]
+
+#: Chrome-trace process ids: engine activity vs per-request lanes.
+ENGINE_PID = 1
+REQUEST_PID = 2
+
+
+@dataclass
+class SpanRecord:
+    """One trace record: a complete span (``dur >= 0``) or an instant."""
+
+    name: str
+    track: str
+    start: float
+    dur: float | None  # None => instant event
+    pid: int = ENGINE_PID
+    tid: int | None = None  # explicit lane (request id); None => track lane
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + (self.dur or 0.0)
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur is not None
+
+
+class TraceRecorder:
+    """Buffered span/event store for one run."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.records: list[SpanRecord] = []
+        self.dropped = 0
+        self._open: dict[int, SpanRecord] = {}
+        self._next_span = 0
+        self._tracks: dict[str, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def _track_tid(self, track: str) -> int:
+        tid = self._tracks.get(track)
+        if tid is None:
+            tid = len(self._tracks)
+            self._tracks[track] = tid
+        return tid
+
+    def _append(self, rec: SpanRecord) -> bool:
+        if len(self.records) >= self.max_events:
+            self.dropped += 1
+            return False
+        self.records.append(rec)
+        return True
+
+    def complete(
+        self,
+        track: str,
+        name: str,
+        start: float,
+        dur: float,
+        pid: int = ENGINE_PID,
+        tid: int | None = None,
+        **args: Any,
+    ) -> None:
+        """Record a span whose duration is already known.
+
+        The discrete-event engine prices every activity before scheduling
+        its completion event, so almost all engine spans take this path.
+        """
+        if dur < 0:
+            raise ValueError(f"span duration must be >= 0, got {dur}")
+        self._append(
+            SpanRecord(name, track, start, dur, pid=pid, tid=tid, args=args)
+        )
+
+    def instant(
+        self,
+        track: str,
+        name: str,
+        ts: float,
+        pid: int = ENGINE_PID,
+        **args: Any,
+    ) -> None:
+        """Record a point event (controller tick, drop, arrival)."""
+        self._append(SpanRecord(name, track, ts, None, pid=pid, args=args))
+
+    def begin(
+        self, track: str, name: str, ts: float, **args: Any
+    ) -> int:
+        """Open a span whose end is not yet known; returns a span id."""
+        sid = self._next_span
+        self._next_span += 1
+        self._open[sid] = SpanRecord(name, track, ts, 0.0, args=args)
+        return sid
+
+    def end(self, span_id: int, ts: float, **extra: Any) -> None:
+        """Close a span opened with :meth:`begin`."""
+        rec = self._open.pop(span_id)
+        if ts < rec.start:
+            raise ValueError(
+                f"span {rec.name!r} ends at {ts} before start {rec.start}"
+            )
+        rec.dur = ts - rec.start
+        rec.args.update(extra)
+        self._append(rec)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def spans(self, track: str | None = None) -> list[SpanRecord]:
+        return [
+            r
+            for r in self.records
+            if r.is_span and (track is None or r.track == track)
+        ]
+
+    def instants(self, track: str | None = None) -> list[SpanRecord]:
+        return [
+            r
+            for r in self.records
+            if not r.is_span and (track is None or r.track == track)
+        ]
+
+    # -- export ------------------------------------------------------------
+
+    def _chrome_events(self) -> list[dict]:
+        events: list[dict] = []
+        # Assign track lanes up front so the thread-name metadata below
+        # covers every track (lanes are otherwise assigned lazily).
+        for r in self.records:
+            if r.tid is None:
+                self._track_tid(r.track)
+        for track, tid in sorted(self._tracks.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": ENGINE_PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        events.append(
+            {
+                "ph": "M",
+                "pid": ENGINE_PID,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "engine"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": REQUEST_PID,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "requests"},
+            }
+        )
+        for r in self.records:
+            tid = r.tid if r.tid is not None else self._track_tid(r.track)
+            ev = {
+                "name": r.name,
+                "cat": r.track,
+                "pid": r.pid,
+                "tid": tid,
+                "ts": r.start * 1e6,  # seconds -> microseconds
+                "args": r.args,
+            }
+            if r.is_span:
+                ev["ph"] = "X"
+                ev["dur"] = (r.dur or 0.0) * 1e6
+            else:
+                ev["ph"] = "i"
+                ev["s"] = "t"
+            events.append(ev)
+        return events
+
+    def to_chrome(self) -> dict:
+        """``chrome://tracing`` / Perfetto JSON object."""
+        return {
+            "traceEvents": self._chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_records": self.dropped},
+        }
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh)
+            fh.write("\n")
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line — grep/pandas-friendly."""
+        lines = []
+        for r in self.records:
+            lines.append(
+                json.dumps(
+                    {
+                        "name": r.name,
+                        "track": r.track,
+                        "start": r.start,
+                        "dur": r.dur,
+                        "pid": r.pid,
+                        "tid": r.tid,
+                        "args": r.args,
+                    }
+                )
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())

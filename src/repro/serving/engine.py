@@ -49,11 +49,20 @@ from repro.llm.batch import BatchSpec
 from repro.llm.costmodel import CostModelBank
 from repro.llm.memory import MemoryBudget
 from repro.llm.models import ModelConfig
+from repro.obs.logging_config import get_logger
+from repro.obs.observer import NULL_OBSERVER
 from repro.serving.metrics import ServingMetrics
 from repro.serving.request import RequestPhase, RequestState
 from repro.network.topology import LinkKind
 from repro.workloads.traces import Trace
 from repro.sim.eventqueue import EventQueue
+
+log = get_logger(__name__)
+
+#: Without a controller there is no monitoring cadence; sample link
+#: gauges every Nth EWMA poll instead so baselines stay observable
+#: without a per-iteration Python sweep over the fabric.
+_BASELINE_LINK_SAMPLE_EVERY = 16
 
 
 @dataclass
@@ -71,6 +80,9 @@ class EngineConfig:
     #: simulation horizon beyond the last arrival (seconds)
     drain_time: float = 300.0
     r_frac: float = 0.65
+    #: observability sink; the shared no-op default records nothing and
+    #: leaves results byte-identical to an unobserved run
+    observer: object = NULL_OBSERVER
 
 
 class ServingSimulator:
@@ -100,6 +112,8 @@ class ServingSimulator:
         self.trace = trace
         self.controller = controller
         self.cfg = config or EngineConfig()
+        self.obs = self.cfg.observer or NULL_OBSERVER
+        self._poll_counter = 0
 
         # A fleet shares one queue (and one link tracker) across
         # replicas so their traffic contends; standalone use gets its own.
@@ -139,6 +153,7 @@ class ServingSimulator:
         self.decode_busy = False
         self._decode_comm_cache: tuple[int, float] | None = None
         self._decode_footprints: list[tuple[tuple[int, ...], float]] = []
+        self._decode_decisions: list[dict] = []
         self._decode_iter_counter = 0
         self._eth_links = np.where(
             ctx.built.topology.kind_array() == int(LinkKind.ETHERNET)
@@ -166,24 +181,31 @@ class ServingSimulator:
         tokens: int,
         activation_bytes: int,
         plan_comm: tuple,
-    ) -> tuple[float, list[tuple[tuple[int, ...], float]]]:
-        """(total sync time, [(links, bytes)]) for one pass.
+    ) -> tuple[float, list[tuple[tuple[int, ...], float]], list[dict]]:
+        """(total sync time, [(links, bytes)], decisions) for one pass.
 
         With a controller (HeroServe) every group's step is routed
         through the load-aware policy tables. Without one, the group
         executes its *plan-time* policy (mode + switch fixed at
         deployment, as real static systems do), priced at the live link
         bandwidths.
+
+        ``decisions`` carries per-group (policy, mode, step time, steps,
+        bytes) records for the observability layer; it is built only
+        when an observer is attached.
         """
         data = allreduce_bytes(self.model, tokens)
         steps = sync_steps_per_pass(self.model, len(stages))
         total = 0.0
         footprints: list[tuple[tuple[int, ...], float]] = []
+        decisions: list[dict] = []
+        observing = self.obs.enabled
         contention = self._contention()
         for grp, planned in zip(stages, plan_comm):
             if self.controller is not None and len(grp) > 1:
                 dec = self.controller.decide(grp, data)
                 step_t, links = dec.step_time, dec.links
+                policy_name, mode = dec.policy.name, dec.policy.mode
             else:
                 step_t = price_group_step(
                     self.ctx,
@@ -195,12 +217,59 @@ class ServingSimulator:
                     contention=contention,
                 )
                 links = planned.links
+                mode = planned.mode
+                policy_name = (
+                    f"{mode}@{planned.ina_switch}"
+                    if planned.ina_switch is not None
+                    else mode
+                )
+                if observing:
+                    # Controller-routed groups are counted inside the
+                    # scheduler; static plan-time policies are counted
+                    # here so the selection metric covers baselines too.
+                    self.obs.policy_selected(tuple(grp), policy_name, mode)
             total += steps * step_t
             if links:
                 footprints.append((tuple(links), float(data * steps)))
+            if observing:
+                decisions.append(
+                    {
+                        "group": tuple(grp),
+                        "policy": policy_name,
+                        "mode": mode,
+                        "step_time": step_t,
+                        "steps": steps,
+                        "data_bytes": float(data),
+                    }
+                )
         if len(stages) > 1:
             total += pipeline_sync_time(self.ctx, stages, activation_bytes)
-        return total, footprints
+        return total, footprints, decisions
+
+    def _emit_allreduce_spans(
+        self, phase: str, comm_start: float, decisions: list[dict]
+    ) -> None:
+        """Lay each group's sync slice inside the owning pass span.
+
+        Groups synchronise back-to-back in the pass pricing (the total is
+        the sum over groups), so their spans stack sequentially from the
+        end of the compute slice — nested, by construction, within the
+        prefill/decode span that owns them.
+        """
+        t = comm_start
+        for d in decisions:
+            dur = d["steps"] * d["step_time"]
+            self.obs.allreduce_span(
+                phase,
+                t,
+                dur,
+                d["group"],
+                d["policy"],
+                d["mode"],
+                d["steps"],
+                d["data_bytes"],
+            )
+            t += dur
 
     def _register_pass_load(
         self,
@@ -224,6 +293,8 @@ class ServingSimulator:
     # ------------------------------------------------------------------
 
     def _on_arrival(self, req: RequestState) -> None:
+        if self.obs.enabled:
+            self.obs.request_arrival(self.queue.now, req)
         self.prefill_queue.append(req)
         self._try_start_prefill()
 
@@ -256,7 +327,7 @@ class ServingSimulator:
         t_c = self.bank.group_prefill_time(
             self._prefill_hw, spec, self.plan.parallel.p_tens_prefill
         )
-        t_n, footprints = self._phase_comm_time(
+        t_n, footprints, decisions = self._phase_comm_time(
             self.prefill_stages,
             spec.k_in,
             prefill_activation_bytes(self.model, spec.k_in),
@@ -265,6 +336,12 @@ class ServingSimulator:
         duration = t_c + t_n
         handles = self._register_pass_load(footprints, duration)
         self.metrics.prefill_batches += 1
+        if self.obs.enabled:
+            now = self.queue.now
+            self.obs.prefill_span(
+                now, duration, len(batch), spec.k_in, t_c, t_n
+            )
+            self._emit_allreduce_spans("prefill", now + t_c, decisions)
         self.queue.schedule(
             duration, self._prefill_done, batch, spec, handles,
             tag="prefill_done",
@@ -308,6 +385,8 @@ class ServingSimulator:
                     handles.append(
                         self.ctx.linkstate.register(links, nbytes / t_f)
                     )
+            if self.obs.enabled:
+                self.obs.kv_transfer_span(now, t_f, len(batch), spec.k_in)
             self.queue.schedule(
                 t_f, self._kv_done, batch, handles, tag="kv_done"
             )
@@ -349,11 +428,13 @@ class ServingSimulator:
             or self._decode_comm_cache[0] != q
             or self._decode_iter_counter % self.cfg.comm_refresh_every == 0
         ):
-            t_n, self._decode_footprints = self._phase_comm_time(
-                self.decode_stages,
-                q,
-                decode_activation_bytes(self.model, q),
-                self.plan.decode.comm,
+            t_n, self._decode_footprints, self._decode_decisions = (
+                self._phase_comm_time(
+                    self.decode_stages,
+                    q,
+                    decode_activation_bytes(self.model, q),
+                    self.plan.decode.comm,
+                )
             )
             self._decode_comm_cache = (q, t_n)
         return self._decode_comm_cache[1]
@@ -380,6 +461,12 @@ class ServingSimulator:
         duration = t_c + t_n
         handles = self._register_pass_load(self._decode_footprints, duration)
         self.metrics.decode_iterations += 1
+        if self.obs.enabled:
+            now = self.queue.now
+            self.obs.decode_span(now, duration, q, context, t_c, t_n)
+            self._emit_allreduce_spans(
+                "decode", now + t_c, self._decode_decisions
+            )
         self.queue.schedule(
             duration, self._decode_iter_done, handles, tag="decode_iter"
         )
@@ -387,6 +474,7 @@ class ServingSimulator:
     def _decode_iter_done(self, handles: list[int]) -> None:
         self._release(handles)
         now = self.queue.now
+        observing = self.obs.enabled
         still_active: list[RequestState] = []
         for r in self.decode_active:
             r.tokens_generated += 1
@@ -395,10 +483,14 @@ class ServingSimulator:
                 r.phase = RequestPhase.FINISHED
                 self.kv_used -= r.kv_tokens
                 self.metrics.record_finish(r)
+                if observing:
+                    self.obs.request_finished(now, r)
             else:
                 still_active.append(r)
         self.decode_active = still_active
         self.metrics.record_memory(now, self.kv_used, self.kv_capacity)
+        if observing:
+            self.obs.kv_sample(now, self.kv_used, self.kv_capacity)
         self.decode_busy = False
         self._tick_controller()
         self._try_start_decode()
@@ -409,10 +501,18 @@ class ServingSimulator:
 
     def _tick_controller(self) -> None:
         if self.controller is not None:
-            self.controller.tick(self.queue.now)
+            refreshed = self.controller.tick(self.queue.now)
+            if self.obs.enabled:
+                self.obs.controller_tick(self.queue.now, refreshed)
+                if refreshed:
+                    self.obs.sample_links(self.queue.now, self.ctx.linkstate)
         else:
             # Baselines still poll link counters so EWMA views stay live.
             self.ctx.linkstate.poll()
+            if self.obs.enabled:
+                self._poll_counter += 1
+                if self._poll_counter % _BASELINE_LINK_SAMPLE_EVERY == 0:
+                    self.obs.sample_links(self.queue.now, self.ctx.linkstate)
 
     def submit(self, tr) -> RequestState:
         """Accept one routed request *now* (fleet/router entry point)."""
@@ -435,6 +535,12 @@ class ServingSimulator:
         """Execute the full trace; returns the filled metrics object."""
         if self.trace is None:
             raise ValueError("standalone run() requires a trace")
+        log.info(
+            "starting run: %d requests, horizon %.1fs, observer %s",
+            len(self.trace),
+            self.trace.duration + self.cfg.drain_time,
+            "on" if self.obs.enabled else "off",
+        )
         for tr in self.trace:
             req = RequestState(trace=tr)
             self.queue.schedule_at(
@@ -442,4 +548,12 @@ class ServingSimulator:
             )
         horizon = self.trace.duration + self.cfg.drain_time
         self.queue.run(until=horizon)
+        log.info(
+            "run complete: %d finished, %d prefill batches, "
+            "%d decode iterations, %d events fired",
+            self.metrics.n_finished,
+            self.metrics.prefill_batches,
+            self.metrics.decode_iterations,
+            self.queue.events_fired,
+        )
         return self.metrics

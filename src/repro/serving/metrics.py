@@ -93,6 +93,17 @@ class ServingMetrics:
             return float("nan")
         return float(np.percentile(self._arr("tpot"), 90))
 
+    def p99_ttft(self) -> float:
+        """Tail TTFT — the SLO-burn view production dashboards watch."""
+        if not self.finished:
+            return float("nan")
+        return float(np.percentile(self._arr("ttft"), 99))
+
+    def p99_tpot(self) -> float:
+        if not self.finished:
+            return float("nan")
+        return float(np.percentile(self._arr("tpot"), 99))
+
     def mean_memory_utilization(self) -> float:
         if not self.memory_timeline:
             return float("nan")
@@ -111,11 +122,14 @@ class ServingMetrics:
         """Flat dict used by the benchmark tables."""
         return {
             "finished": float(self.n_finished),
+            "dropped": float(self.dropped),
             "attainment": self.attainment(),
             "mean_ttft_s": self.mean_ttft(),
             "p90_ttft_s": self.p90_ttft(),
+            "p99_ttft_s": self.p99_ttft(),
             "mean_tpot_s": self.mean_tpot(),
             "p90_tpot_s": self.p90_tpot(),
+            "p99_tpot_s": self.p99_tpot(),
             "mean_mem_util": self.mean_memory_utilization(),
             "prefill_batches": float(self.prefill_batches),
             "decode_iterations": float(self.decode_iterations),

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.logging_config import get_logger
 from repro.switch.dataplane import (
     ResultPacket,
     SlotPoolExhausted,
@@ -39,6 +40,8 @@ from repro.switch.dataplane import (
     dequantize,
     quantize,
 )
+
+log = get_logger(__name__)
 
 #: Per-packet wire/processing overhead on the worker-switch RTT. The paper
 #: treats in-switch aggregation as ~1 us; NIC+PCIe adds a few microseconds.
@@ -148,6 +151,14 @@ def atp_allreduce(
             out_q[lo:hi] = result.payload
         except SlotPoolExhausted:
             # End-host fallback: the parameter server sums this chunk.
+            # Previously silent — the fallback rate is the §V degradation
+            # signal, so surface it at DEBUG for the monitoring layer.
+            log.debug(
+                "ATP job %s chunk %d: slot pool exhausted, "
+                "end-host fallback",
+                job_id,
+                ci,
+            )
             fallback += 1
             acc = np.zeros(hi - lo, dtype=np.int64)
             for q in quants:

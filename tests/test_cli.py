@@ -1,8 +1,12 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.__main__ import main
+from repro.obs.logging_config import PACKAGE_LOGGER
 
 
 class TestCli:
@@ -48,3 +52,118 @@ class TestCli:
         out = capsys.readouterr().out
         for name in ("DistServe", "DS-ATP", "DS-SwitchML", "HeroServe"):
             assert name in out
+
+
+class TestCliObservability:
+    def test_quickstart_writes_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "quickstart",
+                "--rate",
+                "0.4",
+                "--duration",
+                "20",
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace_path}" in out
+        assert f"wrote {metrics_path}" in out
+
+        blob = json.loads(trace_path.read_text())
+        names = {e["name"] for e in blob["traceEvents"]}
+        assert any(n.startswith("prefill[") for n in names)
+        assert any(n.startswith("allreduce:") for n in names)
+
+        metrics = json.loads(metrics_path.read_text())
+        metric_names = {m["name"] for m in metrics["metrics"]}
+        assert "repro_ttft_seconds" in metric_names
+        assert "repro_policy_selections_total" in metric_names
+
+    def test_quickstart_jsonl_trace(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "quickstart",
+                "--rate",
+                "0.4",
+                "--duration",
+                "10",
+                "--trace-out",
+                str(trace_path),
+            ]
+        ) == 0
+        lines = trace_path.read_text().strip().splitlines()
+        assert lines
+        assert all(json.loads(line)["name"] for line in lines)
+
+    def test_metrics_text_exposition(self, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(
+            [
+                "quickstart",
+                "--rate",
+                "0.4",
+                "--duration",
+                "10",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        ) == 0
+        text = metrics_path.read_text()
+        assert "# TYPE repro_ttft_seconds histogram" in text
+        assert "repro_ttft_seconds_count" in text
+
+    def test_plan_phase_breakdown_with_metrics_out(
+        self, capsys, tmp_path
+    ):
+        assert main(
+            [
+                "plan",
+                "--rate",
+                "0.3",
+                "--metrics-out",
+                str(tmp_path / "m.json"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "planner phase breakdown" in out
+        assert "grouping.kmeans" in out
+
+    def test_compare_suffixes_outputs_per_system(self, tmp_path):
+        assert main(
+            [
+                "compare",
+                "--rate",
+                "0.8",
+                "--duration",
+                "10",
+                "--metrics-out",
+                str(tmp_path / "m.json"),
+            ]
+        ) == 0
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert written == [
+            "m-distserve.json",
+            "m-ds-atp.json",
+            "m-ds-switchml.json",
+            "m-heroserve.json",
+        ]
+
+    def test_verbose_flag_configures_logging(self, tmp_path):
+        logger = logging.getLogger(PACKAGE_LOGGER)
+        saved_handlers = list(logger.handlers)
+        saved_level = logger.level
+        try:
+            assert main(
+                ["-v", "quickstart", "--rate", "0.4", "--duration", "10"]
+            ) == 0
+            assert logger.level == logging.INFO
+        finally:
+            logger.handlers = saved_handlers
+            logger.setLevel(saved_level)

@@ -1,0 +1,150 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("reqs", "requests")
+        assert c.total() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.total() == 3.5
+
+    def test_labels_separate_series(self):
+        c = Counter("policy", "policy picks")
+        c.inc(policy="ring", mode="homogeneous")
+        c.inc(policy="hybrid", mode="heterogeneous")
+        c.inc(policy="hybrid", mode="heterogeneous")
+        assert c.value(policy="ring", mode="homogeneous") == 1.0
+        assert c.value(policy="hybrid", mode="heterogeneous") == 2.0
+        assert c.total() == 3.0
+
+    def test_label_order_irrelevant(self):
+        c = Counter("x", "")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1.0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x", "")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("util", "link util")
+        g.set(0.3, link="l0")
+        g.set(0.7, link="l0")
+        assert g.value(link="l0") == 0.7
+
+    def test_unset_label_is_nan(self):
+        g = Gauge("util", "")
+        assert np.isnan(g.value(link="missing"))
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        h = Histogram("lat", "", buckets=[0.1, 1.0, 10.0])
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+        assert h.mean() == pytest.approx(5.55 / 3)
+
+    def test_quantile_within_one_bucket_of_exact(self):
+        """The acceptance criterion: histogram quantiles agree with the
+        exact np.percentile within one bucket width."""
+        rng = np.random.default_rng(42)
+        samples = rng.lognormal(mean=-2.0, sigma=1.0, size=2000)
+        h = Histogram("ttft", "", buckets=default_latency_buckets())
+        for s in samples:
+            h.observe(float(s))
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.percentile(samples, q * 100))
+            est = h.quantile(q)
+            lo, hi = h.bucket_bounds(exact)
+            assert lo <= est <= hi, (q, exact, est, lo, hi)
+
+    def test_quantile_empty_is_nan(self):
+        h = Histogram("x", "", buckets=[1.0])
+        assert np.isnan(h.quantile(0.9))
+
+    def test_buckets_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram("x", "", buckets=[1.0, 0.5])
+
+    def test_labelled_series_independent(self):
+        h = Histogram("x", "", buckets=[1.0, 2.0])
+        h.observe(0.5, kind="prefill")
+        h.observe(1.5, kind="decode")
+        assert h.count(kind="prefill") == 1
+        assert h.count(kind="decode") == 1
+        assert h.sum(kind="prefill") == pytest.approx(0.5)
+        assert h.sum(kind="decode") == pytest.approx(1.5)
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a", "help")
+        c2 = reg.counter("a", "help")
+        assert c1 is c2
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a", "")
+        with pytest.raises(ValueError):
+            reg.gauge("a", "")
+
+    def test_snapshot_and_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs", "n requests").inc(3, route="prefill")
+        reg.gauge("util", "link util").set(0.5, link="l0")
+        h = reg.histogram("lat", "latency", buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(0.5)
+        blob = json.loads(reg.to_json())
+        names = {m["name"] for m in blob["metrics"]}
+        assert {"reqs", "util", "lat"} <= names
+        hist = next(m for m in blob["metrics"] if m["name"] == "lat")
+        series = hist["values"][0]
+        assert series["count"] == 2
+        assert "quantiles" in series
+        assert series["buckets"][-1]["le"] == "+Inf"
+        assert series["buckets"][-1]["count"] == 2
+
+    def test_render_text_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs", "n requests").inc(2, route="x")
+        text = reg.render_text()
+        assert "# HELP reqs n requests" in text
+        assert "# TYPE reqs counter" in text
+        assert 'reqs{route="x"} 2' in text
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a", "").inc()
+        path = tmp_path / "metrics.json"
+        reg.write_json(str(path))
+        assert json.loads(path.read_text())["metrics"]
+
+
+def test_default_latency_buckets_cover_sim_scales():
+    b = default_latency_buckets()
+    assert list(b) == sorted(b)
+    assert b[0] <= 1e-4
+    assert b[-1] >= 100.0

@@ -1,0 +1,63 @@
+"""Observer overhead guard: telemetry must stay near-free.
+
+Benchmark-smoke regression test for the zero-overhead-when-disabled
+design: an observer-enabled planner run must land within 10 % wall-clock
+of the disabled run (plus a small absolute slack so sub-second timings
+do not flake on noisy CI machines). The planner is the densest profiling
+surface — every candidate crosses the candidates / estimation /
+grouping / objective hooks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import SLA_TESTBED_CHATBOT, OPT_66B, CostModelBank, Observer
+from repro.comm import CommContext, SchemeKind
+from repro.core.planner import OfflinePlanner
+from repro.llm import A100, V100, BatchSpec
+from repro.network import build_testbed
+from repro.obs import NULL_OBSERVER
+
+#: Relative + absolute tolerance: 10 % per the acceptance criterion,
+#: plus slack absorbing scheduler jitter on sub-second runs.
+REL_TOLERANCE = 1.10
+ABS_SLACK_S = 0.15
+REPS = 3
+
+
+def _plan_once(observer) -> float:
+    built = build_testbed()
+    bank = CostModelBank(OPT_66B, {"A100": A100, "V100": V100})
+    ctx = CommContext.from_built(built, heterogeneous=True)
+    planner = OfflinePlanner(
+        ctx,
+        OPT_66B,
+        bank,
+        SLA_TESTBED_CHATBOT,
+        SchemeKind.HYBRID,
+        observer=observer,
+    )
+    t0 = time.perf_counter()
+    report = planner.plan(
+        BatchSpec.uniform(8, 256, 220), arrival_rate=0.5
+    )
+    elapsed = time.perf_counter() - t0
+    assert report.plan is not None
+    return elapsed
+
+
+def _best_of(reps: int, make_observer) -> float:
+    """Min over repetitions — the standard noise-robust wall-clock
+    estimator (a fresh observer per rep so traces do not accumulate)."""
+    return min(_plan_once(make_observer()) for _ in range(reps))
+
+
+def test_observer_overhead_within_budget():
+    baseline = _best_of(REPS, lambda: NULL_OBSERVER)
+    observed = _best_of(REPS, Observer)
+    budget = baseline * REL_TOLERANCE + ABS_SLACK_S
+    assert observed <= budget, (
+        f"observer-enabled planner run took {observed:.3f}s, "
+        f"budget {budget:.3f}s (baseline {baseline:.3f}s)"
+    )

@@ -1,0 +1,132 @@
+"""Unit tests for the trace recorder (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    ENGINE_PID,
+    REQUEST_PID,
+    SpanRecord,
+    TraceRecorder,
+)
+
+
+class TestRecorder:
+    def test_complete_span_recorded(self):
+        tr = TraceRecorder()
+        tr.complete("prefill", "prefill b=4", 1.0, 0.5, size=4)
+        (span,) = tr.spans("prefill")
+        assert span.name == "prefill b=4"
+        assert span.start == 1.0
+        assert span.dur == 0.5
+        assert span.args["size"] == 4
+        assert span.pid == ENGINE_PID
+
+    def test_begin_end_pairing(self):
+        tr = TraceRecorder()
+        sid = tr.begin("ctrl", "tick", 2.0)
+        tr.end(sid, 2.5, refreshed=True)
+        (span,) = tr.spans("ctrl")
+        assert span.start == 2.0
+        assert span.dur == pytest.approx(0.5)
+        assert span.args["refreshed"] is True
+
+    def test_end_before_start_rejected(self):
+        tr = TraceRecorder()
+        sid = tr.begin("ctrl", "tick", 2.0)
+        with pytest.raises(ValueError):
+            tr.end(sid, 1.0)
+
+    def test_end_unknown_span_raises(self):
+        tr = TraceRecorder()
+        with pytest.raises(KeyError):
+            tr.end(999, 1.0)
+
+    def test_instant_event(self):
+        tr = TraceRecorder()
+        tr.instant("req", "arrival", 0.25, request_id=7)
+        (ev,) = tr.instants("req")
+        assert ev.dur is None
+        assert ev.args["request_id"] == 7
+
+    def test_max_events_bound(self):
+        tr = TraceRecorder(max_events=3)
+        for i in range(10):
+            tr.complete("t", f"s{i}", float(i), 0.1)
+        assert len(tr.spans("t")) == 3
+        assert tr.dropped == 7
+
+    def test_negative_duration_rejected(self):
+        tr = TraceRecorder()
+        with pytest.raises(ValueError):
+            tr.complete("t", "bad", 1.0, -0.1)
+
+
+class TestChromeExport:
+    def _sample(self) -> TraceRecorder:
+        tr = TraceRecorder()
+        tr.complete("prefill", "prefill b=8", 0.1, 0.05, batch=8)
+        tr.complete(
+            "allreduce",
+            "allreduce:hybrid-ina@0",
+            0.12,
+            0.01,
+            policy="hybrid-ina@0",
+        )
+        tr.instant("req", "arrival", 0.05, request_id=1)
+        tr.complete(
+            "lifecycle", "decode", 0.2, 0.3, pid=REQUEST_PID, tid=1
+        )
+        return tr
+
+    def test_round_trips_json_loads(self):
+        blob = json.loads(json.dumps(self._sample().to_chrome()))
+        assert isinstance(blob["traceEvents"], list)
+        assert blob["displayTimeUnit"] == "ms"
+
+    def test_microsecond_conversion_and_phases(self):
+        events = self._sample().to_chrome()["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 3
+        assert len(instants) == 1
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert {"prefill", "allreduce", "req"} <= thread_names
+        pre = next(e for e in complete if e["name"] == "prefill b=8")
+        assert pre["ts"] == pytest.approx(0.1 * 1e6)
+        assert pre["dur"] == pytest.approx(0.05 * 1e6)
+
+    def test_request_swimlane_pid_tid(self):
+        events = self._sample().to_chrome()["traceEvents"]
+        life = next(e for e in events if e["name"] == "decode")
+        assert life["pid"] == REQUEST_PID
+        assert life["tid"] == 1
+
+    def test_write_chrome_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._sample().write_chrome(str(path))
+        blob = json.loads(path.read_text())
+        assert blob["traceEvents"]
+
+    def test_jsonl_one_record_per_line(self, tmp_path):
+        tr = self._sample()
+        path = tmp_path / "trace.jsonl"
+        tr.write_jsonl(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            rec = json.loads(line)
+            assert "name" in rec and "track" in rec
+
+
+def test_span_record_defaults():
+    s = SpanRecord(name="x", track="t", start=0.0, dur=1.0)
+    assert s.pid == ENGINE_PID
+    assert s.tid is None
+    assert s.args == {}

@@ -1,0 +1,82 @@
+"""summary() exports the diagnostic counters and tail percentiles.
+
+Regression tests for two historical gaps: the ``dropped`` counter was
+tracked but never exported, and the summary stopped at p90 although the
+SLO-burn view production dashboards watch is p99.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SLA_TESTBED_CHATBOT
+from repro.serving import ServingMetrics
+from repro.serving.request import RequestState
+from repro.workloads import TraceRequest
+
+
+def finished(rid, arrival, ttft, tpot, out_len=11):
+    r = RequestState(TraceRequest(rid, arrival, 100, out_len))
+    r.first_token_time = arrival + ttft
+    r.finish_time = r.first_token_time + tpot * (out_len - 1)
+    return r
+
+
+def make_metrics(n=200):
+    rng = np.random.default_rng(0)
+    m = ServingMetrics(sla=SLA_TESTBED_CHATBOT)
+    for i in range(n):
+        m.record_finish(
+            finished(
+                i,
+                float(i),
+                float(rng.lognormal(-1.0, 0.8)),
+                float(rng.lognormal(-3.0, 0.5)),
+            )
+        )
+    return m
+
+
+class TestSummaryKeys:
+    def test_dropped_exported(self):
+        m = make_metrics(5)
+        m.dropped = 3
+        assert m.summary()["dropped"] == 3.0
+
+    def test_p99_keys_present(self):
+        s = make_metrics().summary()
+        assert "p99_ttft_s" in s
+        assert "p99_tpot_s" in s
+
+    def test_existing_keys_preserved(self):
+        s = make_metrics().summary()
+        for key in (
+            "finished",
+            "attainment",
+            "mean_ttft_s",
+            "p90_ttft_s",
+            "mean_tpot_s",
+            "p90_tpot_s",
+            "mean_mem_util",
+            "prefill_batches",
+            "decode_iterations",
+        ):
+            assert key in s, key
+
+
+class TestP99:
+    def test_p99_matches_numpy(self):
+        m = make_metrics()
+        ttfts = np.array([r.ttft for r in m.finished])
+        tpots = np.array([r.tpot for r in m.finished])
+        assert m.p99_ttft() == pytest.approx(np.percentile(ttfts, 99))
+        assert m.p99_tpot() == pytest.approx(np.percentile(tpots, 99))
+
+    def test_p99_at_least_p90(self):
+        m = make_metrics()
+        assert m.p99_ttft() >= m.p90_ttft()
+        assert m.p99_tpot() >= m.p90_tpot()
+
+    def test_empty_is_nan(self):
+        m = ServingMetrics(sla=SLA_TESTBED_CHATBOT)
+        assert np.isnan(m.p99_ttft())
+        assert np.isnan(m.p99_tpot())
