@@ -23,6 +23,7 @@ from repro.comm import (
 from repro.core import SLA_TESTBED_CHATBOT
 from repro.core.controller import CentralController
 from repro.llm import OPT_66B
+from repro.obs import NULL_OBSERVER
 from repro.network import build_testbed
 from repro.serving import BackgroundTrafficConfig, ServingSimulator
 from repro.serving.background import BackgroundTraffic
@@ -30,7 +31,13 @@ from repro.util.rng import make_rng
 from repro.util.tables import format_table
 from repro.workloads import generate_sharegpt_trace
 
-from common import TESTBED_PARALLEL, save_result, make_testbed_bank
+from common import (
+    TESTBED_PARALLEL,
+    dump_observation,
+    make_testbed_bank,
+    maybe_observed_config,
+    save_result,
+)
 
 
 def run_online_ablation():
@@ -47,19 +54,30 @@ def run_online_ablation():
     out = {}
     for online in (True, False):
         ctx = system.fresh_context()
+        cfg, obs = maybe_observed_config()
         controller = (
-            CentralController(ctx=ctx, scheme=system.spec.scheme)
+            CentralController(
+                ctx=ctx,
+                scheme=system.spec.scheme,
+                observer=(obs or NULL_OBSERVER),
+            )
             if online
             else None
         )
         sim = ServingSimulator(
             ctx=ctx, plan=system.plan, model=OPT_66B, bank=bank,
             sla=SLA_TESTBED_CHATBOT, trace=trace, controller=controller,
+            config=cfg,
         )
         BackgroundTraffic(
             built.topology, ctx.linkstate, sim.queue, bg, seed=5
         ).start(trace.duration + 300)
         m = sim.run()
+        dump_observation(
+            f"ablation_scheduler-{'online' if online else 'static'}",
+            obs,
+            m,
+        )
         out["online" if online else "static"] = {
             "attainment": m.attainment(),
             "ttft": m.mean_ttft(),

@@ -21,7 +21,9 @@ from common import (
     CLUSTER_PARALLEL,
     SYSTEM_ORDER,
     build_all_systems,
+    dump_observation,
     make_cluster_bank,
+    maybe_observed_config,
     save_result,
     summarization_trace,
 )
@@ -47,7 +49,11 @@ def run_tracks(tracks: int) -> dict[str, dict[str, float]]:
     )
     out: dict[str, dict[str, float]] = {}
     for name in SYSTEM_ORDER:
-        m = simulate_trace(systems[name], trace)
+        cfg, obs = maybe_observed_config()
+        m = simulate_trace(systems[name], trace, engine_config=cfg)
+        dump_observation(
+            f"fig10_{tracks}tracks-{name.lower()}", obs, m
+        )
         out[name] = {
             "mean_util": m.mean_memory_utilization(),
             "peak_util": m.peak_memory_utilization(),

@@ -61,7 +61,9 @@ def run_workload(workload: str):
         arrival_rate=rates[len(rates) // 2],
         forced=TESTBED_PARALLEL,
     )
-    points = sweep_systems(systems, rates, make_trace)
+    points = sweep_systems(
+        systems, rates, make_trace, obs_prefix=f"fig7_{workload}"
+    )
     n_gpus = TESTBED_PARALLEL.total_gpus
     return points, n_gpus
 

@@ -47,7 +47,10 @@ def run_tracks(tracks: int):
         forced=CLUSTER_PARALLEL,
     )
     points = sweep_systems(
-        systems, RATES, lambda r: chatbot_trace(r, DURATION, seed=8)
+        systems,
+        RATES,
+        lambda r: chatbot_trace(r, DURATION, seed=8),
+        obs_prefix=f"fig8_{tracks}tracks",
     )
     return points
 

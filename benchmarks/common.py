@@ -6,10 +6,17 @@ the same rows/series the paper reports, writes them under
 ``benchmarks/results/`` and asserts the *shape* (orderings, rough
 factors) — not the absolute numbers, which depended on the authors'
 testbed.
+
+Telemetry dumps: pass ``--obs-dir DIR`` (or set ``REPRO_OBS_DIR``) and
+every bench mirrors its result table there; benches that run the
+serving simulator additionally attach an observer + flight recorder to
+each run and dump the Chrome trace, the metrics snapshot, the summary
+and the flight-recorder JSONL per (system, rate) run.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 
@@ -24,7 +31,7 @@ from repro.core.objective import SlaSpec
 from repro.core.plan import ParallelConfig
 from repro.llm import A100, V100, CostModelBank, ModelConfig
 from repro.network.builders import BuiltTopology
-from repro.obs import Observer
+from repro.obs import FlightRecorder, Observer
 from repro.serving import EngineConfig
 from repro.serving.metrics import SLA_ATTAINMENT_TARGET, ServingMetrics
 from repro.util.rng import make_rng
@@ -37,6 +44,54 @@ from repro.workloads import (
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Telemetry dump directory; set by ``--obs-dir`` (benchmarks/conftest)
+#: or the ``REPRO_OBS_DIR`` environment variable. ``None`` disables all
+#: per-run observability in the benches.
+OBS_DIR: str | None = os.environ.get("REPRO_OBS_DIR") or None
+
+
+def set_obs_dir(path: str | None) -> None:
+    """Point the benches' telemetry dumps at ``path`` (None disables)."""
+    global OBS_DIR
+    OBS_DIR = path or None
+
+
+def obs_path(filename: str) -> str:
+    """Path of one dump file inside the (created) obs dir."""
+    assert OBS_DIR is not None
+    os.makedirs(OBS_DIR, exist_ok=True)
+    return os.path.join(OBS_DIR, filename)
+
+
+def maybe_observed_config(
+    **kwargs,
+) -> tuple[EngineConfig | None, Observer | None]:
+    """Observer-equipped engine config when ``--obs-dir`` is active.
+
+    Returns ``(None, None)`` otherwise, so call sites can pass the
+    config straight to ``simulate_trace`` with zero overhead when dumps
+    are off.
+    """
+    if OBS_DIR is None:
+        return None, None
+    observer = Observer(recorder=FlightRecorder())
+    return EngineConfig(observer=observer, **kwargs), observer
+
+
+def dump_observation(name: str, observer, metrics=None) -> None:
+    """Write one observed run's telemetry set under the obs dir."""
+    if OBS_DIR is None or observer is None:
+        return
+    observer.export(
+        trace_path=obs_path(f"{name}-trace.json"),
+        metrics_path=obs_path(f"{name}-metrics.json"),
+    )
+    if observer.recorder is not None:
+        observer.recorder.write_jsonl(obs_path(f"{name}-flight.jsonl"))
+    if metrics is not None:
+        with open(obs_path(f"{name}-summary.json"), "w") as fh:
+            json.dump(metrics.summary(), fh, indent=2, sort_keys=True)
+
 #: Cross-server parallelism pinned for the testbed comparisons — the
 #: paper's evaluated regime (tensor parallelism spanning GPU servers).
 TESTBED_PARALLEL = ParallelConfig(8, 1, 8, 1)
@@ -46,11 +101,18 @@ SYSTEM_ORDER = ["DistServe", "DS-ATP", "DS-SwitchML", "HeroServe"]
 
 
 def save_result(name: str, text: str) -> str:
-    """Write a bench's table to benchmarks/results/<name>.txt."""
+    """Write a bench's table to benchmarks/results/<name>.txt.
+
+    With ``--obs-dir`` active the table is mirrored there too, so one
+    directory collects everything a bench session produced.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(text + "\n")
+    if OBS_DIR is not None:
+        with open(obs_path(f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
     return path
 
 
@@ -137,15 +199,30 @@ def sweep_systems(
     rates: list[float],
     make_trace,
     engine_config: EngineConfig | None = None,
+    obs_prefix: str | None = None,
 ) -> list[SweepPoint]:
-    """Replay a fresh trace per rate through every system."""
+    """Replay a fresh trace per rate through every system.
+
+    When ``--obs-dir`` is active and no explicit ``engine_config`` is
+    given, each run gets its own observer + flight recorder and the
+    telemetry set is dumped as ``<obs_prefix>-<system>-r<rate>-*``.
+    """
     points: list[SweepPoint] = []
     for rate in rates:
         trace = make_trace(rate)
         for name in SYSTEM_ORDER:
+            cfg, obs = engine_config, None
+            if cfg is None:
+                cfg, obs = maybe_observed_config()
             m: ServingMetrics = simulate_trace(
-                systems[name], trace, engine_config=engine_config
+                systems[name], trace, engine_config=cfg
             )
+            if obs is not None:
+                dump_observation(
+                    f"{obs_prefix or 'sweep'}-{name.lower()}-r{rate:g}",
+                    obs,
+                    m,
+                )
             points.append(
                 SweepPoint(
                     system=name,

@@ -1,0 +1,29 @@
+"""Benchmark session options.
+
+``--obs-dir DIR`` points the benches' telemetry dumps (Chrome traces,
+metrics snapshots, flight-recorder JSONL, result tables) at one
+directory; ``REPRO_OBS_DIR`` is the environment fallback for CI.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import common  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-dir",
+        default=None,
+        help="dump per-run observability artifacts into this directory",
+    )
+
+
+def pytest_configure(config):
+    obs = config.getoption("--obs-dir", default=None) or os.environ.get(
+        "REPRO_OBS_DIR"
+    )
+    if obs:
+        common.set_obs_dir(obs)

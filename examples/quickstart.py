@@ -14,12 +14,15 @@ from repro import (
     SLA_TESTBED_CHATBOT,
     OPT_66B,
     CostModelBank,
+    Observer,
     build_system,
     build_testbed,
     generate_sharegpt_trace,
     simulate_trace,
 )
 from repro.llm import A100, V100
+from repro.obs import FlightRecorder, SLOMonitor, default_slo_targets, write_report
+from repro.serving import EngineConfig
 from repro.util import print_table, units
 from repro.util.rng import make_rng
 
@@ -51,7 +54,14 @@ def main() -> None:
     print(system.plan.summary())
     print()
 
-    metrics = simulate_trace(system, trace)
+    # Observe the run: SLO burn-rate alerts + flight-recorder samples.
+    obs = Observer(
+        slo=SLOMonitor(default_slo_targets(SLA_TESTBED_CHATBOT)),
+        recorder=FlightRecorder(),
+    )
+    metrics = simulate_trace(
+        system, trace, engine_config=EngineConfig(observer=obs)
+    )
     s = metrics.summary()
     print_table(
         ["metric", "value"],
@@ -67,6 +77,11 @@ def main() -> None:
         ],
         title=f"HeroServe on the testbed, chatbot @ {rate} req/s",
     )
+
+    # One self-contained HTML dashboard for the run we just observed.
+    write_report("report.html", observer=obs, serving_metrics=metrics,
+                 title=f"quickstart — HeroServe @ {rate} req/s")
+    print("\nwrote report.html")
 
 
 if __name__ == "__main__":

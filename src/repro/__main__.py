@@ -6,12 +6,16 @@ Commands
 ``quickstart`` — plan + serve HeroServe on the paper's testbed
 ``compare``    — 4-system comparison at a given rate (Fig. 7 style)
 ``plan``       — run the offline planner and print the chosen plan
+``report``     — run an observed simulation and render the HTML report
 
 Observability flags (``quickstart`` / ``compare`` / ``plan``):
 ``--trace-out FILE``   — write a Chrome-tracing JSON (``.jsonl`` for the
 line-oriented dump) of prefill/decode/KV-transfer/all-reduce spans;
 ``--metrics-out FILE`` — write the metrics snapshot (JSON, or text
-exposition for ``.txt``/``.prom``); ``-v/-vv`` — INFO/DEBUG logging.
+exposition for ``.txt``/``.prom``); ``--flight-out FILE`` — write the
+flight-recorder sample ring as JSONL; ``--slo-ttft S`` /
+``--slo-tpot S`` — attach a burn-rate SLO monitor with the given
+latency bounds; ``-v/-vv`` — INFO/DEBUG logging.
 
 This is a convenience wrapper over the public API; the examples/ and
 benchmarks/ directories show the full surface.
@@ -24,15 +28,42 @@ import os
 import sys
 
 from repro.comm import SchemeKind
-from repro.obs import NULL_OBSERVER, Observer, setup_logging
+from repro.obs import (
+    NULL_OBSERVER,
+    FlightRecorder,
+    Observer,
+    SLOMonitor,
+    SLOTarget,
+    setup_logging,
+)
+
+
+def _slo_monitor(args) -> "SLOMonitor | None":
+    """Build an SLO monitor when any ``--slo-*`` bound was given."""
+    targets = []
+    ttft = getattr(args, "slo_ttft", None)
+    tpot = getattr(args, "slo_tpot", None)
+    if ttft is not None:
+        targets.append(SLOTarget("ttft", ttft))
+    if tpot is not None:
+        targets.append(SLOTarget("tpot", tpot))
+    return SLOMonitor(targets) if targets else None
 
 
 def _make_observer(args) -> "Observer | None":
     """An :class:`Observer` when any telemetry output was requested."""
-    if getattr(args, "trace_out", None) or getattr(
-        args, "metrics_out", None
+    slo = _slo_monitor(args)
+    wants_flight = getattr(args, "flight_out", None)
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or wants_flight
+        or slo is not None
     ):
-        return Observer()
+        return Observer(
+            slo=slo,
+            recorder=FlightRecorder() if wants_flight else None,
+        )
     return None
 
 
@@ -53,9 +84,17 @@ def _export(observer, args, suffix: str = "") -> None:
         trace_path=_name(args.trace_out),
         metrics_path=_name(args.metrics_out),
     )
-    for path in (_name(args.trace_out), _name(args.metrics_out)):
+    flight = _name(getattr(args, "flight_out", None))
+    if flight and observer.recorder is not None:
+        observer.recorder.write_jsonl(flight)
+    for path in (
+        _name(args.trace_out), _name(args.metrics_out), flight
+    ):
         if path:
             print(f"wrote {path}")
+    if observer.slo is not None:
+        for alert in observer.slo.sink.alerts:
+            print(f"  alert @ {alert.time:.1f}s: {alert.message}")
 
 
 def cmd_info(_args) -> int:
@@ -199,6 +238,45 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro import SLA_TESTBED_CHATBOT, quick_testbed
+    from repro.obs import default_slo_targets, render_text, write_report
+    from repro.serving import EngineConfig
+
+    sla = SLA_TESTBED_CHATBOT
+    targets = []
+    if args.slo_ttft is not None:
+        targets.append(SLOTarget("ttft", args.slo_ttft))
+    if args.slo_tpot is not None:
+        targets.append(SLOTarget("tpot", args.slo_tpot))
+    if not targets:
+        targets = default_slo_targets(sla)
+    observer = Observer(
+        slo=SLOMonitor(targets), recorder=FlightRecorder()
+    )
+    system, metrics = quick_testbed(
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        engine_config=EngineConfig(observer=observer),
+    )
+    data = write_report(
+        args.out,
+        observer=observer,
+        serving_metrics=metrics,
+        title="HeroServe testbed run",
+        meta={
+            "system": "HeroServe",
+            "rate": f"{args.rate:g} req/s",
+            "duration": f"{args.duration:g}s",
+            "seed": args.seed,
+        },
+    )
+    print(render_text(data), end="")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     common = argparse.ArgumentParser(add_help=False)
     # SUPPRESS instead of 0: the subparser re-parses this flag, and a
@@ -222,6 +300,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="FILE",
         help="write metrics snapshot (JSON; .txt/.prom for exposition)",
+    )
+    obs_flags.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="FILE",
+        help="write the flight-recorder sample ring as JSONL",
+    )
+    obs_flags.add_argument(
+        "--slo-ttft",
+        type=float,
+        default=None,
+        metavar="S",
+        help="TTFT SLO bound in seconds (attaches burn-rate alerting)",
+    )
+    obs_flags.add_argument(
+        "--slo-tpot",
+        type=float,
+        default=None,
+        metavar="S",
+        help="TPOT SLO bound in seconds (attaches burn-rate alerting)",
     )
 
     parser = argparse.ArgumentParser(
@@ -267,9 +365,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--input-len", type=int, default=256)
     p.add_argument("--output-len", type=int, default=220)
 
+    p = sub.add_parser(
+        "report",
+        help="observed simulation -> self-contained HTML report",
+        parents=[common, obs_flags],
+    )
+    p.add_argument(
+        "--out",
+        default="report.html",
+        metavar="FILE",
+        help="HTML report destination (default report.html)",
+    )
+    p.add_argument("--rate", type=float, default=1.0)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
     # Fail on an unwritable output directory now, not after the run.
-    for attr in ("trace_out", "metrics_out"):
+    for attr in ("trace_out", "metrics_out", "flight_out", "out"):
         path = getattr(args, attr, None)
         if path:
             parent = os.path.dirname(path) or "."
@@ -286,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
         "quickstart": cmd_quickstart,
         "compare": cmd_compare,
         "plan": cmd_plan,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

@@ -87,3 +87,20 @@ class CentralController:
     def n_groups(self) -> int:
         """Number of registered GPU groups."""
         return len(self._schedulers)
+
+    def table_snapshots(self) -> dict[str, dict]:
+        """Per-group policy-table state for the flight recorder.
+
+        ``{group key: {"policies": names, "b": J base terms,
+        "selections": cumulative counts}}`` — the raw material of the
+        report's policy-flip timeline and cost-table sparklines.
+        """
+        out: dict[str, dict] = {}
+        for key, sched in self._schedulers.items():
+            table = sched.table
+            out["-".join(str(g) for g in key)] = {
+                "policies": [p.name for p in table.policies],
+                "b": [float(x) for x in table.b],
+                "selections": [int(x) for x in table.selections],
+            }
+        return out

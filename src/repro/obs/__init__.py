@@ -11,7 +11,13 @@ when disabled):
 * :mod:`repro.obs.profile` — wall-clock phase timers for the offline
   planner (candidate enumeration, grouping, perturbation, objective);
 * :mod:`repro.obs.logging_config` — stdlib logging setup for the CLI's
-  ``-v/-vv`` flags.
+  ``-v/-vv`` flags;
+* :mod:`repro.obs.slo` — declarative SLO targets with SRE-style
+  multi-window burn-rate alerting through an :class:`AlertSink`;
+* :mod:`repro.obs.recorder` — ring-buffered simulation flight recorder
+  sampled on controller ticks, exported as JSONL;
+* :mod:`repro.obs.report` — folds recorder + metrics + alerts into one
+  self-contained HTML dashboard and a plain-text summary.
 """
 
 from repro.obs.logging_config import (
@@ -33,9 +39,34 @@ from repro.obs.profile import (
     PhaseProfiler,
     PhaseStat,
 )
+from repro.obs.recorder import FlightRecorder, FlightSample
+from repro.obs.report import (
+    build_report_data,
+    render_html,
+    render_text,
+    write_report,
+)
+from repro.obs.slo import (
+    Alert,
+    AlertSink,
+    SLOMonitor,
+    SLOTarget,
+    default_slo_targets,
+)
 from repro.obs.trace import SpanRecord, TraceRecorder
 
 __all__ = [
+    "Alert",
+    "AlertSink",
+    "SLOMonitor",
+    "SLOTarget",
+    "default_slo_targets",
+    "FlightRecorder",
+    "FlightSample",
+    "build_report_data",
+    "render_html",
+    "render_text",
+    "write_report",
     "get_logger",
     "setup_logging",
     "verbosity_to_level",

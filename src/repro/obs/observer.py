@@ -29,6 +29,9 @@ from repro.obs.trace import REQUEST_PID, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.network.linkstate import LinkLoadTracker
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.slo import SLOMonitor
+    from repro.serving.engine import ServingSimulator
     from repro.serving.request import RequestState
 
 __all__ = ["Observer", "NullObserver", "NULL_OBSERVER"]
@@ -65,12 +68,23 @@ class Observer:
         metrics: MetricsRegistry | None = None,
         profiler: PhaseProfiler | None = None,
         max_trace_events: int = 1_000_000,
+        slo: "SLOMonitor | None" = None,
+        recorder: "FlightRecorder | None" = None,
     ) -> None:
         self.trace = trace or TraceRecorder(max_events=max_trace_events)
         self.metrics = metrics or MetricsRegistry()
         self.profiler = profiler or PhaseProfiler()
+        #: optional burn-rate SLO monitor, fed on request finishes and
+        #: evaluated on ``engine_tick``
+        self.slo = slo
+        #: optional flight recorder, sampled on ``engine_tick``
+        self.recorder = recorder
 
         m = self.metrics
+        self._slo_alerts = m.counter(
+            "repro_slo_alerts_total",
+            "burn-rate alert transitions by SLO, severity and state",
+        )
         self._requests = m.counter(
             "repro_requests_total", "request lifecycle events by kind"
         )
@@ -139,6 +153,8 @@ class Observer:
         self._requests.inc(event="finished")
         self._ttft.observe(req.ttft)
         self._tpot.observe(req.tpot)
+        if self.slo is not None:
+            self.slo.record_request(ts, req)
         t = self.trace
         rid = req.request_id
         _span_if_valid(
@@ -286,6 +302,33 @@ class Observer:
         if capacity > 0:
             self._kv_util.set(used / capacity)
 
+    def engine_tick(self, ts: float, sim: "ServingSimulator") -> None:
+        """One monitoring-cadence tick: sample the recorder, burn SLOs.
+
+        Called by the engine on the same cadence as ``sample_links`` —
+        controller refreshes for HeroServe runs, every Nth EWMA poll for
+        baselines — so both run in *simulation* time and observed runs
+        stay deterministic.
+        """
+        if self.recorder is not None:
+            self.recorder.sample(ts, sim)
+        if self.slo is not None:
+            for alert in self.slo.evaluate(ts):
+                self._slo_alerts.inc(
+                    slo=alert.slo,
+                    severity=alert.severity,
+                    state=alert.state,
+                )
+                self.trace.instant(
+                    "alerts",
+                    f"{alert.severity}:{alert.state}",
+                    ts,
+                    slo=alert.slo,
+                    burn_long=alert.burn_long,
+                    burn_short=alert.burn_short,
+                    message=alert.message,
+                )
+
     # -- profiling ----------------------------------------------------------
 
     def phase(self, name: str):
@@ -332,6 +375,8 @@ class NullObserver:
     trace = None
     metrics = None
     profiler = NULL_PROFILER
+    slo = None
+    recorder = None
 
     def request_arrival(self, ts, req) -> None:
         pass
@@ -364,6 +409,9 @@ class NullObserver:
         pass
 
     def kv_sample(self, ts, used, capacity) -> None:
+        pass
+
+    def engine_tick(self, ts, sim) -> None:
         pass
 
     def phase(self, name: str):

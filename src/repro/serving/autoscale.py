@@ -10,6 +10,12 @@ hysteresis: scale **out** when the observed load exceeds the active
 capacity's high-water fraction, scale **in** (drain one replica) when it
 falls below the low-water fraction. Deactivated replicas finish their
 in-flight requests — scaling never drops work.
+
+The scaler can additionally subscribe to the SLO monitor's
+:class:`~repro.obs.slo.AlertSink`: a firing *page* burn-rate alert
+forces a scale-out at the next tick even when the rate-based policy
+would hold — latency pain preempts throughput arithmetic — and blocks
+scale-in while any page alert is unresolved.
 """
 
 from __future__ import annotations
@@ -30,6 +36,8 @@ class ScalingAction:
     active_after: int
     observed_rate: float
     capacity: float
+    #: what drove the decision ("" for plain rate hysteresis)
+    reason: str = ""
 
 
 @dataclass
@@ -44,7 +52,11 @@ class AutoScaler:
     high_water: float = 0.85
     low_water: float = 0.35
     actions: list[ScalingAction] = field(default_factory=list)
+    #: every alert delivered through :meth:`on_alert`, in order
+    alerts_received: list = field(default_factory=list)
     _last_routed: int = 0
+    _page_pending: bool = field(default=False, repr=False)
+    _pages_active: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         require_positive("replica_capacity", self.replica_capacity)
@@ -60,6 +72,29 @@ class AutoScaler:
         end = self.queue.now + horizon
         self.queue.schedule(self.window, self._tick, end, tag="autoscale")
 
+    # -- SLO alert subscription --------------------------------------------
+
+    def subscribe(self, sink) -> None:
+        """Attach to an :class:`~repro.obs.slo.AlertSink`."""
+        sink.subscribe(self.on_alert)
+
+    def on_alert(self, alert) -> None:
+        """Receive one burn-rate alert from the SLO monitor.
+
+        A firing page alert arms a forced scale-out for the next tick;
+        the pending flag stays armed until a tick consumes it, so a page
+        that fires and resolves between ticks still gets its capacity
+        response.
+        """
+        self.alerts_received.append(alert)
+        if alert.severity != "page":
+            return
+        if alert.firing:
+            self._page_pending = True
+            self._pages_active += 1
+        else:
+            self._pages_active = max(0, self._pages_active - 1)
+
     # -- internals ---------------------------------------------------------
 
     def observed_rate(self) -> float:
@@ -73,17 +108,22 @@ class AutoScaler:
         rate = self.observed_rate()
         capacity = self.fleet.n_active * self.replica_capacity
         kind = "hold"
+        reason = ""
+        page_forced = self._page_pending or self._pages_active > 0
+        self._page_pending = False
         if (
-            rate > self.high_water * capacity
-            and self.fleet.n_active < len(self.fleet.replicas)
-        ):
+            page_forced or rate > self.high_water * capacity
+        ) and self.fleet.n_active < len(self.fleet.replicas):
             # Scale out: activate the first inactive replica.
             idx = self.fleet.active.index(False)
             self.fleet.set_active(idx, True)
             kind = "out"
+            if page_forced:
+                reason = "slo_page_burn"
         elif (
             rate < self.low_water * capacity
             and self.fleet.n_active > 1
+            and not page_forced
         ):
             # Scale in: drain the active replica with the least backlog.
             candidates = [
@@ -102,6 +142,7 @@ class AutoScaler:
                 active_after=self.fleet.n_active,
                 observed_rate=rate,
                 capacity=capacity,
+                reason=reason,
             )
         )
         if self.queue.now + self.window <= end:

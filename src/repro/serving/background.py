@@ -5,6 +5,13 @@ traffic conditions": other tenants' flows share the Ethernet fabric and
 congest the aggregation paths. This injector registers on/off bursts of
 load on random Ethernet links of the topology — the multi-tenant noise
 against which Fig. 9's aggregation throughput is measured.
+
+The injector can subscribe to the SLO monitor's
+:class:`~repro.obs.slo.AlertSink`: while a page burn-rate alert is
+firing, new bursts run at a reduced intensity for a cooldown period —
+the cooperative-tenant knob (deprioritise best-effort traffic when the
+serving SLO is burning) that lets experiments separate "network noise
+caused the violation" from "the violation persisted regardless".
 """
 
 from __future__ import annotations
@@ -31,6 +38,11 @@ class BackgroundTrafficConfig:
     mean_duration: float = 0.3
     #: links touched per burst
     links_per_burst: int = 4
+    #: intensity multiplier applied while an SLO page alert throttle is
+    #: active (1.0 disables alert-driven backoff)
+    throttle_factor: float = 0.5
+    #: seconds the throttle persists after the page alert fires
+    throttle_cooldown: float = 30.0
 
 
 class BackgroundTraffic:
@@ -56,6 +68,28 @@ class BackgroundTraffic:
         if self._eth.size == 0:
             raise ValueError("topology has no Ethernet links to congest")
         self.bursts_started = 0
+        self.bursts_throttled = 0
+        self._throttle_until = float("-inf")
+
+    # -- SLO alert subscription --------------------------------------------
+
+    def subscribe(self, sink) -> None:
+        """Attach to an :class:`~repro.obs.slo.AlertSink`."""
+        sink.subscribe(self.on_alert)
+
+    def on_alert(self, alert) -> None:
+        """Back off new bursts while the serving SLO is page-burning."""
+        if alert.severity == "page" and alert.firing:
+            self._throttle_until = max(
+                self._throttle_until,
+                alert.time + self.cfg.throttle_cooldown,
+            )
+
+    def _effective_intensity(self) -> float:
+        if self.queue.now < self._throttle_until:
+            self.bursts_throttled += 1
+            return self.cfg.intensity * self.cfg.throttle_factor
+        return self.cfg.intensity
 
     def start(self, horizon: float) -> None:
         """Schedule the burst process on [now, now + horizon)."""
@@ -72,8 +106,9 @@ class BackgroundTraffic:
         k = min(self.cfg.links_per_burst, self._eth.size)
         links = self.rng.choice(self._eth, size=k, replace=False)
         caps = self.linkstate.capacity[links]
+        intensity = self._effective_intensity()
         handles = [
-            self.linkstate.register([int(l)], self.cfg.intensity * float(c))
+            self.linkstate.register([int(l)], intensity * float(c))
             for l, c in zip(links, caps)
         ]
         self.bursts_started += 1

@@ -506,6 +506,7 @@ class ServingSimulator:
                 self.obs.controller_tick(self.queue.now, refreshed)
                 if refreshed:
                     self.obs.sample_links(self.queue.now, self.ctx.linkstate)
+                    self.obs.engine_tick(self.queue.now, self)
         else:
             # Baselines still poll link counters so EWMA views stay live.
             self.ctx.linkstate.poll()
@@ -513,6 +514,7 @@ class ServingSimulator:
                 self._poll_counter += 1
                 if self._poll_counter % _BASELINE_LINK_SAMPLE_EVERY == 0:
                     self.obs.sample_links(self.queue.now, self.ctx.linkstate)
+                    self.obs.engine_tick(self.queue.now, self)
 
     def submit(self, tr) -> RequestState:
         """Accept one routed request *now* (fleet/router entry point)."""

@@ -83,6 +83,16 @@ class ServingMetrics:
     def mean_tpot(self) -> float:
         return float(self._arr("tpot").mean()) if self.finished else float("nan")
 
+    def p50_ttft(self) -> float:
+        if not self.finished:
+            return float("nan")
+        return float(np.percentile(self._arr("ttft"), 50))
+
+    def p50_tpot(self) -> float:
+        if not self.finished:
+            return float("nan")
+        return float(np.percentile(self._arr("tpot"), 50))
+
     def p90_ttft(self) -> float:
         if not self.finished:
             return float("nan")
@@ -104,6 +114,18 @@ class ServingMetrics:
             return float("nan")
         return float(np.percentile(self._arr("tpot"), 99))
 
+    def ttft_attainment(self) -> float:
+        """Fraction of finished requests meeting the TTFT bound alone."""
+        if not self.finished:
+            return 0.0
+        return float((self._arr("ttft") <= self.sla.ttft).mean())
+
+    def tpot_attainment(self) -> float:
+        """Fraction of finished requests meeting the TPOT bound alone."""
+        if not self.finished:
+            return 0.0
+        return float((self._arr("tpot") <= self.sla.tpot).mean())
+
     def mean_memory_utilization(self) -> float:
         if not self.memory_timeline:
             return float("nan")
@@ -124,10 +146,14 @@ class ServingMetrics:
             "finished": float(self.n_finished),
             "dropped": float(self.dropped),
             "attainment": self.attainment(),
+            "ttft_attainment": self.ttft_attainment(),
+            "tpot_attainment": self.tpot_attainment(),
             "mean_ttft_s": self.mean_ttft(),
+            "p50_ttft_s": self.p50_ttft(),
             "p90_ttft_s": self.p90_ttft(),
             "p99_ttft_s": self.p99_ttft(),
             "mean_tpot_s": self.mean_tpot(),
+            "p50_tpot_s": self.p50_tpot(),
             "p90_tpot_s": self.p90_tpot(),
             "p99_tpot_s": self.p99_tpot(),
             "mean_mem_util": self.mean_memory_utilization(),

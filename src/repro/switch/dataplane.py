@@ -209,6 +209,10 @@ class SwitchDataplane:
         """Chunks currently occupying slots."""
         return len(self._table)
 
+    def occupancy(self) -> float:
+        """Fraction of aggregator slots currently in use [0, 1]."""
+        return len(self._table) / self.n_slots
+
     def counters(self) -> dict[str, int]:
         """Snapshot of the hardware counters (control-plane poll)."""
         return {

@@ -1,0 +1,339 @@
+"""SLO targets, burn-rate alerting and the alert feedback loop.
+
+Covers the tentpole acceptance criteria:
+
+* the multi-window multi-burn-rate rule fires and resolves on edges,
+  guarded by ``min_samples``;
+* an SLO-violating workload at a fixed seed deterministically fires at
+  least one burn-rate alert that reaches the autoscaler through the
+  :class:`AlertSink`;
+* page alerts force the autoscaler to scale out and throttle the
+  background-traffic injector.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    HEROSERVE,
+    SLA_TESTBED_CHATBOT,
+    OPT_66B,
+    CostModelBank,
+    Observer,
+    build_system,
+    build_testbed,
+    generate_sharegpt_trace,
+    simulate_trace,
+)
+from repro.llm import A100, V100
+from repro.obs.slo import (
+    PAGE,
+    TICKET,
+    Alert,
+    AlertSink,
+    SLOMonitor,
+    SLOTarget,
+    alert_to_dict,
+    default_slo_targets,
+)
+from repro.serving import EngineConfig
+from repro.serving.autoscale import AutoScaler
+from repro.sim.eventqueue import EventQueue
+from repro.util.rng import make_rng
+
+
+class TestSLOTarget:
+    def test_name_and_budget(self):
+        t = SLOTarget("ttft", 2.5, objective=0.9)
+        assert t.name == "ttft<=2.5s@90%"
+        assert t.error_budget == pytest.approx(0.1)
+        assert t.is_good(2.5) and not t.is_good(2.6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold_s": 0.0},
+            {"objective": 0.0},
+            {"objective": 1.0},
+            {"fast_window_s": 0.0},
+            {"fast_window_s": 7200.0},  # > slow window
+            {"ticket_burn": 0.0},
+            {"ticket_burn": 9.0},  # > page_burn
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = {"metric": "ttft", "threshold_s": 1.0}
+        with pytest.raises(ValueError):
+            SLOTarget(**{**base, **kwargs})
+
+    def test_default_targets_from_sla(self):
+        targets = default_slo_targets(SLA_TESTBED_CHATBOT)
+        assert [t.metric for t in targets] == ["ttft", "tpot"]
+        assert targets[0].threshold_s == SLA_TESTBED_CHATBOT.ttft
+        assert targets[1].threshold_s == SLA_TESTBED_CHATBOT.tpot
+
+
+def tight_monitor(**kwargs) -> SLOMonitor:
+    """A monitor whose windows suit second-scale test timelines."""
+    return SLOMonitor(
+        [
+            SLOTarget(
+                "ttft",
+                0.5,
+                objective=0.9,
+                fast_window_s=12.0,
+                slow_window_s=60.0,
+            )
+        ],
+        **kwargs,
+    )
+
+
+class TestBurnRates:
+    def test_burn_zero_when_all_good(self):
+        mon = tight_monitor()
+        for i in range(20):
+            mon.observe(float(i), "ttft", 0.1)
+        fast, slow = mon.burn_rates(20.0)["ttft<=0.5s@90%"]
+        assert fast == 0.0 and slow == 0.0
+
+    def test_burn_ceiling_when_all_bad(self):
+        mon = tight_monitor()
+        for i in range(20):
+            mon.observe(float(i), "ttft", 5.0)
+        fast, slow = mon.burn_rates(20.0)["ttft<=0.5s@90%"]
+        # every request bad => bad fraction 1.0 / budget 0.1 = 10x
+        assert fast == pytest.approx(10.0)
+        assert slow == pytest.approx(10.0)
+
+    def test_attainment_window(self):
+        mon = tight_monitor()
+        for i in range(10):
+            mon.observe(float(i), "ttft", 0.1 if i % 2 else 5.0)
+        att = mon.attainment(10.0, "ttft<=0.5s@90%", 60.0)
+        assert att == pytest.approx(0.5)
+
+    def test_old_samples_pruned(self):
+        mon = tight_monitor()
+        mon.observe(0.0, "ttft", 5.0)
+        mon.observe(100.0, "ttft", 0.1)
+        # the bad sample at t=0 is outside the 60 s slow window
+        _, slow = mon.burn_rates(100.0)["ttft<=0.5s@90%"]
+        assert slow == 0.0
+
+
+class TestAlertEdges:
+    def test_min_samples_guard(self):
+        mon = tight_monitor(min_samples=5)
+        for i in range(4):
+            mon.observe(float(i), "ttft", 5.0)
+        assert mon.evaluate(4.0) == []
+
+    def test_fires_once_then_resolves(self):
+        mon = tight_monitor(min_samples=5)
+        for i in range(10):
+            mon.observe(float(i), "ttft", 5.0)
+        edges = mon.evaluate(10.0)
+        assert {(a.severity, a.state) for a in edges} == {
+            (PAGE, "firing"),
+            (TICKET, "firing"),
+        }
+        # steady state: no new edges while still burning
+        mon.observe(10.2, "ttft", 5.0)
+        assert mon.evaluate(10.4) == []
+        # recovery: good requests push the short windows clean
+        for i in range(200):
+            mon.observe(11.0 + i * 0.3, "ttft", 0.1)
+        resolved = mon.evaluate(75.0)
+        assert {(a.severity, a.state) for a in resolved} == {
+            (PAGE, "resolved"),
+            (TICKET, "resolved"),
+        }
+        assert mon.sink.firing() == []
+
+    def test_sink_fanout_and_log(self):
+        seen: list[Alert] = []
+        sink = AlertSink()
+        sink.subscribe(seen.append)
+        mon = tight_monitor(sink=sink)
+        for i in range(10):
+            mon.observe(float(i), "ttft", 5.0)
+        mon.evaluate(10.0)
+        assert seen and seen == sink.alerts
+        assert {a.severity for a in sink.firing()} == {PAGE, TICKET}
+
+    def test_alert_to_dict_round_trip(self):
+        mon = tight_monitor()
+        for i in range(10):
+            mon.observe(float(i), "ttft", 5.0)
+        (alert, *_) = mon.evaluate(10.0)
+        d = alert_to_dict(alert)
+        assert d["slo"] == "ttft<=0.5s@90%"
+        assert d["state"] == "firing"
+        assert d["message"] == alert.message
+
+    def test_snapshot_shape(self):
+        mon = tight_monitor()
+        for i in range(10):
+            mon.observe(float(i), "ttft", 5.0)
+        mon.evaluate(10.0)
+        snap = mon.snapshot(10.0)
+        (t,) = snap["targets"]
+        assert t["paging"] and t["ticketing"]
+        assert t["burn_fast"] == pytest.approx(10.0)
+        assert t["attainment_slow"] == pytest.approx(0.0)
+        assert len(snap["alerts"]) == 2
+
+
+class _FakeReplica:
+    queued_requests = 0
+
+
+class _FakeFleet:
+    """Just enough surface for the AutoScaler's fleet interactions."""
+
+    def __init__(self, n: int, active: int) -> None:
+        self.replicas = [_FakeReplica() for _ in range(n)]
+        self.active = [i < active for i in range(n)]
+        self.routed = [0] * n
+
+    @property
+    def n_active(self) -> int:
+        return sum(self.active)
+
+    def set_active(self, idx: int, value: bool) -> None:
+        self.active[idx] = value
+
+
+def page_alert(ts: float, state: str = "firing") -> Alert:
+    return Alert(
+        time=ts,
+        slo="ttft<=0.5s@90%",
+        metric="ttft",
+        severity=PAGE,
+        state=state,
+        burn_long=8.0,
+        burn_short=9.0,
+        window_s=12.0,
+        attainment=0.2,
+        n_requests=25,
+        message="test",
+    )
+
+
+class TestAutoscalerAlertPath:
+    def make_scaler(self, n=3, active=1) -> AutoScaler:
+        return AutoScaler(
+            fleet=_FakeFleet(n, active),
+            queue=EventQueue(),
+            replica_capacity=10.0,
+            window=5.0,
+        )
+
+    def test_page_alert_forces_scale_out(self):
+        scaler = self.make_scaler()
+        scaler.on_alert(page_alert(1.0))
+        # observed rate is 0 — without the alert this tick would scale in
+        scaler._tick(end=100.0)
+        action = scaler.actions[-1]
+        assert action.kind == "out"
+        assert action.reason == "slo_page_burn"
+        assert scaler.fleet.n_active == 2
+
+    def test_unresolved_page_blocks_scale_in(self):
+        scaler = self.make_scaler(n=3, active=2)
+        scaler.on_alert(page_alert(1.0))
+        scaler._tick(end=100.0)  # consumes the pending scale-out
+        scaler._tick(end=100.0)
+        # still firing: rate 0 would scale in, but the page blocks it
+        assert scaler.fleet.n_active == 3
+        assert scaler.actions[-1].kind == "hold"
+
+    def test_resolved_page_restores_scale_in(self):
+        scaler = self.make_scaler(n=3, active=2)
+        scaler.on_alert(page_alert(1.0))
+        scaler.on_alert(page_alert(2.0, state="resolved"))
+        scaler._tick(end=100.0)  # pending rising edge still honoured
+        scaler._tick(end=100.0)
+        assert scaler.actions[-1].kind == "in"
+
+    def test_ticket_alerts_only_logged(self):
+        scaler = self.make_scaler()
+        ticket = Alert(
+            time=1.0, slo="s", metric="ttft", severity=TICKET,
+            state="firing", burn_long=3.0, burn_short=3.0,
+            window_s=60.0, attainment=0.7, n_requests=50, message="t",
+        )
+        scaler.on_alert(ticket)
+        scaler._tick(end=100.0)
+        assert scaler.alerts_received == [ticket]
+        assert scaler.actions[-1].kind != "out"
+
+    def test_subscribe_wires_sink(self):
+        scaler = self.make_scaler()
+        sink = AlertSink()
+        scaler.subscribe(sink)
+        sink.emit(page_alert(1.0))
+        assert scaler.alerts_received
+
+
+class TestDeterministicAlertFiring:
+    """Acceptance: an SLO-violating workload fires alerts reproducibly."""
+
+    def run_violating(self) -> tuple[SLOMonitor, AutoScaler]:
+        built = build_testbed()
+        bank = CostModelBank(OPT_66B, {"A100": A100, "V100": V100})
+        trace = generate_sharegpt_trace(2.0, 30.0, make_rng(11))
+        system = build_system(
+            HEROSERVE,
+            built,
+            OPT_66B,
+            bank,
+            SLA_TESTBED_CHATBOT,
+            trace.representative_batch(8),
+            arrival_rate=2.0,
+        )
+        # An impossible TTFT bound: every request violates, so the burn
+        # rate pins at the 10x ceiling and the page condition must trip.
+        slo = SLOMonitor(
+            [
+                SLOTarget(
+                    "ttft",
+                    1e-4,
+                    fast_window_s=10.0,
+                    slow_window_s=30.0,
+                )
+            ]
+        )
+        scaler = AutoScaler(
+            fleet=_FakeFleet(3, 1),
+            queue=EventQueue(),
+            replica_capacity=10.0,
+            window=5.0,
+        )
+        scaler.subscribe(slo.sink)
+        simulate_trace(
+            system,
+            trace,
+            engine_config=EngineConfig(observer=Observer(slo=slo)),
+        )
+        return slo, scaler
+
+    def test_alert_reaches_autoscaler_sink(self):
+        slo, scaler = self.run_violating()
+        firing = [a for a in slo.sink.alerts if a.firing]
+        assert firing, "violating workload must fire at least one alert"
+        assert any(a.severity == PAGE for a in firing)
+        assert scaler.alerts_received  # fan-out reached the subscriber
+        assert scaler._page_pending or scaler._pages_active > 0
+
+    def test_firing_is_deterministic(self):
+        slo_a, _ = self.run_violating()
+        slo_b, _ = self.run_violating()
+        key = [
+            (a.time, a.slo, a.severity, a.state) for a in slo_a.sink.alerts
+        ]
+        assert key == [
+            (a.time, a.slo, a.severity, a.state) for a in slo_b.sink.alerts
+        ]
