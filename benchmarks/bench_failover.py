@@ -1,0 +1,160 @@
+"""Failover — serving through an INA switch-crash window.
+
+Both access switches of the testbed crash mid-trace and recover ten
+seconds later. HeroServe's online controller detects the outage
+(heartbeat misses), masks the INA policies and fails the groups over to
+ring all-reduce until the switches return (plus a hold-down); the
+static DS-SwitchML baseline has no fallback path and its synchronous
+INA collectives time out against the dead dataplane for the whole
+outage.
+
+The bench replays the identical chatbot trace through both systems and
+reports overall metrics plus the TTFT of exactly the requests that
+arrived inside the crash window — the cohort a failover exists to
+protect. With ``--obs-dir`` active each run additionally dumps its
+trace, metrics snapshot, summary and flight JSONL there.
+"""
+
+import math
+
+import pytest
+
+from repro.core import SLA_TESTBED_CHATBOT
+from repro.faults import FaultEvent, FaultPlan
+from repro.llm import OPT_66B
+from repro.network import build_testbed
+
+from common import (
+    TESTBED_PARALLEL,
+    build_all_systems,
+    chatbot_trace,
+    dump_observation,
+    make_testbed_bank,
+    maybe_observed_config,
+    save_result,
+)
+from repro.baselines import simulate_trace
+from repro.util.tables import format_table
+
+RATE = 2.0
+DURATION = 40.0
+CRASH_AT = 10.0
+OUTAGE = 10.0
+SEED = 3
+
+#: Crash *both* access switches: with one alive, HeroServe simply
+#: re-homes aggregation onto the survivor and the ring path never runs.
+CRASH_PLAN = FaultPlan(
+    events=(
+        FaultEvent(
+            time=CRASH_AT, kind="switch_down", target="switch#0",
+            duration=OUTAGE,
+        ),
+        FaultEvent(
+            time=CRASH_AT, kind="switch_down", target="switch#1",
+            duration=OUTAGE,
+        ),
+    ),
+    seed=SEED,
+)
+
+
+def window_ttfts(metrics) -> list[float]:
+    """TTFTs of the requests that arrived during the outage."""
+    return [
+        r.ttft
+        for r in metrics.finished
+        if CRASH_AT <= r.arrival_time < CRASH_AT + OUTAGE
+        and not math.isnan(r.ttft)
+    ]
+
+
+def run_crash_window():
+    built = build_testbed()
+    bank = make_testbed_bank(OPT_66B)
+    trace = chatbot_trace(RATE, DURATION, seed=SEED)
+    systems = build_all_systems(
+        built,
+        OPT_66B,
+        bank,
+        SLA_TESTBED_CHATBOT,
+        trace,
+        arrival_rate=RATE,
+        forced=TESTBED_PARALLEL,
+    )
+    results = {}
+    for name in ("HeroServe", "DS-SwitchML"):
+        cfg, observer = maybe_observed_config()
+        metrics = simulate_trace(
+            systems[name],
+            trace,
+            engine_config=cfg,
+            fault_plan=CRASH_PLAN,
+        )
+        dump_observation(
+            f"failover_{name.lower()}", observer, metrics
+        )
+        results[name] = metrics
+    return results
+
+
+@pytest.mark.benchmark(group="failover")
+def test_failover_switch_crash(benchmark):
+    results = benchmark.pedantic(
+        run_crash_window, rounds=1, iterations=1
+    )
+    rows = []
+    for name, m in results.items():
+        s = m.summary()
+        win = window_ttfts(m)
+        rows.append(
+            [
+                name,
+                f"{s['finished']:.0f}",
+                f"{s['attainment']:.1%}",
+                f"{s['mean_ttft_s'] * 1e3:.0f}",
+                f"{(sum(win) / len(win) * 1e3) if win else float('nan'):.0f}",
+                f"{s['failovers']:.0f}",
+                f"{s['degraded_seconds']:.1f}",
+            ]
+        )
+    table = format_table(
+        [
+            "system",
+            "finished",
+            "SLA att.",
+            "TTFT ms",
+            "crash-window TTFT ms",
+            "failovers",
+            "degraded s",
+        ],
+        rows,
+        title=(
+            f"both INA switches down t={CRASH_AT:g}s for {OUTAGE:g}s, "
+            f"chatbot @ {RATE:g} req/s"
+        ),
+    )
+    print("\n" + table)
+    save_result("failover_switch_crash", table)
+
+    hero, switchml = results["HeroServe"], results["DS-SwitchML"]
+    # HeroServe detected the outage and failed over at least once.
+    assert hero.fault_stats is not None
+    assert hero.fault_stats.failovers >= 1
+    assert hero.fault_stats.degraded_seconds > 0.0
+    # Both systems finish the trace without losing requests outright.
+    assert hero.n_finished >= switchml.n_finished
+    # The cohort arriving mid-outage is where failover pays: ring
+    # all-reduce beats synchronous INA timing out against a dead switch.
+    hero_win, switchml_win = window_ttfts(hero), window_ttfts(switchml)
+    assert hero_win and switchml_win
+    assert (
+        sum(hero_win) / len(hero_win)
+        < sum(switchml_win) / len(switchml_win)
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-v", "-s"]))

@@ -11,7 +11,8 @@ Scheduling on Heterogeneous Networks". The package provides:
 * :mod:`repro.serving` — discrete-event serving simulator and metrics;
 * :mod:`repro.workloads` — ShareGPT/LongBench-like trace generators;
 * :mod:`repro.baselines` — HeroServe vs DistServe / DS-ATP / DS-SwitchML;
-* :mod:`repro.obs` — tracing, metrics registry, profiling, logging.
+* :mod:`repro.obs` — tracing, metrics registry, profiling, logging;
+* :mod:`repro.faults` — fault injection, health detection, failover.
 
 Quickstart::
 
@@ -34,6 +35,13 @@ from repro.baselines import (
     simulate_trace,
 )
 from repro.comm import CommContext, SchemeKind
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    HealthRegistry,
+    poisson_plan,
+)
 from repro.core import (
     SLA_TESTBED_CHATBOT,
     CentralController,
@@ -67,12 +75,14 @@ def quick_testbed(
     duration: float = 60.0,
     seed: int = 0,
     engine_config: EngineConfig | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ):
     """Plan and simulate HeroServe on the paper's testbed in one call.
 
     Returns ``(system, metrics)``. Meant for the README quickstart; the
     examples directory shows the full API. Pass
-    ``EngineConfig(observer=Observer())`` to collect traces/metrics.
+    ``EngineConfig(observer=Observer())`` to collect traces/metrics and
+    a :class:`~repro.faults.FaultPlan` to inject faults mid-run.
     """
     from repro.llm import A100, V100
     from repro.util.rng import make_rng
@@ -89,7 +99,9 @@ def quick_testbed(
         trace.representative_batch(8),
         arrival_rate=rate,
     )
-    metrics = simulate_trace(system, trace, engine_config=engine_config)
+    metrics = simulate_trace(
+        system, trace, engine_config=engine_config, fault_plan=fault_plan
+    )
     return system, metrics
 
 
@@ -104,6 +116,11 @@ __all__ = [
     "simulate_trace",
     "CommContext",
     "SchemeKind",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthRegistry",
+    "poisson_plan",
     "SLA_TESTBED_CHATBOT",
     "CentralController",
     "OfflinePlanner",

@@ -7,6 +7,11 @@ Commands
 ``compare``    — 4-system comparison at a given rate (Fig. 7 style)
 ``plan``       — run the offline planner and print the chosen plan
 ``report``     — run an observed simulation and render the HTML report
+``demo``       — chaos demo: fault-injected run -> flight JSONL + report
+
+Fault flags (``quickstart`` / ``demo``): ``--fault-plan FILE`` injects
+a JSON fault plan on the simulation clock; ``--mtbf S`` / ``--mttr S``
+generate Poisson switch outages instead.
 
 Observability flags (``quickstart`` / ``compare`` / ``plan``):
 ``--trace-out FILE``   — write a Chrome-tracing JSON (``.jsonl`` for the
@@ -65,6 +70,33 @@ def _make_observer(args) -> "Observer | None":
             recorder=FlightRecorder() if wants_flight else None,
         )
     return None
+
+
+def _load_fault_plan(args) -> "object | None":
+    """A :class:`~repro.faults.FaultPlan` when fault flags were given.
+
+    ``--fault-plan FILE`` loads a JSON plan; ``--mtbf S`` (with optional
+    ``--mttr S``) generates a Poisson switch-outage plan over the run's
+    duration, seeded from ``--seed`` for reproducibility.
+    """
+    path = getattr(args, "fault_plan", None)
+    mtbf = getattr(args, "mtbf", None)
+    if path is None and mtbf is None:
+        return None
+    from repro.faults import FaultPlan, poisson_plan
+    from repro.util.rng import make_rng
+
+    if path is not None:
+        return FaultPlan.load(path)
+    seed = getattr(args, "seed", 0)
+    return poisson_plan(
+        horizon_s=getattr(args, "duration", 60.0),
+        mtbf_s=mtbf,
+        mttr_s=getattr(args, "mttr", None) or mtbf / 10.0,
+        rng=make_rng(seed),
+        switches=1,
+        seed=seed,
+    )
 
 
 def _export(observer, args, suffix: str = "") -> None:
@@ -130,6 +162,7 @@ def cmd_quickstart(args) -> int:
         duration=args.duration,
         seed=args.seed,
         engine_config=engine_config,
+        fault_plan=_load_fault_plan(args),
     )
     print(system.plan.summary())
     print()
@@ -277,6 +310,75 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_demo(args) -> int:
+    """Chaos demo: observed HeroServe run under fault injection."""
+    from repro import SLA_TESTBED_CHATBOT, quick_testbed
+    from repro.faults import FaultEvent, FaultPlan
+    from repro.obs import default_slo_targets, render_text, write_report
+    from repro.serving import EngineConfig
+
+    if args.flight_out is None:
+        # set here rather than via set_defaults(): argparse shares the
+        # parent parser's actions, so a subparser-level default would
+        # leak into every other subcommand using the obs flags.
+        args.flight_out = "demo-flight.jsonl"
+    plan = _load_fault_plan(args)
+    if plan is None:
+        # Default chaos: crash the first INA switch for 30 % of the run.
+        down = 0.2 * args.duration
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=down,
+                    kind="switch_down",
+                    target="switch#0",
+                    duration=0.3 * args.duration,
+                ),
+            ),
+            seed=args.seed,
+        )
+    slo = _slo_monitor(args)
+    observer = Observer(
+        slo=slo or SLOMonitor(default_slo_targets(SLA_TESTBED_CHATBOT)),
+        recorder=FlightRecorder(),
+    )
+    system, metrics = quick_testbed(
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        engine_config=EngineConfig(observer=observer),
+        fault_plan=plan,
+    )
+    print(system.plan.summary())
+    print()
+    for k, v in metrics.summary().items():
+        print(f"  {k:20s} {v:.4g}")
+    failovers = observer.recorder.events("failover")
+    print(f"\nrecorded failovers: {len(failovers)}")
+    for ev in failovers:
+        print(
+            f"  @ {ev['time']:.2f}s {ev.get('direction', '?')} "
+            f"group {ev.get('group', '?')}"
+        )
+    _export(observer, args)
+    data = write_report(
+        args.out,
+        observer=observer,
+        serving_metrics=metrics,
+        title="HeroServe chaos demo",
+        meta={
+            "system": "HeroServe",
+            "rate": f"{args.rate:g} req/s",
+            "duration": f"{args.duration:g}s",
+            "seed": args.seed,
+            "faults": len(plan),
+        },
+    )
+    print(render_text(data), end="")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     common = argparse.ArgumentParser(add_help=False)
     # SUPPRESS instead of 0: the subparser re-parses this flag, and a
@@ -322,6 +424,30 @@ def main(argv: list[str] | None = None) -> int:
         help="TPOT SLO bound in seconds (attaches burn-rate alerting)",
     )
 
+    fault_flags = argparse.ArgumentParser(add_help=False)
+    fault_flags.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON fault plan to inject (see examples/faultplan.json)",
+    )
+    fault_flags.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        metavar="S",
+        help="generate Poisson switch outages with this mean "
+        "time between failures (seconds, simulation clock)",
+    )
+    fault_flags.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        metavar="S",
+        help="mean time to repair for --mtbf outages "
+        "(default mtbf/10)",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__, parents=[common],
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -335,7 +461,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser(
         "quickstart",
         help="HeroServe on the testbed",
-        parents=[common, obs_flags],
+        parents=[common, obs_flags, fault_flags],
     )
     p.add_argument("--rate", type=float, default=1.0)
     p.add_argument("--duration", type=float, default=60.0)
@@ -380,6 +506,21 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "demo",
+        help="chaos demo: fault-injected run -> flight JSONL + report",
+        parents=[common, obs_flags, fault_flags],
+    )
+    p.add_argument(
+        "--out",
+        default="demo-report.html",
+        metavar="FILE",
+        help="HTML report destination (default demo-report.html)",
+    )
+    p.add_argument("--rate", type=float, default=1.0)
+    p.add_argument("--duration", type=float, default=12.0)
+    p.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
     # Fail on an unwritable output directory now, not after the run.
     for attr in ("trace_out", "metrics_out", "flight_out", "out"):
@@ -400,6 +541,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "plan": cmd_plan,
         "report": cmd_report,
+        "demo": cmd_demo,
     }
     return handlers[args.command](args)
 

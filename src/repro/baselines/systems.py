@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.comm.context import CommContext
 from repro.comm.latency import SchemeKind
@@ -38,6 +39,9 @@ from repro.serving.capacity import RunAtRate
 from repro.serving.engine import EngineConfig, ServingSimulator
 from repro.serving.metrics import ServingMetrics
 from repro.workloads.traces import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -150,13 +154,34 @@ def simulate_trace(
     engine_config: EngineConfig | None = None,
     background: BackgroundTrafficConfig | None = None,
     background_seed: int | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> ServingMetrics:
-    """Run one trace through a system with fresh network state."""
+    """Run one trace through a system with fresh network state.
+
+    ``fault_plan`` arms a :class:`~repro.faults.plan.FaultPlan` on the
+    simulation clock: injected faults flip ground truth, HeroServe's
+    controller detects them via its health registry and fails groups
+    over INA->ring, and the summary gains MTTR / requests-lost /
+    degraded-seconds keys. Passing an *empty* plan leaves the run
+    byte-identical to ``fault_plan=None``.
+    """
     ctx = system.fresh_context()
     cfg = engine_config or EngineConfig()
+    injector = None
+    health = None
+    if fault_plan is not None:
+        from repro.faults import FaultInjector, HealthRegistry
+
+        health = HealthRegistry()
+        injector = FaultInjector(
+            fault_plan, health, ctx, observer=cfg.observer
+        )
     controller = (
         CentralController(
-            ctx=ctx, scheme=system.spec.scheme, observer=cfg.observer
+            ctx=ctx,
+            scheme=system.spec.scheme,
+            observer=cfg.observer,
+            health=health,
         )
         if system.spec.online
         else None
@@ -170,7 +195,10 @@ def simulate_trace(
         trace=trace,
         controller=controller,
         config=cfg,
+        faults=injector,
     )
+    if injector is not None:
+        injector.arm(sim.queue)
     if background is not None:
         bg = BackgroundTraffic(
             system.built.topology,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.comm.context import CommContext
 from repro.comm.latency import SchemeKind
 from repro.core.scheduler import CommDecision, LoadAwareScheduler
+from repro.faults.health import HealthRegistry
 from repro.obs.logging_config import get_logger
 from repro.obs.observer import NULL_OBSERVER
 
@@ -35,6 +36,8 @@ class CentralController:
     n_switch_candidates: int = 2
     #: observability sink shared with the engine (no-op by default)
     observer: object = NULL_OBSERVER
+    #: failure-detection registry; ``None`` keeps the fault-free path.
+    health: HealthRegistry | None = None
     _schedulers: dict[tuple[int, ...], LoadAwareScheduler] = field(
         default_factory=dict
     )
@@ -44,8 +47,16 @@ class CentralController:
     def scheduler_for(
         self, gpus: Sequence[int]
     ) -> LoadAwareScheduler:
-        """Get (or lazily create) the scheduler of one GPU group."""
-        key = tuple(sorted(gpus))
+        """Get (or lazily create) the scheduler of one GPU group.
+
+        Group keys are normalised (sorted, duplicates dropped) so
+        ``[3, 1, 3]`` and ``(1, 3)`` resolve to the same scheduler; the
+        scheduler itself receives the deduplicated GPUs in caller order,
+        which preserves existing leader-election behaviour for the
+        (duplicate-free) callers we have today.
+        """
+        unique = list(dict.fromkeys(gpus))
+        key = tuple(sorted(unique))
         sched = self._schedulers.get(key)
         if sched is None:
             log.debug(
@@ -55,11 +66,13 @@ class CentralController:
             )
             sched = LoadAwareScheduler(
                 self.ctx,
-                list(gpus),
+                unique,
                 self.scheme,
                 n_switch_candidates=self.n_switch_candidates,
                 observer=self.observer,
             )
+            if self.health is not None:
+                sched.apply_health(self.health)
             self._schedulers[key] = sched
         return sched
 
@@ -79,10 +92,45 @@ class CentralController:
         self._last_refresh = now
         if self.ctx.linkstate is not None:
             self.ctx.linkstate.poll()
+        if self.health is not None:
+            self._poll_health(now)
         for sched in self._schedulers.values():
             sched.refresh()
         self.refreshes += 1
         return True
+
+    def _poll_health(self, now: float) -> None:
+        """Advance failure detection and fail groups over/back.
+
+        Heartbeat misses and stale switch counters surface here as
+        detected-down edges; every edge re-derives each group's policy
+        mask so affected groups degrade INA->ring (or restore after the
+        hold-down elapses).
+        """
+        assert self.health is not None
+        edges = self.health.poll(now)
+        if not edges:
+            return
+        for edge in edges:
+            log.info(
+                "health: %s %s detected %s at t=%.3f",
+                edge.kind,
+                edge.resource,
+                edge.state,
+                now,
+            )
+            self.observer.health_transition(
+                now, edge.kind, edge.resource, edge.state, edge.detail
+            )
+        for key, sched in self._schedulers.items():
+            changed, degraded = sched.apply_health(self.health)
+            if not changed:
+                continue
+            direction = "ina->ring" if degraded else "ring->ina"
+            if degraded:
+                self.health.failovers += 1
+            log.info("failover: group %s %s at t=%.3f", key, direction, now)
+            self.observer.failover(now, key, direction)
 
     def n_groups(self) -> int:
         """Number of registered GPU groups."""

@@ -15,25 +15,65 @@ overlaps ``ceil`` of the ratio of decode slices (the paper's
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Collection, Sequence
 
 from repro.comm.context import CommContext
 from repro.llm.memory import kv_bytes_per_token
 from repro.llm.models import ModelConfig
 
 
+def _repaired_decode_stages(
+    decode_stages: Sequence[Sequence[int]],
+    exclude_gpus: Collection[int],
+) -> list[list[int]]:
+    """Substitute failed decode GPUs with stage survivors (round-robin).
+
+    The stage layout (and therefore every pair's layer/tensor share) is
+    preserved; only the *destination* of the failed positions changes, so
+    a survivor absorbs the orphaned slice next to its own.
+    """
+    excl = set(exclude_gpus)
+    repaired: list[list[int]] = []
+    for stage in decode_stages:
+        survivors = [g for g in stage if g not in excl]
+        if not survivors or len(survivors) == len(stage):
+            repaired.append(list(stage))
+            continue
+        rr = 0
+        row: list[int] = []
+        for g in stage:
+            if g in excl:
+                row.append(survivors[rr % len(survivors)])
+                rr += 1
+            else:
+                row.append(g)
+        repaired.append(row)
+    return repaired
+
+
 def kv_pairings(
     prefill_stages: Sequence[Sequence[int]],
     decode_stages: Sequence[Sequence[int]],
+    exclude_gpus: Collection[int] = (),
 ) -> list[tuple[int, int, float]]:
     """(prefill_gpu, decode_gpu, share) transfer list.
 
     ``share`` is the fraction of the *whole batch's* KV bytes that flows
     on that pair. Shares over all pairs sum to 1 (each KV byte moves
     exactly once).
+
+    ``exclude_gpus`` re-pairs around decode GPUs believed failed: each
+    excluded GPU's share is redistributed to the healthy survivors of
+    its decode stage (who hold the adjacent tensor slices and can absorb
+    the orphaned KV until the group is repaired). A stage with no
+    healthy GPU cannot absorb anything — the exclusion is ignored for
+    that stage and the transfer targets the original owners (the caller
+    must wait for recovery or replan instead).
     """
     if not prefill_stages or not decode_stages:
         raise ValueError("both phases need at least one stage")
+    if exclude_gpus:
+        decode_stages = _repaired_decode_stages(decode_stages, exclude_gpus)
     pp_p, pp_d = len(prefill_stages), len(decode_stages)
     pairs: list[tuple[int, int, float]] = []
     for ip, pstage in enumerate(prefill_stages):
@@ -68,6 +108,7 @@ def estimate_kv_transfer_time(
     k_in: int,
     prefill_stages: Sequence[Sequence[int]],
     decode_stages: Sequence[Sequence[int]],
+    exclude_gpus: Collection[int] = (),
 ) -> float:
     """Eq. 14: ``T_f = max_k T_k^p`` over prefill GPUs.
 
@@ -80,7 +121,10 @@ def estimate_kv_transfer_time(
         raise ValueError(f"k_in must be > 0, got {k_in}")
     total_bytes = kv_bytes_per_token(model) * k_in
     per_gpu: dict[int, float] = {}
-    for pg, dg, share in kv_pairings(prefill_stages, decode_stages):
+    pairs = kv_pairings(
+        prefill_stages, decode_stages, exclude_gpus=exclude_gpus
+    )
+    for pg, dg, share in pairs:
         t = ctx.path_time(pg, dg, total_bytes * share)
         per_gpu[pg] = per_gpu.get(pg, 0.0) + t
     return max(per_gpu.values()) if per_gpu else 0.0
@@ -92,11 +136,15 @@ def kv_transfer_flows(
     k_in: int,
     prefill_stages: Sequence[Sequence[int]],
     decode_stages: Sequence[Sequence[int]],
+    exclude_gpus: Collection[int] = (),
 ) -> list[tuple[list[int], float]]:
     """(link path, bytes) for each KV transfer — for the flow simulator."""
     total_bytes = kv_bytes_per_token(model) * k_in
     out: list[tuple[list[int], float]] = []
-    for pg, dg, share in kv_pairings(prefill_stages, decode_stages):
+    pairs = kv_pairings(
+        prefill_stages, decode_stages, exclude_gpus=exclude_gpus
+    )
+    for pg, dg, share in pairs:
         if pg == dg:
             continue
         out.append((ctx.path_links(pg, dg), total_bytes * share))

@@ -17,6 +17,7 @@ placement search (28.57 % faster, §III-C3).
 from __future__ import annotations
 
 import time
+from collections.abc import Collection
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -452,6 +453,50 @@ class OfflinePlanner:
             rejected=rejected,
             phase_times=self.observer.profiler.phase_times(),
         )
+
+    def replan_excluding(
+        self,
+        failed_gpus: Collection[int],
+        batch: BatchSpec,
+        arrival_rate: float,
+        prefer: ParallelConfig | None = None,
+    ) -> PlannerReport:
+        """Incremental repair: re-plan with ``failed_gpus`` removed.
+
+        The failover path after a server loss. Survivor pools replace
+        the configured ones for the duration of the call; when
+        ``prefer`` (typically the incumbent plan's parallelism) still
+        fits the surviving GPU count it is pinned — re-running only the
+        grouping/switch/mode selection stages — before falling back to
+        the full Algorithm 1 candidate sweep.
+        """
+        failed = set(failed_gpus)
+        if not failed:
+            return self.plan(batch, arrival_rate, forced_parallel=prefer)
+        saved_pre, saved_dec = self.prefill_pool, self.decode_pool
+        self.prefill_pool = [g for g in saved_pre if g not in failed]
+        self.decode_pool = [g for g in saved_dec if g not in failed]
+        try:
+            if not self.prefill_pool or not self.decode_pool:
+                return PlannerReport(
+                    plan=None,
+                    candidates_evaluated=0,
+                    candidates_feasible=0,
+                    wall_time=0.0,
+                    rejected=["no surviving GPUs in one phase pool"],
+                )
+            if prefer is not None and (
+                prefer.prefill_gpus <= len(self.prefill_pool)
+                and prefer.decode_gpus <= len(self.decode_pool)
+            ):
+                report = self.plan(
+                    batch, arrival_rate, forced_parallel=prefer
+                )
+                if report.plan is not None:
+                    return report
+            return self.plan(batch, arrival_rate)
+        finally:
+            self.prefill_pool, self.decode_pool = saved_pre, saved_dec
 
     def _candidates(self) -> CandidateSpace:
         return generate_candidates(

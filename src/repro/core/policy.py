@@ -29,6 +29,7 @@ ground truth.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -89,6 +90,27 @@ class PolicyCostTable:
         # first updates already propagate across overlapping policies.
         self.f = self._static_sharing_matrix()
         self.selections = np.zeros(n, dtype=np.int64)
+        #: health mask — True rows are excluded from selection (their
+        #: switch or links are believed down); all-False by default.
+        self.masked = np.zeros(n, dtype=bool)
+
+    def set_mask(self, masked: Sequence[bool]) -> bool:
+        """Replace the health mask; returns True when it changed.
+
+        Masking every policy is rejected: a group must always keep at
+        least one lawful route (callers degrade the mask instead).
+        """
+        new = np.asarray(list(masked), dtype=bool)
+        if new.shape != self.masked.shape:
+            raise ValueError(
+                f"mask length {new.size} != {self.masked.size} policies"
+            )
+        if new.all():
+            raise ValueError("cannot mask every policy of a group")
+        if bool(np.array_equal(new, self.masked)):
+            return False
+        self.masked = new
+        return True
 
     # -- sharing structure -------------------------------------------------
 
@@ -136,6 +158,10 @@ class PolicyCostTable:
             raise ValueError("data_bytes must be >= 0")
         deltas = self.delta(data_bytes)
         j = self.b + deltas
+        if self.masked.any():
+            # Failover: unhealthy routes are priced out of the argmin.
+            # The guard keeps the fault-free fast path byte-identical.
+            j = np.where(self.masked, np.inf, j)
         best = int(np.argmin(j))
         # Eq. 17: winner takes its own delta; others take delta * f.
         bump = deltas[best] * self.f[best]

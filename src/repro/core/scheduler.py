@@ -76,7 +76,9 @@ def rank_switches(
             for g in gpus
         )
 
-    return sorted(cands, key=score)[: max(1, k)]
+    # Tie-break equal scores on the switch id so candidate order (and
+    # therefore policy enumeration) is deterministic across runs.
+    return sorted(cands, key=lambda sw: (score(sw), sw))[: max(1, k)]
 
 
 class LoadAwareScheduler:
@@ -240,3 +242,31 @@ class LoadAwareScheduler:
             return
         self.table.refresh_utilization(ls)
         self.table.refresh_penalties(ls)
+
+    def apply_health(self, health) -> tuple[bool, bool]:
+        """Mask policies whose switch or links are detected unhealthy.
+
+        Returns ``(changed, degraded)``: whether the mask flipped on this
+        call and whether the group is currently running restricted. A
+        group is never left without a route — if every policy would be
+        masked, link-based masking is dropped first (degraded links are
+        slow, not gone), and an all-masked residue clears entirely.
+        """
+
+        def switch_bad(p: Policy) -> bool:
+            return p.switch is not None and not health.available(
+                "switch", p.switch
+            )
+
+        down_links = health.detected_down("link")
+        mask = [
+            switch_bad(p)
+            or any(lid in down_links for lid in p.links)
+            for p in self.table.policies
+        ]
+        if all(mask):
+            mask = [switch_bad(p) for p in self.table.policies]
+        if all(mask):
+            mask = [False] * len(mask)
+        changed = self.table.set_mask(mask)
+        return changed, any(mask)

@@ -1,0 +1,35 @@
+"""Fault injection, failure detection, and failover support.
+
+The robustness layer of the reproduction: deterministic fault plans
+(:mod:`repro.faults.plan`), a ground-truth/detected health registry with
+heartbeat-style detection delay and hold-down (:mod:`repro.faults.
+health`), and the injector that arms plans onto the simulation event
+queue (:mod:`repro.faults.injector`).
+"""
+
+from repro.faults.health import (
+    FaultEpisode,
+    HealthConfig,
+    HealthRegistry,
+    HealthTransition,
+)
+from repro.faults.injector import FaultInjector, RetryPolicy
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    poisson_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEpisode",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthConfig",
+    "HealthRegistry",
+    "HealthTransition",
+    "RetryPolicy",
+    "poisson_plan",
+]

@@ -36,17 +36,22 @@ class LinkLoadTracker:
     topology: Topology
     ewma_alpha: float = 0.3
     _capacity: np.ndarray = field(init=False)
+    _base_capacity: np.ndarray = field(init=False)
+    _degrade: dict[int, float] = field(default_factory=dict, init=False)
     _load: np.ndarray = field(init=False)
     _ewma_util: np.ndarray = field(init=False)
     _next_handle: int = field(default=0, init=False)
     _registrations: dict[int, tuple[np.ndarray, float]] = field(
         default_factory=dict, init=False
     )
+    #: tolerated double-releases (each one is a caller bug worth counting)
+    double_releases: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.ewma_alpha <= 1.0:
             raise ValueError(f"ewma_alpha in (0,1], got {self.ewma_alpha}")
-        self._capacity = self.topology.capacity_array()
+        self._base_capacity = self.topology.capacity_array()
+        self._capacity = self._base_capacity.copy()
         self._load = np.zeros_like(self._capacity)
         self._ewma_util = np.zeros_like(self._capacity)
 
@@ -65,9 +70,27 @@ class LinkLoadTracker:
         self._registrations[handle] = (ids, rate)
         return handle
 
-    def release(self, handle: int) -> None:
-        """Remove a previously registered load."""
-        ids, rate = self._registrations.pop(handle)
+    def release(self, handle: int, strict: bool = True) -> None:
+        """Remove a previously registered load.
+
+        An unknown handle means the caller double-released (or released
+        after :meth:`reset`). By default that raises a descriptive
+        ``KeyError``; with ``strict=False`` it is tolerated and counted
+        in :attr:`double_releases` instead — failover paths that may
+        race a cancellation use this so the leak stays visible without
+        killing a long simulation.
+        """
+        entry = self._registrations.pop(handle, None)
+        if entry is None:
+            if strict:
+                raise KeyError(
+                    f"link-load handle {handle!r} is not registered: it was "
+                    "already released, invalidated by reset(), or never "
+                    "issued by this tracker"
+                )
+            self.double_releases += 1
+            return
+        ids, rate = entry
         np.add.at(self._load, ids, -rate)
         # Guard against floating-point drift below zero.
         np.maximum(self._load, 0.0, out=self._load)
@@ -80,8 +103,39 @@ class LinkLoadTracker:
 
     @property
     def capacity(self) -> np.ndarray:
-        """Per-link capacity ``C(e)`` (bytes/s); do not mutate."""
+        """Per-link capacity ``C(e)`` (bytes/s); do not mutate.
+
+        Reflects any active fault-injected degradations; the pristine
+        values live in :meth:`base_capacity`.
+        """
         return self._capacity
+
+    @property
+    def base_capacity(self) -> np.ndarray:
+        """Undegraded per-link capacity; do not mutate."""
+        return self._base_capacity
+
+    # -- fault injection ---------------------------------------------------
+
+    def set_link_factor(self, link_id: int, factor: float) -> None:
+        """Scale one directed link's capacity to ``factor``x its base.
+
+        Models brownouts (capacity cuts, loss-induced goodput collapse)
+        injected by :mod:`repro.faults`. ``factor=1`` restores the link.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        if not 0 <= link_id < len(self._capacity):
+            raise ValueError(f"link id {link_id} out of range")
+        if factor >= 1.0:
+            self._degrade.pop(link_id, None)
+        else:
+            self._degrade[link_id] = factor
+        self._capacity[link_id] = self._base_capacity[link_id] * factor
+
+    def degraded_links(self) -> dict[int, float]:
+        """Currently degraded links as ``{link_id: factor}``."""
+        return dict(self._degrade)
 
     def load(self) -> np.ndarray:
         """Copy of the per-link registered load (bytes/s)."""
@@ -174,7 +228,10 @@ class LinkLoadTracker:
         return self._ewma_util.copy()
 
     def reset(self) -> None:
-        """Drop all registrations and history (between benchmark runs)."""
+        """Drop all registrations, degradations, and history (between
+        benchmark runs)."""
         self._load[:] = 0.0
         self._ewma_util[:] = 0.0
         self._registrations.clear()
+        self._degrade.clear()
+        self._capacity[:] = self._base_capacity

@@ -329,6 +329,93 @@ class Observer:
                     message=alert.message,
                 )
 
+    # -- faults / failover ---------------------------------------------------
+    #
+    # Fault instruments are created lazily on the first fault event, so
+    # observed fault-free runs export exactly the same metric names as
+    # before the faults subsystem existed.
+
+    def _fault_counter(self, attr: str, name: str, help: str):
+        inst = getattr(self, attr, None)
+        if inst is None:
+            inst = self.metrics.counter(name, help)
+            setattr(self, attr, inst)
+        return inst
+
+    def fault_injected(self, ts: float, kind: str, target: int) -> None:
+        self._fault_counter(
+            "_faults_injected",
+            "repro_faults_injected_total",
+            "fault events applied by the injector, by kind",
+        ).inc(kind=kind)
+        self.trace.instant("faults", f"inject:{kind}", ts, target=target)
+        if self.recorder is not None:
+            self.recorder.log_event(ts, "fault_injected", kind=kind,
+                                    target=target)
+
+    def health_transition(
+        self, ts: float, kind: str, resource: int, state: str,
+        detail: str = "",
+    ) -> None:
+        self._fault_counter(
+            "_health_transitions",
+            "repro_health_transitions_total",
+            "detected resource health edges, by kind and state",
+        ).inc(kind=kind, state=state)
+        self.trace.instant(
+            "faults",
+            f"health:{kind}:{state}",
+            ts,
+            resource=resource,
+            detail=detail,
+        )
+        if self.recorder is not None:
+            self.recorder.log_event(
+                ts, "health_transition", kind=kind, resource=resource,
+                state=state, detail=detail,
+            )
+
+    def failover(
+        self, ts: float, group: tuple[int, ...], direction: str
+    ) -> None:
+        self._fault_counter(
+            "_failovers",
+            "repro_failovers_total",
+            "group policy-mask flips (ina->ring and back)",
+        ).inc(direction=direction)
+        self.trace.instant(
+            "faults",
+            f"failover:{direction}",
+            ts,
+            group="-".join(str(g) for g in group),
+        )
+        if self.recorder is not None:
+            self.recorder.log_event(
+                ts, "failover",
+                group="-".join(str(g) for g in group),
+                direction=direction,
+            )
+
+    def kv_retry(self, ts: float, attempt: int, delay: float) -> None:
+        self._fault_counter(
+            "_kv_retries",
+            "repro_kv_transfer_retries_total",
+            "KV transfers deferred by backoff while decode unreachable",
+        ).inc()
+        self.trace.instant(
+            "faults", "kv_retry", ts, attempt=attempt, delay_s=delay
+        )
+
+    def requests_requeued(self, ts: float, n: int) -> None:
+        self._fault_counter(
+            "_requeued",
+            "repro_requests_requeued_total",
+            "requests that lost progress to a failure and redo prefill",
+        ).inc(n)
+        self.trace.instant("faults", "requeue", ts, n_requests=n)
+        if self.recorder is not None:
+            self.recorder.log_event(ts, "requests_requeued", n=n)
+
     # -- profiling ----------------------------------------------------------
 
     def phase(self, name: str):
@@ -412,6 +499,23 @@ class NullObserver:
         pass
 
     def engine_tick(self, ts, sim) -> None:
+        pass
+
+    def fault_injected(self, ts, kind, target) -> None:
+        pass
+
+    def health_transition(
+        self, ts, kind, resource, state, detail=""
+    ) -> None:
+        pass
+
+    def failover(self, ts, group, direction) -> None:
+        pass
+
+    def kv_retry(self, ts, attempt, delay) -> None:
+        pass
+
+    def requests_requeued(self, ts, n) -> None:
         pass
 
     def phase(self, name: str):

@@ -112,6 +112,10 @@ class FlightRecorder:
         self.samples_total = 0
         self._dataplanes: dict[int, "SwitchDataplane"] = {}
         self._switch_ports: dict[int, list[int]] | None = None
+        #: discrete events (fault injections, health edges, failovers) —
+        #: ring-bounded like the samples so chaos storms cannot blow up
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self.events_total = 0
 
     # -- wiring --------------------------------------------------------------
 
@@ -181,6 +185,22 @@ class FlightRecorder:
         """Append a pre-built sample (tests, custom harnesses)."""
         self._ring.append(sample)
         self.samples_total += 1
+
+    def log_event(self, ts: float, event: str, **detail: Any) -> None:
+        """Record one discrete event (fault, health edge, failover).
+
+        Events are exported interleaved with samples in
+        :meth:`to_jsonl`, each line tagged ``"event": event``; the
+        detail kwargs land as additional JSON keys.
+        """
+        self._events.append({"time": ts, "event": event, **detail})
+        self.events_total += 1
+
+    def events(self, event: str | None = None) -> list[dict]:
+        """Recorded events, optionally filtered by event name."""
+        if event is None:
+            return list(self._events)
+        return [e for e in self._events if e["event"] == event]
 
     # -- queries -------------------------------------------------------------
 
@@ -264,7 +284,17 @@ class FlightRecorder:
     # -- export --------------------------------------------------------------
 
     def to_jsonl(self) -> str:
-        lines = [json.dumps(s.to_dict()) for s in self._ring]
+        """Samples and events, one JSON object per line, time-ordered.
+
+        Sample lines are unchanged from before events existed; event
+        lines carry an ``"event"`` key, so consumers can split on it.
+        """
+        rows: list[tuple[float, str]] = [
+            (s.time, json.dumps(s.to_dict())) for s in self._ring
+        ]
+        rows.extend((e["time"], json.dumps(e)) for e in self._events)
+        rows.sort(key=lambda row: row[0])
+        lines = [line for _, line in rows]
         return "\n".join(lines) + ("\n" if lines else "")
 
     def write_jsonl(self, path: str) -> None:

@@ -64,6 +64,12 @@ log = get_logger(__name__)
 #: without a per-iteration Python sweep over the fabric.
 _BASELINE_LINK_SAMPLE_EVERY = 16
 
+#: Slowdown of an INA step whose aggregation switch is ground-truth dead:
+#: packets blackhole, senders burn retransmission timeouts. Systems with
+#: no ring fallback (DS-SwitchML/DS-ATP) pay this for the whole outage;
+#: the hybrid scheduler pays it only until detection fails the group over.
+INA_TIMEOUT_FACTOR = 20.0
+
 
 @dataclass
 class EngineConfig:
@@ -99,6 +105,7 @@ class ServingSimulator:
         controller: CentralController | None = None,
         config: EngineConfig | None = None,
         queue: EventQueue | None = None,
+        faults=None,
     ) -> None:
         if ctx.linkstate is None:
             raise ValueError(
@@ -159,6 +166,19 @@ class ServingSimulator:
             ctx.built.topology.kind_array() == int(LinkKind.ETHERNET)
         )[0]
 
+        # -- fault tolerance (None keeps the fault-free fast path)
+        self.faults = faults
+        self._prefill_down = False
+        self._decode_down = False
+        self._prefill_gpu_set = {g for s in self.prefill_stages for g in s}
+        self._decode_gpu_set = {g for s in self.decode_stages for g in s}
+        #: in-flight work tracked for cancellation on server failure
+        self._prefill_inflight: tuple | None = None
+        self._decode_inflight: tuple | None = None
+        self._kv_inflight: list[dict] = []
+        if faults is not None:
+            faults.attach_engine(self)
+
     # ------------------------------------------------------------------
     # communication pricing
     # ------------------------------------------------------------------
@@ -206,6 +226,15 @@ class ServingSimulator:
                 dec = self.controller.decide(grp, data)
                 step_t, links = dec.step_time, dec.links
                 policy_name, mode = dec.policy.name, dec.policy.mode
+                if (
+                    self.faults is not None
+                    and dec.policy.switch is not None
+                    and self.faults.switch_faulted(dec.policy.switch)
+                ):
+                    # Selected before detection caught up: the group
+                    # stalls on retransmissions until the controller
+                    # masks the dead switch at the next health poll.
+                    step_t *= INA_TIMEOUT_FACTOR
             else:
                 step_t = price_group_step(
                     self.ctx,
@@ -216,6 +245,14 @@ class ServingSimulator:
                     data,
                     contention=contention,
                 )
+                if (
+                    self.faults is not None
+                    and planned.ina_switch is not None
+                    and self.faults.switch_faulted(planned.ina_switch)
+                ):
+                    # Static systems have no ring fallback: every step
+                    # through the dead switch pays the timeout stall.
+                    step_t *= INA_TIMEOUT_FACTOR
                 links = planned.links
                 mode = planned.mode
                 policy_name = (
@@ -285,8 +322,10 @@ class ServingSimulator:
         return handles
 
     def _release(self, handles: list[int]) -> None:
+        # Tolerant release: failover cancellation may race an already
+        # completed pass, and a double release must not kill the run.
         for h in handles:
-            self.ctx.linkstate.release(h)
+            self.ctx.linkstate.release(h, strict=False)
 
     # ------------------------------------------------------------------
     # prefill
@@ -313,7 +352,7 @@ class ServingSimulator:
         return batch
 
     def _try_start_prefill(self) -> None:
-        if self.prefill_busy or not self.prefill_queue:
+        if self.prefill_busy or self._prefill_down or not self.prefill_queue:
             return
         batch = self._form_prefill_batch()
         self.prefill_busy = True
@@ -342,10 +381,11 @@ class ServingSimulator:
                 now, duration, len(batch), spec.k_in, t_c, t_n
             )
             self._emit_allreduce_spans("prefill", now + t_c, decisions)
-        self.queue.schedule(
+        ev = self.queue.schedule(
             duration, self._prefill_done, batch, spec, handles,
             tag="prefill_done",
         )
+        self._prefill_inflight = (ev, batch, handles)
 
     def _prefill_done(
         self,
@@ -353,6 +393,7 @@ class ServingSimulator:
         spec: BatchSpec,
         handles: list[int],
     ) -> None:
+        self._prefill_inflight = None
         self._release(handles)
         now = self.queue.now
         for r in batch:
@@ -362,12 +403,46 @@ class ServingSimulator:
         self._tick_controller()
         self._try_start_prefill()
         # KV transfer of the whole batch to the decode cluster.
+        self._start_kv_transfer(batch, spec, attempt=0)
+
+    def _start_kv_transfer(
+        self, batch: list[RequestState], spec: BatchSpec, attempt: int
+    ) -> None:
+        """Hand the batch's KV to the decode cluster, tolerating faults.
+
+        While the decode cluster is ground-truth unreachable (failed
+        server) the transfer backs off exponentially with jitter and
+        retries — the prefill side still holds the KV until the handoff
+        completes. During a recovery hold-down, transfers re-pair around
+        the decode GPUs the control plane still believes dead.
+        """
+        now = self.queue.now
+        if self.faults is not None and self.faults.gpus_blocked(
+            self._decode_gpu_set
+        ):
+            delay = self.faults.backoff(attempt)
+            self.faults.counters.kv_retries += 1
+            if self.obs.enabled:
+                self.obs.kv_retry(now, attempt, delay)
+            self.queue.schedule(
+                delay,
+                self._start_kv_transfer,
+                batch,
+                spec,
+                attempt + 1,
+                tag="kv_retry",
+            )
+            return
+        exclude: set[int] = set()
+        if self.faults is not None:
+            exclude = self.faults.detected_down_gpus(self._decode_gpu_set)
         t_f = estimate_kv_transfer_time(
             self.ctx,
             self.model,
             spec.k_in,
             self.prefill_stages,
             self.decode_stages,
+            exclude_gpus=exclude,
         )
         if t_f > 0:
             # Register each prefill->decode pair's own byte rate on its
@@ -380,6 +455,7 @@ class ServingSimulator:
                 spec.k_in,
                 self.prefill_stages,
                 self.decode_stages,
+                exclude_gpus=exclude,
             ):
                 if links:
                     handles.append(
@@ -387,13 +463,26 @@ class ServingSimulator:
                     )
             if self.obs.enabled:
                 self.obs.kv_transfer_span(now, t_f, len(batch), spec.k_in)
-            self.queue.schedule(
+            ev = self.queue.schedule(
                 t_f, self._kv_done, batch, handles, tag="kv_done"
+            )
+            self._kv_inflight.append(
+                {
+                    "event": ev,
+                    "batch": batch,
+                    "spec": spec,
+                    "handles": handles,
+                    "attempt": attempt,
+                }
             )
         else:
             self._kv_done(batch, [])
 
     def _kv_done(self, batch: list[RequestState], handles: list[int]) -> None:
+        if self._kv_inflight:
+            self._kv_inflight = [
+                rec for rec in self._kv_inflight if rec["batch"] is not batch
+            ]
         self._release(handles)
         now = self.queue.now
         for r in batch:
@@ -440,7 +529,7 @@ class ServingSimulator:
         return self._decode_comm_cache[1]
 
     def _try_start_decode(self) -> None:
-        if self.decode_busy:
+        if self.decode_busy or self._decode_down:
             return
         self._admit_decode()
         if not self.decode_active:
@@ -467,11 +556,13 @@ class ServingSimulator:
             self._emit_allreduce_spans(
                 "decode", now + t_c, self._decode_decisions
             )
-        self.queue.schedule(
+        ev = self.queue.schedule(
             duration, self._decode_iter_done, handles, tag="decode_iter"
         )
+        self._decode_inflight = (ev, handles)
 
     def _decode_iter_done(self, handles: list[int]) -> None:
+        self._decode_inflight = None
         self._release(handles)
         now = self.queue.now
         observing = self.obs.enabled
@@ -494,6 +585,108 @@ class ServingSimulator:
         self.decode_busy = False
         self._tick_controller()
         self._try_start_decode()
+
+    # ------------------------------------------------------------------
+    # fault tolerance (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while a server failure blocks one of the phases."""
+        return self._prefill_down or self._decode_down
+
+    def on_switch_event(self, switch: int) -> None:
+        """Invalidate cached comm pricing after a switch state change."""
+        self._decode_comm_cache = None
+
+    def on_server_down(self, now: float, server: int, gpus: set[int]) -> None:
+        """Fail-stop a server: cancel its in-flight work, requeue victims.
+
+        Requests whose prefill was running, or whose KV cache lived on
+        the failed decode server, lose their progress and redo prefill;
+        in-flight KV transfers time out and retry with backoff (the
+        prefill side still holds the data).
+        """
+        lost: list[RequestState] = []
+        if gpus & self._prefill_gpu_set:
+            self._prefill_down = True
+            if self._prefill_inflight is not None:
+                ev, batch, handles = self._prefill_inflight
+                ev.cancel()
+                self._release(handles)
+                self._prefill_inflight = None
+                self.prefill_busy = False
+                lost.extend(batch)
+        if gpus & self._decode_gpu_set:
+            self._decode_down = True
+            self._decode_comm_cache = None
+            if self._decode_inflight is not None:
+                ev, handles = self._decode_inflight
+                ev.cancel()
+                self._release(handles)
+                self._decode_inflight = None
+                self.decode_busy = False
+            # KV cache on the decode cluster is gone for every request
+            # decoding or waiting there: back to prefill they go.
+            for r in self.decode_active:
+                self.kv_used -= r.kv_tokens
+            lost.extend(self.decode_active)
+            lost.extend(self.decode_pending)
+            self.decode_active = []
+            self.decode_pending = []
+            # In-flight KV transfers time out mid-handoff.
+            inflight, self._kv_inflight = self._kv_inflight, []
+            for rec in inflight:
+                rec["event"].cancel()
+                self._release(rec["handles"])
+                self._start_kv_transfer(
+                    rec["batch"], rec["spec"], rec["attempt"] + 1
+                )
+        log.info(
+            "server %d down at t=%.3f: %d requests requeued for "
+            "prefill redo",
+            server,
+            now,
+            len(lost),
+        )
+        if lost:
+            self._requeue_lost(lost)
+
+    def on_server_up(self, now: float, server: int, gpus: set[int]) -> None:
+        """Resume gated phases once their servers are all back."""
+        log.info("server %d recovered at t=%.3f", server, now)
+        if gpus & self._prefill_gpu_set:
+            self._prefill_down = self.faults is not None and (
+                self.faults.gpus_blocked(self._prefill_gpu_set)
+            )
+            if not self._prefill_down:
+                self._try_start_prefill()
+        if gpus & self._decode_gpu_set:
+            self._decode_down = self.faults is not None and (
+                self.faults.gpus_blocked(self._decode_gpu_set)
+            )
+            self._decode_comm_cache = None
+            if not self._decode_down:
+                self._try_start_decode()
+
+    def _requeue_lost(self, lost: list[RequestState]) -> None:
+        """Reset victims to QUEUED (prefill redo) at the queue front."""
+        nan = float("nan")
+        for r in lost:
+            r.phase = RequestPhase.QUEUED
+            r.tokens_generated = 0
+            r.prefill_start = nan
+            r.first_token_time = nan
+            r.kv_done_time = nan
+            r.decode_start = nan
+        if self.faults is not None:
+            self.faults.counters.requests_lost += len(lost)
+            self.faults.counters.prefill_redos += len(lost)
+        if self.obs.enabled:
+            self.obs.requests_requeued(self.queue.now, len(lost))
+        # Victims keep their arrival priority: redo from the queue front.
+        self.prefill_queue[:0] = lost
+        self._try_start_prefill()
 
     # ------------------------------------------------------------------
     # controller & main loop
@@ -550,6 +743,8 @@ class ServingSimulator:
             )
         horizon = self.trace.duration + self.cfg.drain_time
         self.queue.run(until=horizon)
+        if self.faults is not None:
+            self.faults.finalize(self.queue.now, self.metrics)
         log.info(
             "run complete: %d finished, %d prefill batches, "
             "%d decode iterations, %d events fired",

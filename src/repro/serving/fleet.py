@@ -99,10 +99,21 @@ class ReplicaFleet:
     # -- routing -------------------------------------------------------------
 
     def route(self, tr: TraceRequest) -> int:
-        """Join-shortest-queue dispatch among active replicas."""
+        """Join-shortest-queue dispatch among active, healthy replicas.
+
+        Replicas currently degraded by an injected fault (a failed
+        prefill/decode server) are skipped while any healthy active
+        replica exists; if every active replica is degraded, JSQ over
+        all of them still applies so requests queue rather than drop.
+        """
         candidates = [
             i for i, a in enumerate(self.active) if a
         ]
+        healthy = [
+            i for i in candidates if not self.replicas[i].degraded
+        ]
+        if healthy:
+            candidates = healthy
         idx = min(
             candidates, key=lambda i: self.replicas[i].queued_requests
         )

@@ -38,6 +38,43 @@ class MemorySample:
 
 
 @dataclass
+class FaultStats:
+    """Fault/failover accounting attached by :mod:`repro.faults`.
+
+    Present only when a (non-empty) fault plan ran — fault-free runs
+    keep ``ServingMetrics.fault_stats`` as ``None`` so their summaries
+    stay byte-identical to builds without the faults subsystem.
+    """
+
+    faults_injected: int = 0
+    failovers: int = 0
+    #: requests whose in-flight progress was lost to a server failure
+    requests_lost: int = 0
+    kv_retries: int = 0
+    prefill_redos: int = 0
+    slot_exhausted: int = 0
+    replans: int = 0
+    #: detected outage episodes (closed or still open at run end)
+    episodes: int = 0
+    mttr_s: float = float("nan")
+    degraded_seconds: float = 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "faults_injected": float(self.faults_injected),
+            "failovers": float(self.failovers),
+            "requests_lost": float(self.requests_lost),
+            "kv_retries": float(self.kv_retries),
+            "prefill_redos": float(self.prefill_redos),
+            "slot_exhausted": float(self.slot_exhausted),
+            "replans": float(self.replans),
+            "fault_episodes": float(self.episodes),
+            "mttr_s": self.mttr_s,
+            "degraded_seconds": self.degraded_seconds,
+        }
+
+
+@dataclass
 class ServingMetrics:
     """Accumulator filled by the simulator, reduced after the run."""
 
@@ -48,6 +85,8 @@ class ServingMetrics:
     prefill_batches: int = 0
     decode_iterations: int = 0
     dropped: int = 0
+    #: set by the fault injector when a non-empty fault plan ran
+    fault_stats: FaultStats | None = None
 
     def record_finish(self, req: RequestState) -> None:
         self.finished.append(req)
@@ -141,8 +180,12 @@ class ServingMetrics:
         )
 
     def summary(self) -> dict[str, float]:
-        """Flat dict used by the benchmark tables."""
-        return {
+        """Flat dict used by the benchmark tables.
+
+        Fault keys (MTTR, requests lost, degraded seconds, ...) appear
+        only when a fault plan actually ran.
+        """
+        out = {
             "finished": float(self.n_finished),
             "dropped": float(self.dropped),
             "attainment": self.attainment(),
@@ -160,3 +203,6 @@ class ServingMetrics:
             "prefill_batches": float(self.prefill_batches),
             "decode_iterations": float(self.decode_iterations),
         }
+        if self.fault_stats is not None:
+            out.update(self.fault_stats.summary())
+        return out

@@ -130,11 +130,52 @@ class SwitchDataplane:
         ]
         self._free: list[int] = list(range(n_slots))
         self._table: dict[tuple, int] = {}
+        self._seized: list[int] = []
+        #: fail-stop state (fault injection); a failed switch blackholes
+        #: packets and its SRAM content is gone.
+        self.failed = False
         # hardware counters the control plane polls
         self.packets_in = 0
         self.packets_out = 0
         self.drops_no_slot = 0
+        self.drops_down = 0
         self.completions = 0
+
+    # -- fault injection ---------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash the switch: every aggregator slot's content is lost.
+
+        In-flight chunks must be re-aggregated from scratch by the end
+        hosts after recovery — exactly the SwitchML failure story the
+        shadow-copy design exists to bound.
+        """
+        self.failed = True
+        for slot in self._slots:
+            slot.release()
+        self._table.clear()
+        self._seized.clear()
+        self._free = list(range(self.n_slots))
+
+    def recover(self) -> None:
+        """Bring the switch back with a cold (empty) aggregation table."""
+        self.failed = False
+
+    def seize_slots(self, n: int) -> int:
+        """Seize up to ``n`` free slots (an exhaustion storm); returns the
+        number actually taken. Released by :meth:`release_seized`."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        taken = 0
+        while self._free and taken < n:
+            self._seized.append(self._free.pop())
+            taken += 1
+        return taken
+
+    def release_seized(self) -> None:
+        """Return storm-seized slots to the free pool."""
+        self._free.extend(self._seized)
+        self._seized.clear()
 
     # -- datapath ----------------------------------------------------------
 
@@ -169,6 +210,11 @@ class SwitchDataplane:
             )
         if fanout < 1:
             raise ValueError(f"fanout must be >= 1, got {fanout}")
+        if self.failed:
+            # A crashed switch blackholes traffic; senders time out and
+            # the protocol layer falls back / retries.
+            self.drops_down += 1
+            return None
         self.packets_in += 1
         key = (pkt.job_id, pkt.chunk_id)
         slot_id = self._table.get(key)
@@ -219,9 +265,11 @@ class SwitchDataplane:
             "packets_in": self.packets_in,
             "packets_out": self.packets_out,
             "drops_no_slot": self.drops_no_slot,
+            "drops_down": self.drops_down,
             "completions": self.completions,
             "pending": self.pending_chunks(),
             "free_slots": self.free_slots,
+            "seized_slots": len(self._seized),
         }
 
     def reset_counters(self) -> None:
@@ -229,4 +277,5 @@ class SwitchDataplane:
         self.packets_in = 0
         self.packets_out = 0
         self.drops_no_slot = 0
+        self.drops_down = 0
         self.completions = 0

@@ -64,10 +64,25 @@ class AggregationStats:
     switch_chunks: int
     fallback_chunks: int
     packets_sent: int
+    #: chunks that hit an exhausted slot pool and had to wait for a slot
+    stalled_chunks: int = 0
+
+
+#: Stall rounds a SwitchML chunk waits for a slot before the end hosts
+#: give up on the switch and aggregate the chunk themselves.
+MAX_STALL_ROUNDS = 3
 
 
 def _chunk_bounds(n: int, chunk_elems: int) -> list[tuple[int, int]]:
     return [(i, min(i + chunk_elems, n)) for i in range(0, n, chunk_elems)]
+
+
+def _host_sum(quants: list[np.ndarray], lo: int, hi: int) -> np.ndarray:
+    """End-host aggregation of one chunk (bit-identical to the switch)."""
+    acc = np.zeros(hi - lo, dtype=np.int64)
+    for q in quants:
+        acc += q[lo:hi]
+    return acc
 
 
 def switchml_allreduce(
@@ -96,22 +111,74 @@ def switchml_allreduce(
     bounds = _chunk_bounds(n, dataplane.slot_elements)
     out_q = np.zeros(n, dtype=np.int64)
     packets = 0
+    stalled = 0
+    fallback = 0
+    if dataplane.failed:
+        # Crashed switch: the whole message is aggregated at the end
+        # hosts (numerically identical, but every chunk is a fallback).
+        for lo, hi in bounds:
+            out_q[lo:hi] = _host_sum(quants, lo, hi)
+        stats = AggregationStats(
+            n_chunks=len(bounds),
+            switch_chunks=0,
+            fallback_chunks=len(bounds),
+            packets_sent=0,
+        )
+        return dequantize(out_q, dataplane.scale_bits), stats
     # Process in windows of `window` chunks; within a window, workers send
     # round-robin (chunk-major) like the real protocol's packet trains.
     for wstart in range(0, len(bounds), window):
-        batch = bounds[wstart : wstart + window]
-        for ci, (lo, hi) in enumerate(batch, start=wstart):
-            for wid, q in enumerate(quants):
-                pkt = UpdatePacket(job_id, ci, wid, q[lo:hi])
-                res = dataplane.process_update(pkt, fanout)
-                packets += 1
-                if res is not None:
-                    out_q[lo:hi] = res.payload
+        pending = list(range(wstart, min(wstart + window, len(bounds))))
+        stall_rounds = 0
+        while pending:
+            progressed = False
+            deferred: list[int] = []
+            for ci in pending:
+                lo, hi = bounds[ci]
+                try:
+                    for wid, q in enumerate(quants):
+                        pkt = UpdatePacket(job_id, ci, wid, q[lo:hi])
+                        res = dataplane.process_update(pkt, fanout)
+                        packets += 1
+                        if res is not None:
+                            out_q[lo:hi] = res.payload
+                except SlotPoolExhausted:
+                    # Exhaustion can only hit a chunk's *first* packet
+                    # (later packets map to the installed slot), so the
+                    # whole chunk is safe to stall and retry once other
+                    # chunks complete and recycle their slots.
+                    stalled += 1
+                    deferred.append(ci)
+                    continue
+                progressed = True
+            pending = deferred
+            if pending and not progressed:
+                stall_rounds += 1
+                if stall_rounds >= MAX_STALL_ROUNDS:
+                    # Pool is held elsewhere (storm / other tenants):
+                    # give up on the switch for these chunks rather than
+                    # aborting the run.
+                    log.warning(
+                        "SwitchML job %s: %d chunks stalled beyond %d "
+                        "rounds; aggregating at end hosts",
+                        job_id,
+                        len(pending),
+                        MAX_STALL_ROUNDS,
+                    )
+                    for ci in pending:
+                        lo, hi = bounds[ci]
+                        out_q[lo:hi] = _host_sum(quants, lo, hi)
+                        packets += fanout
+                        fallback += 1
+                    pending = []
+            else:
+                stall_rounds = 0
     stats = AggregationStats(
         n_chunks=len(bounds),
-        switch_chunks=len(bounds),
-        fallback_chunks=0,
+        switch_chunks=len(bounds) - fallback,
+        fallback_chunks=fallback,
         packets_sent=packets,
+        stalled_chunks=stalled,
     )
     return dequantize(out_q, dataplane.scale_bits), stats
 
@@ -140,6 +207,16 @@ def atp_allreduce(
     out_q = np.zeros(n, dtype=np.int64)
     packets = 0
     fallback = 0
+    if dataplane.failed:
+        for lo, hi in bounds:
+            out_q[lo:hi] = _host_sum(quants, lo, hi)
+        stats = AggregationStats(
+            n_chunks=len(bounds),
+            switch_chunks=0,
+            fallback_chunks=len(bounds),
+            packets_sent=0,
+        )
+        return dequantize(out_q, dataplane.scale_bits), stats
     for ci, (lo, hi) in enumerate(bounds):
         try:
             result: ResultPacket | None = None

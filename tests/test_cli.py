@@ -167,3 +167,68 @@ class TestCliObservability:
         finally:
             logger.handlers = saved_handlers
             logger.setLevel(saved_level)
+
+
+class TestCliFaults:
+    def test_quickstart_with_fault_plan(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "seed": 0,
+                    "events": [
+                        {
+                            "time": 2.0,
+                            "kind": "switch_down",
+                            "target": "switch#0",
+                            "duration": 4.0,
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(
+            [
+                "quickstart",
+                "--rate", "0.5",
+                "--duration", "15",
+                "--fault-plan", str(plan),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults_injected" in out
+        assert "degraded_seconds" in out
+
+    def test_quickstart_mtbf_generates_chaos(self, capsys):
+        assert main(
+            [
+                "quickstart",
+                "--rate", "0.5",
+                "--duration", "20",
+                "--mtbf", "8",
+                "--mttr", "2",
+            ]
+        ) == 0
+        assert "faults_injected" in capsys.readouterr().out
+
+    def test_demo_writes_flight_and_report(self, capsys, tmp_path):
+        out_html = tmp_path / "demo.html"
+        flight = tmp_path / "flight.jsonl"
+        assert main(
+            [
+                "demo",
+                "--duration", "10",
+                "--out", str(out_html),
+                "--flight-out", str(flight),
+            ]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "recorded failovers" in text
+        assert out_html.exists()
+        lines = [
+            json.loads(line)
+            for line in flight.read_text().splitlines()
+        ]
+        assert any(
+            row.get("event") == "failover" for row in lines
+        )

@@ -1,0 +1,83 @@
+"""Health registry: delayed detection, hold-down, MTTR reductions."""
+
+import math
+
+import pytest
+
+from repro.faults import HealthConfig, HealthRegistry
+
+CFG = HealthConfig(heartbeat_period=0.05, miss_threshold=3, holddown_s=1.0)
+
+
+@pytest.fixture()
+def reg():
+    return HealthRegistry(CFG)
+
+
+class TestDetection:
+    def test_ground_truth_immediate_detection_delayed(self, reg):
+        reg.mark_down("switch", 0, now=1.0)
+        assert reg.is_faulted("switch", 0)
+        assert reg.available("switch", 0)  # not yet detected
+        assert reg.poll(1.0) == []
+        assert reg.poll(1.1) == []  # 0.10s < detect_delay 0.15s
+        edges = reg.poll(1.2)
+        assert [e.state for e in edges] == ["down"]
+        assert not reg.available("switch", 0)
+        assert reg.detected_down("switch") == {0}
+
+    def test_recovery_held_down(self, reg):
+        reg.mark_down("switch", 0, now=0.0)
+        reg.poll(0.2)
+        reg.mark_up("switch", 0, now=2.0)
+        assert not reg.is_faulted("switch", 0)
+        assert reg.poll(2.5) == []  # hold-down still active
+        edges = reg.poll(3.0)
+        assert [e.state for e in edges] == ["up"]
+        assert reg.available("switch", 0)
+
+    def test_refault_during_holddown_keeps_episode_open(self, reg):
+        reg.mark_down("switch", 0, now=0.0)
+        reg.poll(0.2)
+        reg.mark_up("switch", 0, now=1.0)
+        reg.mark_down("switch", 0, now=1.5)  # flaps back inside hold-down
+        assert reg.poll(5.0) == []  # never restored
+        assert len(reg.episodes) == 1
+        assert not reg.episodes[0].closed
+
+    def test_unknown_kind_rejected(self, reg):
+        with pytest.raises(ValueError, match="unknown resource kind"):
+            reg.mark_down("tor", 0, now=0.0)
+
+    def test_unknown_resource_is_available(self, reg):
+        assert reg.available("server", 99)
+        assert not reg.is_faulted("server", 99)
+
+
+class TestReductions:
+    def test_mttr_over_closed_episodes(self, reg):
+        reg.mark_down("switch", 0, now=0.0)
+        reg.poll(0.2)  # detected at 0.2
+        reg.mark_up("switch", 0, now=2.0)
+        reg.poll(3.0)  # restored at 3.0 -> repair 2.8
+        assert reg.mttr() == pytest.approx(2.8)
+
+    def test_mttr_nan_without_closed_episodes(self, reg):
+        assert math.isnan(reg.mttr())
+        reg.mark_down("switch", 0, now=0.0)
+        reg.poll(0.2)
+        assert math.isnan(reg.mttr())  # open episode does not count
+
+    def test_degraded_seconds_counts_open_episodes(self, reg):
+        reg.mark_down("switch", 0, now=0.0)
+        reg.poll(0.2)
+        assert reg.degraded_seconds(5.2) == pytest.approx(5.0)
+        reg.mark_up("switch", 0, now=6.0)
+        reg.poll(7.0)
+        assert reg.degraded_seconds(100.0) == pytest.approx(6.8)
+
+    def test_episode_detail_propagates(self, reg):
+        reg.mark_down("switch", 1, now=0.0, detail="slot_storm")
+        edges = reg.poll(0.2)
+        assert edges[0].detail == "slot_storm"
+        assert reg.episodes[0].detail == "slot_storm"

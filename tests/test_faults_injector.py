@@ -1,0 +1,186 @@
+"""Fault injector: target resolution, event application, finalize."""
+
+import pytest
+
+from repro.comm import CommContext
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    HealthRegistry,
+)
+from repro.network import LinkLoadTracker, build_testbed
+from repro.network.topology import LinkKind
+from repro.serving.metrics import ServingMetrics
+from repro.sim.eventqueue import EventQueue
+from repro.core.objective import SlaSpec
+from repro.switch import SwitchDataplane
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed()
+
+
+def live_ctx(tb):
+    base = CommContext.from_built(tb, heterogeneous=True)
+    return CommContext(
+        built=tb,
+        route_table=base.route_table,
+        linkstate=LinkLoadTracker(tb.topology),
+        agg_latency=base.agg_latency,
+        heterogeneous=True,
+    )
+
+
+def make_injector(tb, *events, seed=0):
+    plan = FaultPlan(events=tuple(events), seed=seed)
+    health = HealthRegistry()
+    return FaultInjector(plan, health, live_ctx(tb)), health
+
+
+class TestTargetResolution:
+    def test_int_passthrough(self, tb):
+        inj, _ = make_injector(tb)
+        ev = FaultEvent(time=0.0, kind="switch_down", target=1)
+        assert inj.resolve_target(ev) == 1
+
+    def test_switch_reference(self, tb):
+        inj, _ = make_injector(tb)
+        ev = FaultEvent(time=0.0, kind="switch_down", target="switch#0")
+        assert inj.resolve_target(ev) == tb.ina_capable_switches()[0]
+
+    def test_server_reference(self, tb):
+        inj, _ = make_injector(tb)
+        ev = FaultEvent(time=0.0, kind="server_down", target="server#1")
+        assert inj.resolve_target(ev) == sorted(tb.server_gpus)[1]
+
+    def test_link_reference_is_ethernet(self, tb):
+        inj, _ = make_injector(tb)
+        ev = FaultEvent(time=0.0, kind="link_degrade", target="link#0")
+        lid = inj.resolve_target(ev)
+        assert tb.topology.links[lid].kind == LinkKind.ETHERNET
+
+    def test_out_of_range_reference(self, tb):
+        inj, _ = make_injector(tb)
+        ev = FaultEvent(time=0.0, kind="switch_down", target="switch#99")
+        with pytest.raises(ValueError, match="out of range"):
+            inj.resolve_target(ev)
+
+    def test_bad_reference_class(self, tb):
+        inj, _ = make_injector(tb)
+        ev = FaultEvent(time=0.0, kind="switch_down", target="tor#0")
+        with pytest.raises(ValueError, match="target class"):
+            inj.resolve_target(ev)
+
+
+class TestApplication:
+    def test_switch_crash_wipes_dataplane_and_recovers(self, tb):
+        sw = tb.ina_capable_switches()[0]
+        inj, health = make_injector(
+            tb,
+            FaultEvent(
+                time=1.0, kind="switch_down", target=sw, duration=2.0
+            ),
+        )
+        dp = SwitchDataplane(n_slots=4, slot_elements=8)
+        inj.attach_dataplane(sw, dp)
+        q = EventQueue()
+        inj.arm(q)
+        q.run(until=1.5)
+        assert dp.failed
+        assert health.is_faulted("switch", sw)
+        q.run(until=4.0)
+        assert not dp.failed
+        assert not health.is_faulted("switch", sw)
+        assert inj.counters.faults_injected == 2
+
+    def test_slot_storm_seizes_then_releases(self, tb):
+        sw = tb.ina_capable_switches()[0]
+        inj, health = make_injector(
+            tb,
+            FaultEvent(
+                time=0.5,
+                kind="slot_storm",
+                target=sw,
+                slots=3,
+                duration=1.0,
+            ),
+        )
+        dp = SwitchDataplane(n_slots=4, slot_elements=8)
+        inj.attach_dataplane(sw, dp)
+        q = EventQueue()
+        inj.arm(q)
+        q.run(until=1.0)
+        assert dp.counters()["seized_slots"] == 3
+        assert health.is_faulted("switch", sw)
+        q.run(until=2.0)
+        assert dp.counters()["seized_slots"] == 0
+        assert not health.is_faulted("switch", sw)
+
+    def test_link_degrade_scales_capacity(self, tb):
+        inj, health = make_injector(
+            tb,
+            FaultEvent(
+                time=0.0,
+                kind="link_degrade",
+                target="link#2",
+                duration=1.0,
+                factor=0.5,
+                loss=0.2,
+            ),
+        )
+        lid = inj.resolve_target(inj.plan.events[0])
+        base = inj.ctx.linkstate.base_capacity[lid]
+        q = EventQueue()
+        inj.arm(q)
+        q.run(until=0.5)
+        assert inj.ctx.linkstate.capacity[lid] == pytest.approx(0.4 * base)
+        assert health.is_faulted("link", lid)
+        q.run(until=2.0)
+        assert inj.ctx.linkstate.capacity[lid] == pytest.approx(base)
+        assert not health.is_faulted("link", lid)
+
+    def test_backoff_is_seeded_and_bounded(self, tb):
+        a, _ = make_injector(tb, seed=3)
+        b, _ = make_injector(tb, seed=3)
+        seq_a = [a.backoff(i) for i in range(6)]
+        seq_b = [b.backoff(i) for i in range(6)]
+        assert seq_a == seq_b  # same seed, same jitter
+        for i, d in enumerate(seq_a):
+            assert d >= a.retry.base_s * 2**i * 0.999 or d >= a.retry.cap_s
+            assert d <= a.retry.cap_s * (1 + a.retry.jitter)
+
+
+class TestFinalize:
+    def _metrics(self):
+        return ServingMetrics(sla=SlaSpec(ttft=1.0, tpot=0.1))
+
+    def test_empty_plan_leaves_metrics_untouched(self, tb):
+        inj, _ = make_injector(tb)
+        m = self._metrics()
+        inj.finalize(10.0, m)
+        assert m.fault_stats is None
+        assert "mttr_s" not in m.summary()
+
+    def test_nonempty_plan_attaches_stats(self, tb):
+        sw = tb.ina_capable_switches()[0]
+        inj, health = make_injector(
+            tb,
+            FaultEvent(
+                time=0.0, kind="switch_down", target=sw, duration=1.0
+            ),
+        )
+        q = EventQueue()
+        inj.arm(q)
+        q.run(until=0.5)
+        health.poll(0.2)  # detect while the switch is still down
+        q.run(until=5.0)
+        health.poll(3.0)  # restore after recovery + hold-down
+        m = self._metrics()
+        inj.finalize(5.0, m)
+        assert m.fault_stats is not None
+        s = m.summary()
+        assert s["faults_injected"] == 2.0
+        assert s["fault_episodes"] == 1.0
+        assert s["mttr_s"] == pytest.approx(2.8)

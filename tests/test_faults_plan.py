@@ -1,0 +1,154 @@
+"""Fault plans: validation, ordering, JSON round-trip, MTBF generator."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, poisson_plan
+from repro.util.rng import make_rng
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(time=0.0, kind="meteor_strike", target=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent(time=-1.0, kind="switch_down", target=0)
+
+    def test_degrade_factor_bounds(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(time=0.0, kind="link_degrade", target=0, factor=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(time=0.0, kind="link_degrade", target=0, factor=1.5)
+
+    def test_degrade_loss_bounds(self):
+        with pytest.raises(ValueError, match="loss"):
+            FaultEvent(
+                time=0.0, kind="link_degrade", target=0, loss=1.0
+            )
+
+    def test_slot_storm_needs_slots_and_duration(self):
+        with pytest.raises(ValueError, match="slots"):
+            FaultEvent(time=0.0, kind="slot_storm", target=0, duration=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(time=0.0, kind="slot_storm", target=0, slots=4)
+
+    def test_effective_capacity_factor(self):
+        ev = FaultEvent(
+            time=0.0, kind="link_degrade", target=0, factor=0.5, loss=0.2
+        )
+        assert ev.effective_capacity_factor == pytest.approx(0.4)
+
+    def test_recovery_event_implied_by_duration(self):
+        ev = FaultEvent(
+            time=2.0, kind="switch_down", target="switch#0", duration=4.0
+        )
+        rec = ev.recovery_event()
+        assert rec is not None
+        assert rec.kind == "switch_up"
+        assert rec.time == pytest.approx(6.0)
+        assert rec.target == "switch#0"
+
+    def test_no_recovery_without_duration(self):
+        ev = FaultEvent(time=2.0, kind="switch_down", target=0)
+        assert ev.recovery_event() is None
+
+    def test_storm_has_no_recovery_event(self):
+        ev = FaultEvent(
+            time=1.0, kind="slot_storm", target=0, slots=8, duration=2.0
+        )
+        assert ev.recovery_event() is None  # release is injector-internal
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(time=5.0, kind="switch_up", target=0),
+                FaultEvent(time=1.0, kind="switch_down", target=0),
+            )
+        )
+        assert [e.time for e in plan.events] == [1.0, 5.0]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.empty()
+        assert len(FaultPlan.empty()) == 0
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=2.0,
+                    kind="switch_down",
+                    target="switch#0",
+                    duration=4.0,
+                ),
+                FaultEvent(
+                    time=3.0,
+                    kind="link_degrade",
+                    target="link#4",
+                    duration=3.0,
+                    factor=0.5,
+                    loss=0.05,
+                ),
+            ),
+            seed=7,
+        )
+        back = FaultPlan.from_json(plan.to_json())
+        assert back == plan
+
+    def test_load_save_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            events=(FaultEvent(time=1.0, kind="server_down", target=2),)
+        )
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_json_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan fields"):
+            FaultPlan.from_json(json.dumps({"seed": 0, "bogus": 1}))
+        with pytest.raises(ValueError, match="unknown fault event fields"):
+            FaultPlan.from_json(
+                json.dumps(
+                    {
+                        "events": [
+                            {
+                                "time": 0.0,
+                                "kind": "switch_down",
+                                "target": 0,
+                                "blast_radius": 3,
+                            }
+                        ]
+                    }
+                )
+            )
+
+    def test_example_plan_parses(self):
+        # keep examples/faultplan.json loadable by the library forever
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "faultplan.json"
+        )
+        plan = FaultPlan.load(path)
+        assert len(plan) == 2
+        assert plan.events[0].kind == "switch_down"
+
+
+class TestPoissonPlan:
+    def test_deterministic_for_seed(self):
+        a = poisson_plan(60.0, 20.0, 2.0, make_rng(5), switches=1, seed=5)
+        b = poisson_plan(60.0, 20.0, 2.0, make_rng(5), switches=1, seed=5)
+        assert a == b
+
+    def test_outages_paired_and_bounded(self):
+        plan = poisson_plan(
+            60.0, 10.0, 1.0, make_rng(0), switches=1, servers=1, seed=0
+        )
+        for ev in plan.events:
+            assert ev.kind in ("switch_down", "server_down")
+            assert 0.0 <= ev.time <= 60.0
+            assert ev.duration > 0.0

@@ -182,3 +182,28 @@ class TestAutoScaler:
                 ).representative_batch(4),
                 utilization=0.0,
             )
+
+
+class TestFaultAwareRouting:
+    def test_degraded_replica_skipped(self, built, bank):
+        fleet = make_fleet(built, bank, n=2)
+        # replica 0 would win JSQ (equal queues -> lowest index), but a
+        # failed prefill server makes it degraded, so routing avoids it.
+        fleet.replicas[0]._prefill_down = True
+        idx = fleet.route(TraceRequest(0, 0.0, 16, 4))
+        assert idx == 1
+
+    def test_all_degraded_falls_back_to_jsq(self, built, bank):
+        fleet = make_fleet(built, bank, n=2)
+        for sim in fleet.replicas:
+            sim._prefill_down = True
+        idx = fleet.route(TraceRequest(1, 0.0, 16, 4))
+        assert idx == 0  # queued on the least-loaded degraded replica
+
+    def test_recovered_replica_routable_again(self, built, bank):
+        fleet = make_fleet(built, bank, n=2)
+        fleet.replicas[0]._prefill_down = True
+        fleet.route(TraceRequest(2, 0.0, 16, 4))
+        fleet.replicas[0]._prefill_down = False
+        idx = fleet.route(TraceRequest(3, 0.0, 16, 4))
+        assert idx == 0  # healthy again and now the shortest queue

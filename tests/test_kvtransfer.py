@@ -104,3 +104,51 @@ class TestFlows:
         flows = kv_transfer_flows(ctx, TINY, k_in, [g[:4]], [g[8:12]])
         total = sum(b for _, b in flows)
         assert total == pytest.approx(kv_bytes_per_token(TINY) * k_in)
+
+
+class TestExcludedGpus:
+    """Re-pairing around decode GPUs believed failed."""
+
+    def test_excluded_gpu_receives_nothing(self):
+        pre = [(0, 1), (2, 3)]
+        dec = [(8, 9), (10, 11)]
+        pairs = kv_pairings(pre, dec, exclude_gpus={9})
+        assert all(d != 9 for _, d, _ in pairs)
+        assert sum(s for _, _, s in pairs) == pytest.approx(1.0)
+
+    def test_share_redistributed_to_stage_survivor(self):
+        pre = [(0, 1), (2, 3)]
+        dec = [(8, 9), (10, 11)]
+        pairs = kv_pairings(pre, dec, exclude_gpus={9})
+        to_8 = sum(s for _, d, s in pairs if d == 8)
+        # survivor 8 absorbs its own quarter plus the orphaned quarter
+        assert to_8 == pytest.approx(0.5)
+
+    def test_dead_stage_exclusion_ignored(self):
+        """A stage with no survivors keeps its original owners."""
+        pre = [(0, 1)]
+        dec = [(8, 9)]
+        pairs = kv_pairings(pre, dec, exclude_gpus={8, 9})
+        assert {d for _, d, _ in pairs} == {8, 9}
+        assert sum(s for _, _, s in pairs) == pytest.approx(1.0)
+
+    def test_no_exclusions_identical(self):
+        pre = [(0, 1, 2, 3), (4, 5, 6, 7)]
+        dec = [(8, 9), (10, 11), (12, 13)]
+        assert kv_pairings(pre, dec, exclude_gpus=()) == kv_pairings(
+            pre, dec
+        )
+
+    def test_flows_avoid_excluded_gpus(self, ctx, tb):
+        g = tb.topology.gpu_ids()
+        flows = kv_transfer_flows(
+            ctx, TINY, 256, [g[:4]], [g[8:12]], exclude_gpus={g[8]}
+        )
+        assert flows  # transfer still happens, routed to survivors
+
+    def test_estimate_with_exclusions_positive(self, ctx, tb):
+        g = tb.topology.gpu_ids()
+        t = estimate_kv_transfer_time(
+            ctx, TINY, 256, [g[:4]], [g[8:12]], exclude_gpus={g[8]}
+        )
+        assert t > 0

@@ -130,3 +130,59 @@ class TestRegisterReleaseProperty:
         for h in handles:
             tracker.release(h)
         assert np.allclose(tracker.load(), 0.0, atol=1e-3)
+
+
+class TestDoubleRelease:
+    def test_strict_double_release_raises_descriptive(self, tracker):
+        h = tracker.register([0], 1e9)
+        tracker.release(h)
+        with pytest.raises(KeyError, match="already released"):
+            tracker.release(h)
+
+    def test_tolerant_double_release_counted(self, tracker):
+        h = tracker.register([0], 1e9)
+        tracker.release(h)
+        tracker.release(h, strict=False)
+        tracker.release(h, strict=False)
+        assert tracker.double_releases == 2
+        assert np.allclose(tracker.load(), 0.0)
+
+    def test_release_after_reset(self, tracker):
+        h = tracker.register([0], 1e9)
+        tracker.reset()
+        with pytest.raises(KeyError, match="reset"):
+            tracker.release(h)
+        tracker.release(h, strict=False)
+        assert tracker.double_releases == 1
+
+
+class TestLinkDegradation:
+    def test_factor_scales_capacity(self, tracker):
+        base = tracker.base_capacity[3]
+        tracker.set_link_factor(3, 0.5)
+        assert tracker.capacity[3] == pytest.approx(0.5 * base)
+        assert tracker.degraded_links() == {3: 0.5}
+        # availability shrinks with the capacity
+        assert tracker.available()[3] <= 0.5 * base
+
+    def test_restore_removes_degradation(self, tracker):
+        tracker.set_link_factor(3, 0.25)
+        tracker.set_link_factor(3, 1.0)
+        assert tracker.capacity[3] == pytest.approx(tracker.base_capacity[3])
+        assert tracker.degraded_links() == {}
+
+    def test_reset_clears_degradation(self, tracker):
+        tracker.set_link_factor(3, 0.25)
+        tracker.reset()
+        assert tracker.degraded_links() == {}
+        assert np.allclose(tracker.capacity, tracker.base_capacity)
+
+    def test_bad_factor_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.set_link_factor(3, 0.0)
+        with pytest.raises(ValueError):
+            tracker.set_link_factor(3, -1.0)
+
+    def test_bad_link_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.set_link_factor(10**6, 0.5)

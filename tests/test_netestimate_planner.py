@@ -188,3 +188,53 @@ class TestPlanner:
 
 def rejected_msgs(report):
     return report.rejected
+
+
+class TestReplanExcluding:
+    def _planner(self, het, bank):
+        return OfflinePlanner(
+            het, OPT_66B, bank, SLA_TESTBED_CHATBOT, SchemeKind.HYBRID
+        )
+
+    def test_empty_exclusion_equals_plain_plan(self, het, bank):
+        p = self._planner(het, bank)
+        batch = BatchSpec.uniform(8, 256, 200)
+        forced = ParallelConfig(8, 1, 8, 1)
+        rep = p.replan_excluding(set(), batch, 0.3, prefer=forced)
+        assert rep.plan is not None
+        assert rep.plan.parallel == forced
+
+    def test_whole_pool_lost_is_rejected_not_crashed(self, het, bank, tb):
+        p = self._planner(het, bank)
+        _, dec = split_pools(tb)
+        rep = p.replan_excluding(
+            set(dec), BatchSpec.uniform(8, 256, 200), 0.3
+        )
+        assert rep.plan is None
+        assert any("surviving" in r for r in rep.rejected)
+
+    def test_survivor_plan_avoids_failed_gpus(self, het, bank, tb):
+        """Losing one prefill server: the replan must not place on it."""
+        p = self._planner(het, bank)
+        pre, _ = split_pools(tb)
+        # fail the server hosting the first prefill GPU
+        server = next(
+            s for s, gl in tb.server_gpus.items() if pre[0] in gl
+        )
+        failed = set(tb.server_gpus[server])
+        rep = p.replan_excluding(
+            failed, BatchSpec.uniform(8, 256, 200), 0.3
+        )
+        if rep.plan is not None:  # feasibility depends on memory fit
+            assert not (set(rep.plan.prefill.gpu_ids) & failed)
+            assert not (set(rep.plan.decode.gpu_ids) & failed)
+
+    def test_pools_restored_after_call(self, het, bank, tb):
+        p = self._planner(het, bank)
+        pre_before = list(p.prefill_pool)
+        dec_before = list(p.decode_pool)
+        p.replan_excluding(
+            {pre_before[0]}, BatchSpec.uniform(8, 256, 200), 0.3
+        )
+        assert p.prefill_pool == pre_before
+        assert p.decode_pool == dec_before

@@ -270,3 +270,38 @@ class TestLinkGaugeThreshold:
         obs = Observer()
         obs.sample_links(0.0, ls)
         assert not obs.metrics.get("repro_link_utilization")._values
+
+
+class TestEventLog:
+    def test_log_event_and_filter(self):
+        rec = FlightRecorder(capacity=8)
+        rec.log_event(1.0, "fault_injected", kind="switch_down", target=0)
+        rec.log_event(2.0, "failover", group="0-1", direction="ina->ring")
+        assert rec.events_total == 2
+        assert len(rec.events()) == 2
+        assert rec.events("failover")[0]["direction"] == "ina->ring"
+        assert rec.events("nothing") == []
+
+    def test_events_ring_bounded(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.log_event(float(i), "fault_injected")
+        assert len(rec.events()) == 4
+        assert rec.events_total == 10
+
+    def test_jsonl_interleaves_time_ordered(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record(make_sample(1.0))
+        rec.log_event(1.5, "failover", group="0-1", direction="ina->ring")
+        rec.record(make_sample(2.0))
+        rows = [json.loads(line) for line in rec.to_jsonl().splitlines()]
+        assert [r["time"] for r in rows] == [1.0, 1.5, 2.0]
+        assert "event" not in rows[0]
+        assert rows[1]["event"] == "failover"
+
+    def test_jsonl_without_events_unchanged(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record(make_sample(1.0))
+        with_events = FlightRecorder(capacity=8)
+        with_events.record(make_sample(1.0))
+        assert rec.to_jsonl() == with_events.to_jsonl()

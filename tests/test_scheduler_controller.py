@@ -130,3 +130,110 @@ class TestController:
         assert c.tick(0.5) is False
         assert c.tick(1.5) is True
         assert c.refreshes == 2
+
+
+class TestGroupKeyNormalization:
+    def test_duplicate_gpu_ids_share_scheduler(self, tb):
+        ctx = live_ctx(tb)
+        c = CentralController(ctx=ctx, scheme=SchemeKind.HYBRID)
+        g = tb.topology.gpu_ids()[:8]
+        s1 = c.scheduler_for(g)
+        s2 = c.scheduler_for(list(g) + [g[0], g[3]])
+        assert s1 is s2
+        assert c.n_groups() == 1
+
+    def test_unsorted_group_preserves_caller_order(self, tb):
+        """The cache key is order-insensitive but the scheduler is built
+        with the caller's (deduplicated) stage order."""
+        ctx = live_ctx(tb)
+        c = CentralController(ctx=ctx, scheme=SchemeKind.HYBRID)
+        g = list(reversed(tb.topology.gpu_ids()[:8]))
+        s = c.scheduler_for(g + [g[0]])
+        assert list(s.gpus) == g
+
+    def test_distinct_groups_not_conflated(self, tb):
+        ctx = live_ctx(tb)
+        c = CentralController(ctx=ctx, scheme=SchemeKind.HYBRID)
+        a = c.scheduler_for(tb.topology.gpu_ids()[:8])
+        b = c.scheduler_for(tb.topology.gpu_ids()[8:16])
+        assert a is not b
+        assert c.n_groups() == 2
+
+
+class TestRankSwitchesDeterminism:
+    def test_tied_scores_break_by_switch_id(self, tb):
+        """On an idle network both access switches score equally; the
+        ranking must still be deterministic (ascending id on ties)."""
+        ctx = live_ctx(tb)
+        gpus = tb.topology.gpu_ids()[:8]
+        first = rank_switches(ctx, gpus, 2)
+        for _ in range(5):
+            assert rank_switches(ctx, gpus, 2) == first
+        assert first == sorted(first)
+
+    def test_k_clamped_to_at_least_one(self, tb):
+        ctx = live_ctx(tb)
+        sw = rank_switches(ctx, tb.topology.gpu_ids()[:8], 0)
+        assert len(sw) == 1
+
+
+class TestApplyHealth:
+    def _health(self):
+        from repro.faults import HealthRegistry
+
+        return HealthRegistry()
+
+    def test_masks_dead_switch_policies(self, tb):
+        ctx = live_ctx(tb)
+        s = LoadAwareScheduler(
+            ctx, tb.topology.gpu_ids()[:8], SchemeKind.HYBRID,
+            n_switch_candidates=2,
+        )
+        health = self._health()
+        dead = tb.access_switches[0]
+        health.mark_down("switch", dead, now=0.0)
+        health.poll(1.0)
+        changed, degraded = s.apply_health(health)
+        assert changed and degraded
+        d = s.decide(1e6)
+        assert d.policy.switch != dead
+
+    def test_all_switches_dead_falls_to_ring(self, tb):
+        ctx = live_ctx(tb)
+        s = LoadAwareScheduler(
+            ctx, tb.topology.gpu_ids()[:8], SchemeKind.HYBRID,
+            n_switch_candidates=2,
+        )
+        health = self._health()
+        for sw in tb.access_switches:
+            health.mark_down("switch", sw, now=0.0)
+        health.poll(1.0)
+        changed, degraded = s.apply_health(health)
+        assert changed and degraded
+        assert s.decide(1e6).policy.mode in ("hybrid-ring", "ring")
+
+    def test_recovery_unmasks(self, tb):
+        ctx = live_ctx(tb)
+        s = LoadAwareScheduler(
+            ctx, tb.topology.gpu_ids()[:8], SchemeKind.HYBRID,
+            n_switch_candidates=2,
+        )
+        health = self._health()
+        for sw in tb.access_switches:
+            health.mark_down("switch", sw, now=0.0)
+        health.poll(1.0)
+        s.apply_health(health)
+        for sw in tb.access_switches:
+            health.mark_up("switch", sw, now=2.0)
+        health.poll(5.0)  # past hold-down
+        changed, degraded = s.apply_health(health)
+        assert changed and not degraded
+        assert s.decide(1e6).policy.mode == "hybrid-ina"
+
+    def test_healthy_health_is_noop(self, tb):
+        ctx = live_ctx(tb)
+        s = LoadAwareScheduler(
+            ctx, tb.topology.gpu_ids()[:8], SchemeKind.HYBRID
+        )
+        changed, degraded = s.apply_health(self._health())
+        assert not changed and not degraded

@@ -128,3 +128,41 @@ class TestCounters:
             SwitchDataplane(n_slots=0)
         with pytest.raises(ValueError):
             SwitchDataplane(slot_elements=0)
+
+
+class TestFailureModes:
+    def test_fail_blackholes_packets(self):
+        dp = SwitchDataplane(n_slots=4, slot_elements=8)
+        dp.fail()
+        assert push(dp, 0, 0, 0, quantize(np.ones(8)), 2) is None
+        assert dp.counters()["drops_down"] == 1
+        assert dp.counters()["packets_in"] == 0
+
+    def test_fail_wipes_sram(self):
+        dp = SwitchDataplane(n_slots=4, slot_elements=8)
+        push(dp, 0, 0, 0, quantize(np.ones(8)), 2)  # slot in use
+        dp.fail()
+        dp.recover()
+        # the half-aggregated chunk is gone: a full pool is free again
+        assert dp.counters()["pending"] == 0
+        assert dp.counters()["free_slots"] == 4
+        a, b = quantize(np.ones(8)), quantize(np.ones(8))
+        assert push(dp, 0, 0, 0, a, 2) is None
+        res = push(dp, 0, 0, 1, b, 2)
+        assert res is not None
+        assert np.array_equal(res.payload, a + b)
+
+    def test_seize_slots_bounded_by_free(self):
+        dp = SwitchDataplane(n_slots=4, slot_elements=8)
+        assert dp.seize_slots(10) == 4
+        assert dp.counters()["seized_slots"] == 4
+        dp.release_seized()
+        assert dp.counters()["seized_slots"] == 0
+
+    def test_seized_slots_not_allocatable(self):
+        dp = SwitchDataplane(n_slots=1, slot_elements=8)
+        dp.seize_slots(1)
+        with pytest.raises(SlotPoolExhausted):
+            push(dp, 0, 0, 0, quantize(np.ones(8)), 2)
+        dp.release_seized()
+        assert push(dp, 0, 0, 0, quantize(np.ones(8)), 2) is None

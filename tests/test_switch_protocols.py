@@ -156,3 +156,53 @@ class TestTimingModels:
         assert ina_effective_throughput(100.0, 2.0) == 50.0
         with pytest.raises(ValueError):
             ina_effective_throughput(1.0, 0.0)
+
+
+class TestDegradedSwitch:
+    """Exhaustion stalls and crashed switches degrade to host-side sums."""
+
+    def test_exhausted_pool_falls_back_not_raises(self):
+        rng = np.random.default_rng(3)
+        arrs = [rng.normal(size=256) for _ in range(4)]
+        dp = SwitchDataplane(n_slots=4, slot_elements=32)
+        assert dp.seize_slots(4) == 4  # storm holds the whole pool
+        out, stats = switchml_allreduce(dp, arrs)
+        assert np.allclose(out, sum(arrs), atol=1e-6)
+        assert stats.fallback_chunks == stats.n_chunks
+        assert stats.stalled_chunks > 0
+
+    def test_partial_pool_still_uses_switch(self):
+        rng = np.random.default_rng(4)
+        arrs = [rng.normal(size=256) for _ in range(4)]
+        dp = SwitchDataplane(n_slots=4, slot_elements=32)
+        dp.seize_slots(3)  # one slot left: lock-step still drains
+        out, stats = switchml_allreduce(dp, arrs)
+        assert np.allclose(out, sum(arrs), atol=1e-6)
+        assert stats.fallback_chunks == 0
+
+    def test_failed_switch_host_sums_everything(self):
+        rng = np.random.default_rng(5)
+        arrs = [rng.normal(size=256) for _ in range(4)]
+        dp = SwitchDataplane(n_slots=8, slot_elements=32)
+        dp.fail()
+        out, stats = switchml_allreduce(dp, arrs)
+        assert np.allclose(out, sum(arrs), atol=1e-6)
+        assert stats.packets_sent == 0
+        assert stats.switch_chunks == 0
+        assert stats.fallback_chunks == stats.n_chunks
+
+    def test_atp_failed_switch_host_sums(self):
+        rng = np.random.default_rng(6)
+        arrs = [rng.normal(size=128) for _ in range(3)]
+        dp = SwitchDataplane(n_slots=8, slot_elements=32)
+        dp.fail()
+        out, stats = atp_allreduce(dp, arrs)
+        assert np.allclose(out, sum(arrs), atol=1e-6)
+        assert stats.fallback_chunks == stats.n_chunks
+
+    def test_stats_unchanged_on_healthy_pool(self):
+        arrs = [np.ones(64) for _ in range(4)]
+        dp = SwitchDataplane(n_slots=4, slot_elements=32)
+        _, stats = switchml_allreduce(dp, arrs)
+        assert stats.stalled_chunks == 0
+        assert stats.packets_sent == stats.n_chunks * 4
