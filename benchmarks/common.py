@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import json
 import os
+import sys
+import warnings
 from dataclasses import dataclass
 
 from repro.baselines import (
@@ -43,6 +45,30 @@ from repro.workloads import (
 )
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Seed every bench threads into its planner/trace RNGs. Override with
+#: ``REPRO_BENCH_SEED`` to probe seed sensitivity; the default matches
+#: the checked-in baselines under ``benchmarks/results/``.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def check_stable_hashing() -> None:
+    """Warn when str-hash randomization is live during a timing bench.
+
+    Cache keys are tuples of ints/floats/enums, so *results* never depend
+    on ``PYTHONHASHSEED`` — but dict iteration order of str-keyed report
+    tables does, and a randomized hash seed makes timing runs not exactly
+    reproducible run-to-run. CI pins ``PYTHONHASHSEED=0``; do the same
+    locally when comparing against the checked-in baselines.
+    """
+    if sys.flags.hash_randomization and os.environ.get(
+        "PYTHONHASHSEED", "random"
+    ) in ("", "random"):
+        warnings.warn(
+            "PYTHONHASHSEED is unset: timings are still valid but not "
+            "bit-reproducible; set PYTHONHASHSEED=0 to match CI",
+            stacklevel=2,
+        )
 
 #: Telemetry dump directory; set by ``--obs-dir`` (benchmarks/conftest)
 #: or the ``REPRO_OBS_DIR`` environment variable. ``None`` disables all
@@ -113,6 +139,25 @@ def save_result(name: str, text: str) -> str:
     if OBS_DIR is not None:
         with open(obs_path(f"{name}.txt"), "w") as fh:
             fh.write(text + "\n")
+    return path
+
+
+def save_json(name: str, payload) -> str:
+    """Write a machine-readable bench baseline to results/<name>.json.
+
+    The ``BENCH_*.json`` files record the perf trajectory (per-phase ms,
+    cache hit rates, speedups) that ``docs/PERFORMANCE.md`` documents and
+    the CI perf-smoke job gates on.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if OBS_DIR is not None:
+        with open(obs_path(f"{name}.json"), "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return path
 
 

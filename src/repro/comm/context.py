@@ -10,7 +10,7 @@ planner's view of an idle network).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,6 +37,13 @@ class CommContext:
     #: in-switch aggregation constant (~1 us on Tofino, Section III-C2)
     agg_latency: float = 1e-6
     heterogeneous: bool = True
+    #: lazily-built ``(src, dst) -> link_id`` table of direct intra-server
+    #: GPU links (the first matching adjacency entry, matching
+    #: :meth:`_direct_nvlink`); topology is immutable after construction
+    #: so the table never goes stale.
+    _direct_links: dict[tuple[int, int], int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def from_built(
@@ -136,25 +143,51 @@ class CommContext:
         """Hardware model names of the group members (for cost models)."""
         return [self.built.gpu_models[g] for g in gpus]
 
+    def _direct_link_table(self) -> dict[tuple[int, int], int]:
+        """All direct intra-server GPU->GPU links, built once per context.
+
+        One pass over every GPU's adjacency list; for each ``(src, dst)``
+        the *first* NVLink/PCIe entry wins, exactly as
+        :meth:`_direct_nvlink` resolves it.
+        """
+        if self._direct_links is None:
+            topo = self.built.topology
+            table: dict[tuple[int, int], int] = {}
+            for src, node in enumerate(topo.nodes):
+                if not node.is_gpu:
+                    continue
+                for lid in topo.adj[src]:
+                    link = topo.links[lid]
+                    if link.kind not in (LinkKind.NVLINK, LinkKind.PCIE):
+                        continue
+                    dst_node = topo.nodes[link.dst]
+                    if dst_node.is_gpu and dst_node.server == node.server:
+                        table.setdefault((src, link.dst), lid)
+            self._direct_links = table
+        return self._direct_links
+
     def gpu_distance_matrix(self, gpu_ids: list[int]) -> np.ndarray:
         """Pairwise GPU latency matrix consistent with :meth:`path_time`.
 
         Starts from the view's Dijkstra latencies and overrides co-located
         pairs with their direct NVLink hop (present in both views), so the
-        grouping heuristic always sees physical server locality.
+        grouping heuristic always sees physical server locality. The
+        override walks the precomputed direct-link table instead of
+        scanning adjacency per pair, so the cost is O(n^2) numpy slicing
+        plus O(direct links), not an O(n^2) Python pair loop.
         """
         idx = np.asarray(gpu_ids, dtype=np.int64)
         dist = self.route_table.latency[np.ix_(idx, idx)].copy()
         sel = self.route_table.selection_bytes
         topo = self.built.topology
-        for i, u in enumerate(gpu_ids):
-            for j, v in enumerate(gpu_ids):
-                if i == j:
-                    continue
-                lid = self._direct_nvlink(u, v)
-                if lid is not None:
-                    link = topo.links[lid]
-                    t = link.hop_latency + sel / link.capacity
-                    if t < dist[i, j]:
-                        dist[i, j] = t
+        pos = {g: i for i, g in enumerate(gpu_ids)}
+        for (u, v), lid in self._direct_link_table().items():
+            i = pos.get(u)
+            j = pos.get(v)
+            if i is None or j is None or i == j:
+                continue
+            link = topo.links[lid]
+            t = link.hop_latency + sel / link.capacity
+            if t < dist[i, j]:
+                dist[i, j] = t
         return dist

@@ -240,36 +240,57 @@ def estimate_phase_comm(
     n_slots: int = DEFAULT_N_SLOTS,
     slot_payload: int = DEFAULT_SLOT_PAYLOAD,
     contention: float = 0.0,
+    cache=None,
 ) -> PhaseCommEstimate:
     """Eq. 5: ``T_n = T_pp + sum_s T_m(s)`` over a full model pass.
 
     ``stages`` are the pipeline groups (each a TP group of GPU ids);
     ``tokens`` drives both the all-reduce payload and the pipeline
     activation volume (``K_in`` for a prefill pass, ``Q`` for one decode
-    iteration).
+    iteration). ``cache`` (a :class:`repro.core.estcache.EstimationCache`
+    built over ``ctx``) memoizes the per-group step estimates; the
+    perturbation loop has usually priced every stage already, so the
+    final assembly is all hits.
     """
     if not stages:
         raise ValueError("need at least one pipeline stage")
     p_pipe = len(stages)
     data = allreduce_bytes(model, tokens)
     steps = sync_steps_per_pass(model, p_pipe)
-    per_stage = tuple(
-        estimate_group_step(
-            ctx,
-            grp,
-            data,
-            scheme,
-            n_slots=n_slots,
-            slot_payload=slot_payload,
-            contention=contention,
+    if cache is not None:
+        per_stage = tuple(
+            cache.group_step(
+                grp,
+                data,
+                scheme,
+                n_slots=n_slots,
+                slot_payload=slot_payload,
+                contention=contention,
+            )
+            for grp in stages
         )
-        for grp in stages
-    )
+        pp_ctx = cache.ctx
+    else:
+        per_stage = tuple(
+            estimate_group_step(
+                ctx,
+                grp,
+                data,
+                scheme,
+                n_slots=n_slots,
+                slot_payload=slot_payload,
+                contention=contention,
+            )
+            for grp in stages
+        )
+        pp_ctx = ctx
     sync_total = steps * sum(e.step_time for e in per_stage)
     act_bytes = (
         data if activation_bytes is None else activation_bytes
     )
-    t_pp = pipeline_sync_time(ctx, stages, act_bytes) if p_pipe > 1 else 0.0
+    t_pp = (
+        pipeline_sync_time(pp_ctx, stages, act_bytes) if p_pipe > 1 else 0.0
+    )
     return PhaseCommEstimate(
         total_time=sync_total + t_pp,
         per_stage=per_stage,

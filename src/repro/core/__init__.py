@@ -8,6 +8,7 @@ from repro.core.candidates import (
     phase_configs,
 )
 from repro.core.controller import CentralController
+from repro.core.estcache import EstimationCache
 from repro.core.grouping import (
     constrained_kmeans_groups,
     group_cohesion_cost,
@@ -54,6 +55,7 @@ __all__ = [
     "min_gpus_required",
     "phase_configs",
     "CentralController",
+    "EstimationCache",
     "constrained_kmeans_groups",
     "group_cohesion_cost",
     "group_gpus",

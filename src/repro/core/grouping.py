@@ -63,11 +63,13 @@ def constrained_kmeans_groups(
     # Distance of every point to every seed: (n, k).
     d2seed = dist[:, seeds]
     order = np.argsort(d2seed, axis=None, kind="stable")
+    # Decode every (point, group) pair up front — one vectorised divmod
+    # instead of a Python divmod per visited pair.
+    points, gs = np.divmod(order, n_groups)
     groups: list[list[int]] = [[] for _ in range(n_groups)]
     assigned = np.zeros(n, dtype=bool)
     placed = 0
-    for flat in order:
-        point, g = divmod(int(flat), n_groups)
+    for point, g in zip(points.tolist(), gs.tolist()):
         if assigned[point] or len(groups[g]) >= group_size:
             continue
         groups[g].append(point)
@@ -88,12 +90,41 @@ def group_cohesion_cost(dist: np.ndarray, group: Sequence[int]) -> float:
     return float(dist[np.ix_(idx, idx)].max())
 
 
+def _memoized(
+    cost_fn: Callable[[Sequence[int]], float], memoize: bool
+) -> Callable[[Sequence[int]], float]:
+    """Wrap ``cost_fn`` with an exact-order tuple-keyed memo.
+
+    The perturbation loop re-prices the same group composition many
+    times: rejected swaps restore the previous membership, and later
+    swaps frequently revisit compositions seen rounds ago. Keys preserve
+    member order (group evaluation is order-sensitive for HYBRID/INA —
+    see :mod:`repro.core.estcache`), so a memo hit returns the exact
+    float the evaluation would have recomputed and cannot change any
+    accept/reject decision.
+    """
+    if not memoize:
+        return cost_fn
+    memo: dict[tuple[int, ...], float] = {}
+
+    def eval_cost(g: Sequence[int]) -> float:
+        key = tuple(g)
+        v = memo.get(key)
+        if v is None:
+            v = cost_fn(g)
+            memo[key] = v
+        return v
+
+    return eval_cost
+
+
 def swap_perturbation(
     groups: list[list[int]],
     cost_fn: Callable[[Sequence[int]], float],
     rng: np.random.Generator | None = None,
     max_rounds: int = 5,
     swaps_per_round: int | None = None,
+    memoize: bool = False,
 ) -> tuple[list[list[int]], float, int]:
     """Algorithm 2 lines 12-22: random swaps kept iff the cost drops.
 
@@ -101,14 +132,19 @@ def swap_perturbation(
     the sum over groups. Each round tries random cross-group member swaps
     and keeps improving ones; rounds stop early when no swap helped
     (``improvement = false``), matching the paper's loop structure.
+    Only the two swapped groups are ever re-evaluated; with ``memoize``
+    previously-seen compositions are not re-evaluated at all (the rng
+    draw sequence and accept/reject decisions are unchanged, so the
+    result is identical to the unmemoized run).
 
     Returns (groups, final_cost, rounds_used).
     """
     if max_rounds < 0:
         raise ValueError(f"max_rounds must be >= 0, got {max_rounds}")
     rng = rng or make_rng()
+    eval_cost = _memoized(cost_fn, memoize)
     groups = [list(g) for g in groups]
-    costs = [cost_fn(g) for g in groups]
+    costs = [eval_cost(g) for g in groups]
     n_groups = len(groups)
     if n_groups < 2:
         return groups, sum(costs), 0
@@ -123,7 +159,7 @@ def swap_perturbation(
             ib = int(rng.integers(len(groups[gb])))
             a, b = groups[ga][ia], groups[gb][ib]
             groups[ga][ia], groups[gb][ib] = b, a
-            new_a, new_b = cost_fn(groups[ga]), cost_fn(groups[gb])
+            new_a, new_b = eval_cost(groups[ga]), eval_cost(groups[gb])
             if new_a + new_b < costs[ga] + costs[gb] - 1e-15:
                 costs[ga], costs[gb] = new_a, new_b
                 improvement = True
@@ -145,6 +181,7 @@ def group_gpus(
     perturb: bool = True,
     max_rounds: int = 5,
     profiler=None,
+    memoize: bool = False,
 ) -> list[list[int]]:
     """Full Algorithm 2 grouping: k-means-constrained + perturbation.
 
@@ -155,7 +192,8 @@ def group_gpus(
 
     ``profiler`` (a :class:`repro.obs.profile.PhaseProfiler`) splits the
     wall time into the k-means and perturbation phases for the planner
-    breakdown.
+    breakdown. ``memoize`` enables the perturbation's per-composition
+    cost memo (identical output, fewer ``cost_fn`` calls).
     """
     profiler = profiler or NULL_PROFILER
     gpu_ids = list(gpu_ids)
@@ -185,11 +223,13 @@ def group_gpus(
         with profiler.phase("grouping.perturb"):
             if spare:
                 idx_groups, _, _ = _swap_with_spare(
-                    idx_groups, spare, pos_cost, rng, max_rounds
+                    idx_groups, spare, pos_cost, rng, max_rounds,
+                    memoize=memoize,
                 )
             else:
                 idx_groups, _, _ = swap_perturbation(
-                    idx_groups, pos_cost, rng, max_rounds=max_rounds
+                    idx_groups, pos_cost, rng, max_rounds=max_rounds,
+                    memoize=memoize,
                 )
     return [[gpu_ids[i] for i in g] for g in idx_groups]
 
@@ -200,11 +240,13 @@ def _swap_with_spare(
     cost_fn: Callable[[Sequence[int]], float],
     rng: np.random.Generator,
     max_rounds: int,
+    memoize: bool = False,
 ) -> tuple[list[list[int]], float, int]:
     """Swap perturbation where the last group is a zero-cost spare pool."""
+    eval_cost = _memoized(cost_fn, memoize)
     groups = [list(g) for g in groups] + [list(spare)]
     spare_idx = len(groups) - 1
-    costs = [cost_fn(g) for g in groups[:-1]] + [0.0]
+    costs = [eval_cost(g) for g in groups[:-1]] + [0.0]
     n_groups = len(groups)
     swaps_per_round = 4 * sum(len(g) for g in groups)
     rounds = 0
@@ -218,8 +260,8 @@ def _swap_with_spare(
             ib = int(rng.integers(len(groups[gb])))
             a, b = groups[ga][ia], groups[gb][ib]
             groups[ga][ia], groups[gb][ib] = b, a
-            new_a = 0.0 if ga == spare_idx else cost_fn(groups[ga])
-            new_b = 0.0 if gb == spare_idx else cost_fn(groups[gb])
+            new_a = 0.0 if ga == spare_idx else eval_cost(groups[ga])
+            new_b = 0.0 if gb == spare_idx else eval_cost(groups[gb])
             if new_a + new_b < costs[ga] + costs[gb] - 1e-15:
                 costs[ga], costs[gb] = new_a, new_b
                 improvement = True

@@ -64,6 +64,7 @@ def estimate_network_latency(
     max_rounds: int = 5,
     contention: float = 0.0,
     profiler=None,
+    cache=None,
 ) -> NetworkEstimate:
     """Full Algorithm 2 for one phase of one candidate configuration.
 
@@ -73,6 +74,12 @@ def estimate_network_latency(
     so swaps that flip a group from ring to INA (or move it closer to an
     aggregation switch) are rewarded — the joint computation/communication
     optimisation the paper emphasises.
+
+    ``cache`` (a :class:`repro.core.estcache.EstimationCache` built over
+    ``ctx``) memoizes the group-step evaluations, the distance submatrix
+    and the underlying path lookups, shared across candidates and
+    perturbation rounds; the estimate is byte-identical with or without
+    it.
     """
     profiler = profiler or NULL_PROFILER
     gpus = list(admissible_gpus)
@@ -85,13 +92,23 @@ def estimate_network_latency(
     rng = rng or make_rng()
     data = allreduce_bytes(model, tokens)
 
-    def group_cost(group: Sequence[int]) -> float:
-        return estimate_group_step(
-            ctx, group, data, scheme, contention=contention
-        ).step_time
+    if cache is not None:
+        def group_cost(group: Sequence[int]) -> float:
+            return cache.group_step(
+                group, data, scheme, contention=contention
+            ).step_time
+    else:
+        def group_cost(group: Sequence[int]) -> float:
+            return estimate_group_step(
+                ctx, group, data, scheme, contention=contention
+            ).step_time
 
     with profiler.phase("netestimate.distance_matrix"):
-        dist = ctx.gpu_distance_matrix(gpus)
+        dist = (
+            cache.distance_matrix(gpus)
+            if cache is not None
+            else ctx.gpu_distance_matrix(gpus)
+        )
     stages = group_gpus(
         dist,
         gpus,
@@ -102,6 +119,7 @@ def estimate_network_latency(
         perturb=perturb,
         max_rounds=max_rounds,
         profiler=profiler,
+        memoize=cache is not None,
     )
     with profiler.phase("netestimate.mode_selection"):
         phase = estimate_phase_comm(
@@ -112,6 +130,7 @@ def estimate_network_latency(
             scheme,
             activation_bytes=activation_bytes,
             contention=contention,
+            cache=cache,
         )
     return NetworkEstimate(
         stages=tuple(tuple(s) for s in stages),

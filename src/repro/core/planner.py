@@ -34,6 +34,7 @@ from repro.core.candidates import (
     CandidateSpace,
     generate_candidates,
 )
+from repro.core.estcache import EstimationCache
 from repro.core.kvtransfer import estimate_kv_transfer_time
 from repro.core.netestimate import estimate_network_latency
 from repro.core.objective import (
@@ -96,6 +97,12 @@ class PlannerConfig:
     #: paper precomputes them once, asynchronously); False recomputes
     #: them per candidate, the reference-planner behaviour
     precompute_routes: bool = True
+    #: memoize comm-latency evaluations across candidates and perturbation
+    #: rounds (:mod:`repro.core.estcache`); byte-identical plans, large
+    #: solve-time saving. Requires ``precompute_routes`` (the cache is
+    #: keyed over one shared route table). False reproduces the pre-cache
+    #: code path exactly — the benchmark's baseline.
+    use_cache: bool = True
     seed: int = 7
 
 
@@ -118,6 +125,9 @@ class PlannerReport:
     rejected: list[str] = field(default_factory=list)
     #: wall-clock seconds per planner phase (empty without an observer)
     phase_times: dict[str, float] = field(default_factory=dict)
+    #: estimation-cache hit/miss deltas for this solve (empty when the
+    #: cache is disabled)
+    cache_stats: dict[str, float] = field(default_factory=dict)
 
 
 class OfflinePlanner:
@@ -150,8 +160,23 @@ class OfflinePlanner:
             raise ValueError("prefill and decode pools must be disjoint")
         self.prefill_pool = list(prefill_pool)
         self.decode_pool = list(decode_pool)
+        self._cache: EstimationCache | None = None
 
     # -- helpers -----------------------------------------------------------
+
+    def _active_cache(self) -> EstimationCache | None:
+        """The planner's estimation cache, created on first use.
+
+        Lazy because subclasses (:class:`ExhaustivePlanner`) adjust
+        ``config`` after construction. Disabled whenever routes are
+        recomputed per candidate: the cache memoizes over one shared
+        route table.
+        """
+        if not (self.config.use_cache and self.config.precompute_routes):
+            return None
+        if self._cache is None:
+            self._cache = EstimationCache(self.ctx)
+        return self._cache
 
     def _pool_memories(self, pool: list[int]) -> np.ndarray:
         topo = self.ctx.built.topology
@@ -225,6 +250,7 @@ class OfflinePlanner:
                 perturb=self.config.perturb,
                 max_rounds=self.config.perturb_rounds,
                 profiler=self.observer.profiler,
+                cache=self._active_cache(),
             )
         hw = self.ctx.group_hardware(
             [g for st in est.stages for g in st]
@@ -265,6 +291,7 @@ class OfflinePlanner:
                 perturb=self.config.perturb,
                 max_rounds=self.config.perturb_rounds,
                 profiler=self.observer.profiler,
+                cache=self._active_cache(),
             )
         hw = self.ctx.group_hardware(
             [g for st in est.stages for g in st]
@@ -322,114 +349,117 @@ class OfflinePlanner:
         best_obj: ObjectiveResult | None = None
         n_feasible = 0
         rejected: list[str] = []
-
-        for pall in cand.candidates:
-            pre_rng, dec_rng = spawn(rng, 2)
-            if self.config.asynchronous:
-                with ThreadPoolExecutor(max_workers=2) as pool:
-                    f_pre = pool.submit(
-                        self._estimate_prefill,
-                        pall.p_tens_prefill,
-                        pall.p_pipe_prefill,
-                        batch,
-                        pre_rng,
+        cache = self._active_cache()
+        stats_before = cache.stats() if cache is not None else None
+        # One executor for the whole sweep: the paper's two estimation
+        # threads, without re-spawning a pool per candidate.
+        pool = (
+            ThreadPoolExecutor(max_workers=2)
+            if self.config.asynchronous
+            else None
+        )
+        try:
+            for pall in cand.candidates:
+                pre, dec = self._estimate_candidate(pall, batch, rng, pool)
+                if pre is None or dec is None:
+                    rejected.append(
+                        f"{pall}: insufficient admissible GPUs"
                     )
-                    f_dec = pool.submit(
-                        self._estimate_decode,
+                    log.debug(
+                        "rejected %s: insufficient admissible GPUs", pall
+                    )
+                    continue
+
+                with self.observer.phase("planner.objective"):
+                    t_f = estimate_kv_transfer_time(
+                        self.ctx,
+                        self.model,
+                        batch.k_in,
+                        pre.stages,
+                        dec.stages,
+                    )
+                    est = ServiceEstimate(
+                        t_network_prefill=pre.t_network,
+                        t_compute_prefill=pre.t_compute,
+                        t_network_decode=dec.t_network,
+                        t_compute_decode=dec.t_compute,
+                        t_kv_transfer=t_f,
+                        mean_output_tokens=batch.k_out / batch.q,
+                    )
+                    # Concurrency is capped by the decode cluster's KV
+                    # capacity: "insufficient memory to serve all
+                    # requests" adds queueing.
+                    topo = self.ctx.built.topology
+                    dec_min_mem = min(
+                        topo.nodes[g].memory_bytes
+                        for st in dec.stages
+                        for g in st
+                    )
+                    budget = MemoryBudget(
+                        self.model,
                         pall.p_tens_decode,
                         pall.p_pipe_decode,
-                        batch,
-                        dec_rng,
+                        dec_min_mem,
+                        r_frac=self.config.r_frac,
                     )
-                    pre, dec = f_pre.result(), f_dec.result()
-            else:
-                pre = self._estimate_prefill(
-                    pall.p_tens_prefill, pall.p_pipe_prefill, batch, pre_rng
-                )
-                dec = self._estimate_decode(
-                    pall.p_tens_decode, pall.p_pipe_decode, batch, dec_rng
-                )
-            if pre is None or dec is None:
-                rejected.append(f"{pall}: insufficient admissible GPUs")
-                log.debug("rejected %s: insufficient admissible GPUs", pall)
-                continue
-
-            with self.observer.phase("planner.objective"):
-                t_f = estimate_kv_transfer_time(
-                    self.ctx, self.model, batch.k_in, pre.stages, dec.stages
-                )
-                est = ServiceEstimate(
-                    t_network_prefill=pre.t_network,
-                    t_compute_prefill=pre.t_compute,
-                    t_network_decode=dec.t_network,
-                    t_compute_decode=dec.t_compute,
-                    t_kv_transfer=t_f,
-                    mean_output_tokens=batch.k_out / batch.q,
-                )
-                # Concurrency is capped by the decode cluster's KV
-                # capacity: "insufficient memory to serve all requests"
-                # adds queueing.
-                topo = self.ctx.built.topology
-                dec_min_mem = min(
-                    topo.nodes[g].memory_bytes
-                    for st in dec.stages
-                    for g in st
-                )
-                budget = MemoryBudget(
-                    self.model,
-                    pall.p_tens_decode,
-                    pall.p_pipe_decode,
-                    dec_min_mem,
-                    r_frac=self.config.r_frac,
-                )
-                tokens_per_req = (batch.k_in + batch.k_out / 2.0) / batch.q
-                mem_conc = int(
-                    budget.max_cached_tokens() / max(tokens_per_req, 1)
-                )
-                # Decode concurrency: memory-limited, up to the
-                # continuous-batching width (the engine's default decode
-                # batch cap).
-                concurrency = max(1, min(64, mem_conc))
-                obj = evaluate_objective(
-                    est, arrival_rate, self.sla, concurrency=concurrency
-                )
-            if not obj.sla_ok and forced_parallel is None:
-                rejected.append(
-                    f"{pall}: SLA miss (TTFT {obj.t_prefill:.3f}s, "
-                    f"TPOT {obj.t_decode:.3f}s)"
-                )
-                log.debug(
-                    "rejected %s: SLA miss (TTFT %.3fs, TPOT %.3fs)",
-                    pall,
-                    obj.t_prefill,
-                    obj.t_decode,
-                )
-                continue
-            n_feasible += 1
-            if best_obj is None or obj.scalability > best_obj.scalability:
-                best_obj = obj
-                best = Plan(
-                    parallel=pall,
-                    scheme=self.scheme,
-                    prefill=PhasePlan(
-                        stages=pre.stages,
-                        comm=pre.comm,
-                        t_network=pre.t_network,
-                        t_compute=pre.t_compute,
-                    ),
-                    decode=PhasePlan(
-                        stages=dec.stages,
-                        comm=dec.comm,
-                        t_network=dec.t_network,
-                        t_compute=dec.t_compute,
-                    ),
-                    t_kv_transfer=t_f,
-                    t_prefill=obj.t_prefill,
-                    t_decode=obj.t_decode,
-                    scalability=obj.scalability,
-                    planned_rate=arrival_rate,
-                )
+                    tokens_per_req = (
+                        batch.k_in + batch.k_out / 2.0
+                    ) / batch.q
+                    mem_conc = int(
+                        budget.max_cached_tokens()
+                        / max(tokens_per_req, 1)
+                    )
+                    # Decode concurrency: memory-limited, up to the
+                    # continuous-batching width (the engine's default
+                    # decode batch cap).
+                    concurrency = max(1, min(64, mem_conc))
+                    obj = evaluate_objective(
+                        est, arrival_rate, self.sla, concurrency=concurrency
+                    )
+                if not obj.sla_ok and forced_parallel is None:
+                    rejected.append(
+                        f"{pall}: SLA miss (TTFT {obj.t_prefill:.3f}s, "
+                        f"TPOT {obj.t_decode:.3f}s)"
+                    )
+                    log.debug(
+                        "rejected %s: SLA miss (TTFT %.3fs, TPOT %.3fs)",
+                        pall,
+                        obj.t_prefill,
+                        obj.t_decode,
+                    )
+                    continue
+                n_feasible += 1
+                if (
+                    best_obj is None
+                    or obj.scalability > best_obj.scalability
+                ):
+                    best_obj = obj
+                    best = Plan(
+                        parallel=pall,
+                        scheme=self.scheme,
+                        prefill=PhasePlan(
+                            stages=pre.stages,
+                            comm=pre.comm,
+                            t_network=pre.t_network,
+                            t_compute=pre.t_compute,
+                        ),
+                        decode=PhasePlan(
+                            stages=dec.stages,
+                            comm=dec.comm,
+                            t_network=dec.t_network,
+                            t_compute=dec.t_compute,
+                        ),
+                        t_kv_transfer=t_f,
+                        t_prefill=obj.t_prefill,
+                        t_decode=obj.t_decode,
+                        scalability=obj.scalability,
+                        planned_rate=arrival_rate,
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown()
         wall = time.perf_counter() - t0
+        cache_stats = self._solve_cache_stats(cache, stats_before)
         if best is None:
             log.info(
                 "no SLA-feasible plan among %d candidates (%.2fs)",
@@ -452,7 +482,60 @@ class OfflinePlanner:
             wall_time=wall,
             rejected=rejected,
             phase_times=self.observer.profiler.phase_times(),
+            cache_stats=cache_stats,
         )
+
+    def _estimate_candidate(
+        self, pall, batch, rng, pool
+    ) -> tuple[_PhaseResult | None, _PhaseResult | None]:
+        """Estimate both phases of one candidate (threaded when async)."""
+        pre_rng, dec_rng = spawn(rng, 2)
+        if pool is not None:
+            f_pre = pool.submit(
+                self._estimate_prefill,
+                pall.p_tens_prefill,
+                pall.p_pipe_prefill,
+                batch,
+                pre_rng,
+            )
+            f_dec = pool.submit(
+                self._estimate_decode,
+                pall.p_tens_decode,
+                pall.p_pipe_decode,
+                batch,
+                dec_rng,
+            )
+            return f_pre.result(), f_dec.result()
+        pre = self._estimate_prefill(
+            pall.p_tens_prefill, pall.p_pipe_prefill, batch, pre_rng
+        )
+        dec = self._estimate_decode(
+            pall.p_tens_decode, pall.p_pipe_decode, batch, dec_rng
+        )
+        return pre, dec
+
+    def _solve_cache_stats(
+        self,
+        cache: EstimationCache | None,
+        stats_before: dict[str, float] | None,
+    ) -> dict[str, float]:
+        """Hit/miss deltas of this solve, also mirrored to the profiler."""
+        if cache is None or stats_before is None:
+            return {}
+        after = cache.stats()
+        delta = {
+            k: after[k] - stats_before[k]
+            for k in after
+            if k != "hit_rate"
+        }
+        total = delta["hits"] + delta["misses"]
+        delta["hit_rate"] = delta["hits"] / total if total else 0.0
+        profiler = self.observer.profiler
+        if int(delta["hits"]):
+            profiler.count("estcache.hits", int(delta["hits"]))
+        if int(delta["misses"]):
+            profiler.count("estcache.misses", int(delta["misses"]))
+        return delta
 
     def replan_excluding(
         self,
@@ -473,6 +556,11 @@ class OfflinePlanner:
         failed = set(failed_gpus)
         if not failed:
             return self.plan(batch, arrival_rate, forced_parallel=prefer)
+        # The fault that removed these GPUs usually degraded links too;
+        # drop every memoized estimate so the repair plan reprices the
+        # network from scratch.
+        if self._cache is not None:
+            self._cache.invalidate()
         saved_pre, saved_dec = self.prefill_pool, self.decode_pool
         self.prefill_pool = [g for g in saved_pre if g not in failed]
         self.decode_pool = [g for g in saved_dec if g not in failed]
@@ -524,3 +612,4 @@ class ExhaustivePlanner(OfflinePlanner):
         self.config.max_candi = 10_000
         self.config.asynchronous = False
         self.config.precompute_routes = False
+        self.config.use_cache = False

@@ -5,6 +5,70 @@ The robustness layer of the reproduction: deterministic fault plans
 heartbeat-style detection delay and hold-down (:mod:`repro.faults.
 health`), and the injector that arms plans onto the simulation event
 queue (:mod:`repro.faults.injector`).
+
+Plan schema
+-----------
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` rows;
+each row carries:
+
+``time``
+    Simulation-clock seconds at which the event fires.
+``kind``
+    One of :data:`FAULT_KINDS`: ``switch_down``/``switch_up``,
+    ``slot_storm``, ``link_degrade``/``link_restore``,
+    ``server_down``/``server_up``.
+``target``
+    A raw node/link id (int) **or** a portable index reference string.
+    The grammar is ``"<class>#<i>"`` resolved against the built
+    topology when the injector arms: ``"switch#0"`` is the first
+    INA-capable switch, ``"server#1"`` the second server, ``"link#3"``
+    the fourth Ethernet link. References keep example plans independent
+    of concrete node numbering.
+``duration``
+    Optional automatic-recovery delay in seconds (0 disables); e.g. a
+    ``switch_down`` with ``duration=30`` schedules its ``switch_up``.
+``factor`` / ``loss``
+    ``link_degrade`` parameters: capacity multiplier in (0, 1] and
+    packet-loss fraction in [0, 1) (goodput scales by ``1 - loss``).
+``slots``
+    Aggregator slots seized by a ``slot_storm``.
+
+Usage
+-----
+
+Author a plan inline and arm it on a simulation::
+
+    from repro.faults import (
+        FaultEvent, FaultPlan, FaultInjector, HealthRegistry,
+    )
+
+    plan = FaultPlan(events=(
+        # crash the first INA switch at t=10s, auto-restore 30s later
+        FaultEvent(time=10.0, kind="switch_down", target="switch#0",
+                   duration=30.0),
+        # brown out the fourth Ethernet link to 40% capacity
+        FaultEvent(time=20.0, kind="link_degrade", target="link#3",
+                   factor=0.4),
+        # fail-stop the second server for the rest of the run
+        FaultEvent(time=45.0, kind="server_down", target="server#1"),
+    ))
+    health = HealthRegistry()
+    injector = FaultInjector(plan, health, ctx)
+
+or load the JSON form (``examples/faultplan.json``) / generate chaos
+from an exponential MTBF/MTTR model::
+
+    from repro.util.rng import make_rng
+
+    plan = FaultPlan.from_json(open("examples/faultplan.json").read())
+    plan = poisson_plan(horizon_s=300.0, mtbf_s=120.0, mttr_s=30.0,
+                        rng=make_rng(7), switches=1, servers=1)
+
+Detection is *not* instantaneous: :class:`HealthRegistry` separates
+ground truth from the detected view, modelling heartbeat loss
+(``HealthConfig.detect_delay``) and flap hold-down, so schedulers see
+failures the way the paper's central controller would.
 """
 
 from repro.faults.health import (

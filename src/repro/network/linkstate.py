@@ -46,6 +46,10 @@ class LinkLoadTracker:
     )
     #: tolerated double-releases (each one is a caller bug worth counting)
     double_releases: int = field(default=0, init=False)
+    #: monotonic mutation counter: bumped on every register/release/
+    #: degradation/reset, so caches keyed on this tracker's state (the
+    #: planner's estimation cache) can detect staleness in O(1).
+    version: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.ewma_alpha <= 1.0:
@@ -65,6 +69,7 @@ class LinkLoadTracker:
         if ids.size and (ids.min() < 0 or ids.max() >= len(self._load)):
             raise ValueError("link id out of range")
         np.add.at(self._load, ids, rate)
+        self.version += 1
         handle = self._next_handle
         self._next_handle += 1
         self._registrations[handle] = (ids, rate)
@@ -92,6 +97,7 @@ class LinkLoadTracker:
             return
         ids, rate = entry
         np.add.at(self._load, ids, -rate)
+        self.version += 1
         # Guard against floating-point drift below zero.
         np.maximum(self._load, 0.0, out=self._load)
 
@@ -132,6 +138,7 @@ class LinkLoadTracker:
         else:
             self._degrade[link_id] = factor
         self._capacity[link_id] = self._base_capacity[link_id] * factor
+        self.version += 1
 
     def degraded_links(self) -> dict[int, float]:
         """Currently degraded links as ``{link_id: factor}``."""
@@ -235,3 +242,4 @@ class LinkLoadTracker:
         self._registrations.clear()
         self._degrade.clear()
         self._capacity[:] = self._base_capacity
+        self.version += 1

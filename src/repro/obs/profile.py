@@ -34,12 +34,18 @@ class PhaseStat:
 
 
 class PhaseProfiler:
-    """Accumulates wall-clock time per named phase."""
+    """Accumulates wall-clock time per named phase.
+
+    Besides timed phases it keeps named event *counters* (``count``) —
+    used by the planner's estimation cache to report hit/miss totals in
+    the same breakdown the benchmarks print.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._stats: dict[str, PhaseStat] = {}
+        self._counters: dict[str, int] = {}
         self._lock = threading.Lock()
 
     def record(self, name: str, elapsed: float) -> None:
@@ -58,6 +64,17 @@ class PhaseProfiler:
         finally:
             self.record(name, time.perf_counter() - t0)
 
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named event counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def counters(self) -> dict[str, int]:
+        """Counter name -> total, sorted by descending count."""
+        with self._lock:
+            items = sorted(self._counters.items(), key=lambda kv: -kv[1])
+        return dict(items)
+
     def breakdown(self) -> dict[str, PhaseStat]:
         """Phase -> stats, sorted by descending total time."""
         with self._lock:
@@ -72,20 +89,27 @@ class PhaseProfiler:
 
     def report(self, title: str = "phase breakdown") -> str:
         rows = self.breakdown()
-        if not rows:
+        counters = self.counters()
+        if not rows and not counters:
             return f"{title}: (no phases recorded)"
-        width = max(len(k) for k in rows)
         lines = [title]
-        for name, stat in rows.items():
-            lines.append(
-                f"  {name:<{width}s}  {stat.total * 1e3:9.2f} ms"
-                f"  x{stat.count:<6d} mean {stat.mean * 1e3:8.3f} ms"
-            )
+        if rows:
+            width = max(len(k) for k in rows)
+            for name, stat in rows.items():
+                lines.append(
+                    f"  {name:<{width}s}  {stat.total * 1e3:9.2f} ms"
+                    f"  x{stat.count:<6d} mean {stat.mean * 1e3:8.3f} ms"
+                )
+        if counters:
+            width = max(len(k) for k in counters)
+            for name, n in counters.items():
+                lines.append(f"  {name:<{width}s}  {n:9d} events")
         return "\n".join(lines)
 
     def reset(self) -> None:
         with self._lock:
             self._stats.clear()
+            self._counters.clear()
 
 
 class _NullContext:
@@ -112,6 +136,12 @@ class NullProfiler:
 
     def phase(self, name: str):
         return _NULL_CONTEXT
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def counters(self) -> dict[str, int]:
+        return {}
 
     def breakdown(self) -> dict[str, PhaseStat]:
         return {}

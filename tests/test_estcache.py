@@ -1,0 +1,152 @@
+"""Estimation cache: hit/miss accounting, identity, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommContext, SchemeKind
+from repro.comm.latency import estimate_group_step
+from repro.core import EstimationCache
+from repro.core.grouping import swap_perturbation
+from repro.network import build_testbed
+from repro.network.linkstate import LinkLoadTracker
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed()
+
+
+@pytest.fixture(scope="module")
+def het(tb):
+    return CommContext.from_built(tb, heterogeneous=True)
+
+
+DATA = 64 * 1024 * 1024
+
+
+class TestGroupStepMemo:
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            SchemeKind.RING,
+            SchemeKind.INA_SYNC,
+            SchemeKind.INA_ASYNC,
+            SchemeKind.HYBRID,
+        ],
+    )
+    def test_identical_to_uncached(self, het, tb, scheme):
+        gpus = tb.topology.gpu_ids()[:4]
+        cache = EstimationCache(het)
+        cached = cache.group_step(gpus, DATA, scheme)
+        direct = estimate_group_step(het, gpus, DATA, scheme)
+        assert cached == direct
+
+    def test_hit_and_miss_counting(self, het, tb):
+        gpus = tb.topology.gpu_ids()[:4]
+        cache = EstimationCache(het)
+        first = cache.group_step(gpus, DATA, SchemeKind.HYBRID)
+        second = cache.group_step(gpus, DATA, SchemeKind.HYBRID)
+        assert first is second
+        assert cache.group_misses == 1
+        assert cache.group_hits == 1
+        assert cache.stats()["hit_rate"] == 0.5
+
+    def test_key_is_order_sensitive(self, het, tb):
+        """Permutations must not share an entry: group evaluation is
+        order-sensitive (HYBRID leader election, link footprints)."""
+        gpus = tb.topology.gpu_ids()[:4]
+        cache = EstimationCache(het)
+        cache.group_step(gpus, DATA, SchemeKind.HYBRID)
+        cache.group_step(list(reversed(gpus)), DATA, SchemeKind.HYBRID)
+        assert cache.group_misses == 2
+        rev = cache.group_step(
+            list(reversed(gpus)), DATA, SchemeKind.HYBRID
+        )
+        assert rev == estimate_group_step(
+            het, list(reversed(gpus)), DATA, SchemeKind.HYBRID
+        )
+
+    def test_payload_and_scheme_are_part_of_key(self, het, tb):
+        gpus = tb.topology.gpu_ids()[:4]
+        cache = EstimationCache(het)
+        cache.group_step(gpus, DATA, SchemeKind.HYBRID)
+        cache.group_step(gpus, 2 * DATA, SchemeKind.HYBRID)
+        cache.group_step(gpus, DATA, SchemeKind.RING)
+        assert cache.group_misses == 3
+
+
+class TestDistanceMemo:
+    def test_identical_and_shared(self, het, tb):
+        gpus = tb.topology.gpu_ids()[:8]
+        cache = EstimationCache(het)
+        d1 = cache.distance_matrix(gpus)
+        d2 = cache.distance_matrix(gpus)
+        assert d1 is d2
+        assert not d1.flags.writeable
+        np.testing.assert_array_equal(d1, het.gpu_distance_matrix(gpus))
+        assert cache.dist_hits == 1 and cache.dist_misses == 1
+
+
+class TestInvalidation:
+    def test_explicit_invalidate_flushes(self, het, tb):
+        gpus = tb.topology.gpu_ids()[:4]
+        cache = EstimationCache(het)
+        cache.group_step(gpus, DATA, SchemeKind.HYBRID)
+        cache.distance_matrix(gpus)
+        cache.invalidate()
+        assert cache.invalidations == 1
+        cache.group_step(gpus, DATA, SchemeKind.HYBRID)
+        cache.distance_matrix(gpus)
+        assert cache.group_misses == 2
+        assert cache.dist_misses == 2
+
+    def test_linkstate_version_invalidates(self, tb):
+        """A degraded link must flush every memoized estimate."""
+        tracker = LinkLoadTracker(tb.topology)
+        ctx = CommContext.from_built(tb, linkstate=tracker)
+        gpus = tb.topology.gpu_ids()[:4]
+        cache = EstimationCache(ctx)
+        before = cache.group_step(gpus, DATA, SchemeKind.RING)
+        assert cache.group_step(gpus, DATA, SchemeKind.RING) is before
+        tracker.set_link_factor(0, 0.5)
+        after = cache.group_step(gpus, DATA, SchemeKind.RING)
+        assert cache.invalidations == 1
+        assert cache.group_misses == 2
+        # the fresh estimate reflects the degraded capacity
+        assert after == estimate_group_step(ctx, gpus, DATA, SchemeKind.RING)
+
+    def test_live_tracker_context_is_not_path_memoized(self, tb):
+        tracker = LinkLoadTracker(tb.topology)
+        ctx = CommContext.from_built(tb, linkstate=tracker)
+        cache = EstimationCache(ctx)
+        assert cache.ctx is ctx
+
+
+class TestPerturbationMemo:
+    def test_memoized_identical_with_fewer_evals(self):
+        rng_a, rng_b = make_rng(3), make_rng(3)
+        dist = make_rng(0).random((8, 8))
+        dist = dist + dist.T
+
+        def make_cost(counter):
+            def cost(g):
+                counter[0] += 1
+                idx = np.asarray(list(g))
+                return float(dist[np.ix_(idx, idx)].sum())
+
+            return cost
+
+        groups = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        calls_plain, calls_memo = [0], [0]
+        plain = swap_perturbation(
+            [list(g) for g in groups], make_cost(calls_plain), rng_a
+        )
+        memo = swap_perturbation(
+            [list(g) for g in groups],
+            make_cost(calls_memo),
+            rng_b,
+            memoize=True,
+        )
+        assert plain == memo
+        assert calls_memo[0] < calls_plain[0]
