@@ -19,6 +19,8 @@ from repro.comm import (
     ina_allreduce_time,
     ring_allreduce_time,
     select_ina_switch,
+    tree_allreduce_time,
+    twostage_allreduce_time,
 )
 from repro.core import SLA_TESTBED_CHATBOT
 from repro.core.controller import CentralController
@@ -36,6 +38,7 @@ from common import (
     dump_observation,
     make_testbed_bank,
     maybe_observed_config,
+    save_json,
     save_result,
 )
 
@@ -124,7 +127,9 @@ def run_mode_envelope():
         t_ina = ina_allreduce_time(ctx, group, sw, d)
         t_ring = ring_allreduce_time(ctx, group, d)
         t_hyb = hybrid_allreduce_time(ctx, group, d)
-        rows.append((d, t_ina, t_ring, t_hyb))
+        t_two = twostage_allreduce_time(ctx, group, d)
+        t_tree = tree_allreduce_time(ctx, group, d)
+        rows.append((d, t_ina, t_ring, t_hyb, t_two, t_tree))
     return rows
 
 
@@ -137,11 +142,20 @@ def test_ablation_hybrid_envelope(benchmark):
             f"{ti * 1e3:.2f}",
             f"{tr * 1e3:.2f}",
             f"{th * 1e3:.2f}",
+            f"{t2 * 1e3:.2f}",
+            f"{tt * 1e3:.2f}",
         ]
-        for d, ti, tr, th in rows_raw
+        for d, ti, tr, th, t2, tt in rows_raw
     ]
     table = format_table(
-        ["message", "INA-only ms", "ring-only ms", "hybrid ms"],
+        [
+            "message",
+            "INA-only ms",
+            "ring-only ms",
+            "hybrid ms",
+            "2stage ms",
+            "tree ms",
+        ],
         rows,
         title=(
             "Ablation — hybrid mode selection vs forced single mode "
@@ -150,6 +164,24 @@ def test_ablation_hybrid_envelope(benchmark):
     )
     print("\n" + table)
     save_result("ablation_hybrid_envelope", table)
-    arr = np.array([(ti, tr, th) for _, ti, tr, th in rows_raw])
+    sizes = [d for d, *_ in rows_raw]
+    save_json(
+        "BENCH_collectives",
+        {
+            "topology": "testbed (two A100 servers, TP8 cross-server)",
+            "sizes_bytes": sizes,
+            "times_s": {
+                "ina_sync": [r[1] for r in rows_raw],
+                "ring": [r[2] for r in rows_raw],
+                "hybrid": [r[3] for r in rows_raw],
+                "ring-2stage": [r[4] for r in rows_raw],
+                "tree": [r[5] for r in rows_raw],
+            },
+        },
+    )
+    arr = np.array([(ti, tr, th, t2, tt) for _, ti, tr, th, t2, tt in rows_raw])
     # Hybrid must trace (or beat, thanks to NVLink offload) the envelope.
     assert np.all(arr[:, 2] <= np.minimum(arr[:, 0], arr[:, 1]) * 1.05)
+    # The hierarchical ring moves (p-k)/p of the hops onto NVLink, so it
+    # must never lose to the flat Ethernet ring on this testbed.
+    assert np.all(arr[:, 3] <= arr[:, 1] * 1.05)

@@ -28,13 +28,20 @@ __version__ = "1.0.0"
 from repro.baselines import (
     ALL_SYSTEMS,
     DISTSERVE,
+    DS_2STAGE,
     DS_ATP,
     DS_SWITCHML,
+    EXTRA_SYSTEMS,
     HEROSERVE,
     build_system,
     simulate_trace,
 )
-from repro.comm import CommContext, SchemeKind
+from repro.comm import (
+    CommContext,
+    SchemeKind,
+    get_scheme,
+    registered_schemes,
+)
 from repro.faults import (
     FaultEvent,
     FaultInjector,
@@ -109,13 +116,17 @@ __all__ = [
     "__version__",
     "ALL_SYSTEMS",
     "DISTSERVE",
+    "DS_2STAGE",
     "DS_ATP",
     "DS_SWITCHML",
+    "EXTRA_SYSTEMS",
     "HEROSERVE",
     "build_system",
     "simulate_trace",
     "CommContext",
     "SchemeKind",
+    "get_scheme",
+    "registered_schemes",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",

@@ -6,12 +6,15 @@ Commands
 ``quickstart`` — plan + serve HeroServe on the paper's testbed
 ``compare``    — 4-system comparison at a given rate (Fig. 7 style)
 ``plan``       — run the offline planner and print the chosen plan
+``schemes``    — list registered collectives with estimated step times
 ``report``     — run an observed simulation and render the HTML report
 ``demo``       — chaos demo: fault-injected run -> flight JSONL + report
 
 Fault flags (``quickstart`` / ``demo``): ``--fault-plan FILE`` injects
 a JSON fault plan on the simulation clock; ``--mtbf S`` / ``--mttr S``
-generate Poisson switch outages instead.
+generate Poisson switch outages instead. ``--schemes LIST``
+(``quickstart`` / ``demo``) adds extra registered collectives (e.g.
+``ring-2stage,tree``) to every group's online policy table.
 
 Observability flags (``quickstart`` / ``compare`` / ``plan``):
 ``--trace-out FILE``   — write a Chrome-tracing JSON (``.jsonl`` for the
@@ -70,6 +73,20 @@ def _make_observer(args) -> "Observer | None":
             recorder=FlightRecorder() if wants_flight else None,
         )
     return None
+
+
+def _parse_schemes(args) -> tuple[str, ...]:
+    """Canonical names from a ``--schemes a,b`` flag (() when absent)."""
+    raw = getattr(args, "schemes", None)
+    if not raw:
+        return ()
+    from repro.comm import get_scheme
+
+    return tuple(
+        get_scheme(part.strip()).name
+        for part in raw.split(",")
+        if part.strip()
+    )
 
 
 def _load_fault_plan(args) -> "object | None":
@@ -154,8 +171,13 @@ def cmd_quickstart(args) -> int:
     from repro.serving import EngineConfig
 
     observer = _make_observer(args)
+    extra = _parse_schemes(args)
     engine_config = (
-        EngineConfig(observer=observer) if observer is not None else None
+        EngineConfig(
+            observer=observer or NULL_OBSERVER, extra_schemes=extra
+        )
+        if observer is not None or extra
+        else None
     )
     system, metrics = quick_testbed(
         rate=args.rate,
@@ -241,9 +263,11 @@ def cmd_plan(args) -> int:
     model = get_model(args.model)
     built = build_testbed()
     bank = CostModelBank(model, {"A100": A100, "V100": V100})
+    from repro.comm import get_scheme
+
     scheme = SchemeKind(args.scheme)
     ctx = CommContext.from_built(
-        built, heterogeneous=scheme == SchemeKind.HYBRID
+        built, heterogeneous=get_scheme(scheme).heterogeneous
     )
     observer = _make_observer(args)
     planner = OfflinePlanner(
@@ -268,6 +292,52 @@ def cmd_plan(args) -> int:
             print("  -", r)
         return 1
     print(report.plan.summary())
+    return 0
+
+
+def cmd_schemes(args) -> int:
+    """List every registered collective and price one group step each."""
+    from repro.comm import CommContext, allreduce_bytes, registered_schemes
+    from repro.llm import get_model
+    from repro.network import build_testbed, build_xtracks_cluster
+    from repro.util import print_table
+
+    built = (
+        build_testbed()
+        if args.topology == "testbed"
+        else build_xtracks_cluster(2, n_units=1)
+    )
+    model = get_model(args.model)
+    gpus = list(built.topology.gpu_ids())[: args.group_size]
+    data = float(allreduce_bytes(model, args.tokens))
+    rows = []
+    for scheme in registered_schemes():
+        # Each scheme prices on its own network view, exactly as the
+        # planner would build its context.
+        ctx = CommContext.from_built(
+            built, heterogeneous=scheme.heterogeneous
+        )
+        est = scheme.estimate_time(ctx, gpus, data)
+        rows.append(
+            [
+                scheme.name,
+                "hetero" if scheme.heterogeneous else "homog",
+                est.mode,
+                "-" if est.ina_switch is None else str(est.ina_switch),
+                f"{est.step_time * 1e6:.1f}",
+                str(len(est.links)),
+                scheme.failover_target(),
+            ]
+        )
+    print_table(
+        ["scheme", "view", "mode", "switch", "step us", "links", "failover"],
+        rows,
+        title=(
+            f"{model.name} all-reduce ({args.tokens} tokens, "
+            f"{data / 1e6:.2f} MB) over {len(gpus)} GPUs on "
+            f"{args.topology}"
+        ),
+    )
     return 0
 
 
@@ -346,7 +416,9 @@ def cmd_demo(args) -> int:
         rate=args.rate,
         duration=args.duration,
         seed=args.seed,
-        engine_config=EngineConfig(observer=observer),
+        engine_config=EngineConfig(
+            observer=observer, extra_schemes=_parse_schemes(args)
+        ),
         fault_plan=plan,
     )
     print(system.plan.summary())
@@ -466,6 +538,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--rate", type=float, default=1.0)
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--schemes",
+        default=None,
+        metavar="LIST",
+        help="comma-separated extra collectives for the online policy "
+        "tables (e.g. ring-2stage,tree)",
+    )
 
     p = sub.add_parser(
         "compare",
@@ -490,6 +569,30 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--rate", type=float, default=0.5)
     p.add_argument("--input-len", type=int, default=256)
     p.add_argument("--output-len", type=int, default=220)
+
+    p = sub.add_parser(
+        "schemes",
+        help="list registered collectives with estimated step times",
+        parents=[common],
+    )
+    p.add_argument(
+        "--topology",
+        default="testbed",
+        choices=["testbed", "2tracks"],
+    )
+    p.add_argument("--model", default="OPT-66B")
+    p.add_argument(
+        "--group-size",
+        type=int,
+        default=8,
+        help="GPUs in the priced tensor-parallel group (default 8)",
+    )
+    p.add_argument(
+        "--tokens",
+        type=int,
+        default=256,
+        help="tokens in flight per step (drives the payload; default 256)",
+    )
 
     p = sub.add_parser(
         "report",
@@ -520,6 +623,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--rate", type=float, default=1.0)
     p.add_argument("--duration", type=float, default=12.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--schemes",
+        default=None,
+        metavar="LIST",
+        help="comma-separated extra collectives for the online policy "
+        "tables (e.g. ring-2stage,tree)",
+    )
 
     args = parser.parse_args(argv)
     # Fail on an unwritable output directory now, not after the run.
@@ -540,6 +650,7 @@ def main(argv: list[str] | None = None) -> int:
         "quickstart": cmd_quickstart,
         "compare": cmd_compare,
         "plan": cmd_plan,
+        "schemes": cmd_schemes,
         "report": cmd_report,
         "demo": cmd_demo,
     }

@@ -3,8 +3,10 @@
 from repro.baselines.systems import (
     ALL_SYSTEMS,
     DISTSERVE,
+    DS_2STAGE,
     DS_ATP,
     DS_SWITCHML,
+    EXTRA_SYSTEMS,
     HEROSERVE,
     SYSTEM_BY_NAME,
     ServingSystem,
@@ -18,8 +20,10 @@ from repro.baselines.systems import (
 __all__ = [
     "ALL_SYSTEMS",
     "DISTSERVE",
+    "DS_2STAGE",
     "DS_ATP",
     "DS_SWITCHML",
+    "EXTRA_SYSTEMS",
     "HEROSERVE",
     "SYSTEM_BY_NAME",
     "ServingSystem",

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.comm.context import CommContext
-from repro.comm.latency import SchemeKind
+from repro.comm.scheme import SchemeKind
 from repro.core.controller import CentralController
 from repro.core.objective import SlaSpec
 from repro.core.plan import Plan
@@ -59,6 +59,11 @@ DS_ATP = SystemSpec("DS-ATP", SchemeKind.INA_ASYNC, False, False)
 DS_SWITCHML = SystemSpec("DS-SwitchML", SchemeKind.INA_SYNC, False, False)
 HEROSERVE = SystemSpec("HeroServe", SchemeKind.HYBRID, True, True)
 
+#: DistServe upgraded to the hierarchical NVLink-staged ring: same static
+#: offline-planned serving loop, but collectives run ring-2stage on the
+#: heterogeneous view. Exercises a registry-added scheme end-to-end.
+DS_2STAGE = SystemSpec("DS-2Stage", SchemeKind.RING_2STAGE, True, False)
+
 ALL_SYSTEMS: tuple[SystemSpec, ...] = (
     DISTSERVE,
     DS_ATP,
@@ -66,7 +71,11 @@ ALL_SYSTEMS: tuple[SystemSpec, ...] = (
     HEROSERVE,
 )
 
-SYSTEM_BY_NAME = {s.name: s for s in ALL_SYSTEMS}
+#: Registry-demonstration systems beyond the paper's §V set; resolvable
+#: by name but excluded from the default comparison sweeps.
+EXTRA_SYSTEMS: tuple[SystemSpec, ...] = (DS_2STAGE,)
+
+SYSTEM_BY_NAME = {s.name: s for s in ALL_SYSTEMS + EXTRA_SYSTEMS}
 
 
 @dataclass
@@ -182,6 +191,7 @@ def simulate_trace(
             scheme=system.spec.scheme,
             observer=cfg.observer,
             health=health,
+            extra_schemes=tuple(cfg.extra_schemes),
         )
         if system.spec.online
         else None
@@ -265,6 +275,9 @@ def build_fleet(
             ctx=run_ctx,
             scheme=spec.scheme,
             observer=(engine_config or EngineConfig()).observer,
+            extra_schemes=tuple(
+                (engine_config or EngineConfig()).extra_schemes
+            ),
         )
         if spec.online
         else None

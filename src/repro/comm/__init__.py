@@ -43,6 +43,23 @@ from repro.comm.ring import (
     ring_link_footprint,
     ring_order,
 )
+from repro.comm.scheme import (
+    CollectiveScheme,
+    PolicySpec,
+    SchemeBinding,
+    get_scheme,
+    rank_switches,
+    register_scheme,
+    registered_schemes,
+)
+
+# Importing these modules registers the extra collectives (ring-2stage
+# first, then tree) so every layer can resolve them through the registry.
+from repro.comm.twostage import (
+    twostage_allreduce_time,
+    twostage_link_footprint,
+)
+from repro.comm.tree import tree_allreduce_time, tree_link_footprint
 
 __all__ = [
     "CommContext",
@@ -78,4 +95,15 @@ __all__ = [
     "ring_bottleneck_bandwidth",
     "ring_link_footprint",
     "ring_order",
+    "CollectiveScheme",
+    "PolicySpec",
+    "SchemeBinding",
+    "get_scheme",
+    "rank_switches",
+    "register_scheme",
+    "registered_schemes",
+    "tree_allreduce_time",
+    "tree_link_footprint",
+    "twostage_allreduce_time",
+    "twostage_link_footprint",
 ]

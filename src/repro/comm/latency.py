@@ -6,163 +6,65 @@ boundary cost ``T_pp``. Each transformer layer contributes two
 synchronisation steps (attention output and FFN, §III-C2), each carrying
 ``K_in * h`` activation elements in prefill and ``q * h`` in decode.
 
-Four schemes are exposed — the paper's three baselines plus HeroServe:
-
-* ``RING``       — ring all-reduce only (DistServe),
-* ``INA_SYNC``   — SwitchML: synchronous INA, slot-window throughput cap,
-* ``INA_ASYNC``  — ATP: asynchronous INA, end-host fallback under slot
-  contention,
-* ``HYBRID``     — HeroServe: NVLink first-stage reduction, then the
-  cheaper of INA/ring among per-server leaders.
-
-Every scheme still applies Eq. 7's argmin against the plain ring, because
-all baselines fall back to NCCL when INA would be slower.
+The per-scheme physics lives in :mod:`repro.comm.scheme` (the
+``CollectiveScheme`` registry); this module keeps the historical
+entrypoints — :func:`estimate_group_step` and :func:`price_group_step`
+are now thin registry dispatchers, and the Eq. 5 assembly
+(:func:`estimate_phase_comm`) is scheme-agnostic. ``SchemeKind``,
+``GroupCommEstimate`` and the slot-window constants are re-exported here
+for backward compatibility.
 """
 
 from __future__ import annotations
 
-import enum
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.comm.context import CommContext
-from repro.comm.hybrid import (
-    hybrid_forced_time,
-    hybrid_link_footprint,
-    plan_hybrid_allreduce,
-)
-from repro.comm.ina import (
-    ina_allreduce_time,
-    ina_link_footprint,
-    select_ina_switch,
-)
 from repro.comm.pipeline import pipeline_sync_time
-from repro.comm.ring import ring_allreduce_time, ring_link_footprint
+from repro.comm.scheme import (  # noqa: F401  (compat re-exports)
+    ATP_WIRE_EFFICIENCY,
+    DEFAULT_N_SLOTS,
+    DEFAULT_SLOT_PAYLOAD,
+    CollectiveScheme,
+    GroupCommEstimate,
+    SchemeKind,
+    _atp_cost_factor,
+    _window_cap_time,
+    get_scheme,
+)
 from repro.llm.models import ModelConfig
-from repro.switch.protocols import ATP_FALLBACK_PENALTY, DEFAULT_RTT
-
-#: Per-job aggregator-slot share. The Tofino pool (512 slots in our
-#: dataplane model) is divided among tenant jobs by the control plane's
-#: SlotAllocator; a serving deployment shares each switch with the other
-#: phase's groups and background tenants, so a job's working share is a
-#: quarter-pool. ATP's asynchronous streaming needs ~bw*RTT/payload slots
-#: in flight to saturate a 100G link (~98 at 1 KiB payloads); contention
-#: eating into the share is what triggers its end-host fallback.
-DEFAULT_N_SLOTS = 128
-DEFAULT_SLOT_PAYLOAD = 1024  # bytes
-
-#: ATP goodput efficiency relative to SwitchML: ATP's best-effort packet
-#: format carries per-packet job/sequence metadata and reserves header
-#: room for the fallback path, so its payload fraction per MTU is lower
-#: (Lao et al. report ~10% framing overhead vs SwitchML's packed slots).
-ATP_WIRE_EFFICIENCY = 0.9
-
-
-class SchemeKind(enum.Enum):
-    """Communication scheduling scheme of a serving system."""
-
-    RING = "ring"
-    INA_SYNC = "ina_sync"
-    INA_ASYNC = "ina_async"
-    HYBRID = "hybrid"
-
-
-@dataclass(frozen=True)
-class GroupCommEstimate:
-    """Chosen mode and per-step latency for one TP group (Eq. 7 output)."""
-
-    scheme: SchemeKind
-    #: Eq. 7 selector: "ina" (alpha=1) or "ring" (beta=1); hybrid reports
-    #: its Ethernet-stage mode.
-    mode: str
-    ina_switch: int | None
-    step_time: float
-    #: directed links the chosen policy occupies (for load registration)
-    links: tuple[int, ...]
-
-
-def _window_cap_time(
-    data_bytes: float, n_slots: int, slot_payload: int
-) -> float:
-    """Minimum time the SwitchML window allows for ``data_bytes``."""
-    goodput = n_slots * slot_payload / DEFAULT_RTT
-    return data_bytes / goodput
-
-
-def _atp_cost_factor(
-    bottleneck_bw: float,
-    n_slots: int,
-    slot_payload: int,
-    contention: float,
-) -> float:
-    """Mean per-chunk cost multiplier from ATP's end-host fallback."""
-    demand = bottleneck_bw * DEFAULT_RTT / slot_payload
-    available = max(1.0, (1.0 - contention) * n_slots)
-    in_switch = min(1.0, available / max(demand, 1e-9))
-    return in_switch + (1.0 - in_switch) * ATP_FALLBACK_PENALTY
 
 
 def estimate_group_step(
     ctx: CommContext,
     gpus: Sequence[int],
     data_bytes: float,
-    scheme: SchemeKind,
+    scheme: SchemeKind | str | CollectiveScheme,
     n_slots: int = DEFAULT_N_SLOTS,
     slot_payload: int = DEFAULT_SLOT_PAYLOAD,
     contention: float = 0.0,
 ) -> GroupCommEstimate:
     """One synchronisation step's latency for a TP group under a scheme.
 
-    This is Algorithm 2's ``getlatency``: compute the scheme's INA-flavoured
+    This is Algorithm 2's ``getlatency``: compute the scheme's flavoured
     latency and the ring latency, return the cheaper with its selector.
+    Dispatches to the registered :class:`CollectiveScheme`.
     """
-    gpus = list(gpus)
-    if not gpus:
-        raise ValueError("empty GPU group")
-    t_ring = ring_allreduce_time(ctx, gpus, data_bytes)
-    ring_links = tuple(ring_link_footprint(ctx, gpus))
-
-    if scheme == SchemeKind.RING or len(gpus) == 1:
-        return GroupCommEstimate(
-            scheme, "ring", None, t_ring, ring_links
-        )
-
-    if scheme == SchemeKind.HYBRID:
-        decision = plan_hybrid_allreduce(ctx, gpus, data_bytes)
-        t_hybrid = decision.total_time
-        if t_hybrid <= t_ring:
-            links = tuple(hybrid_link_footprint(ctx, gpus, decision))
-            return GroupCommEstimate(
-                scheme,
-                decision.ethernet_mode,
-                decision.ina_switch,
-                t_hybrid,
-                links,
-            )
-        return GroupCommEstimate(scheme, "ring", None, t_ring, ring_links)
-
-    # Homogeneous-network INA: all members push over Ethernet.
-    switch = select_ina_switch(ctx, gpus)
-    t_ina = ina_allreduce_time(ctx, gpus, switch, data_bytes)
-    if scheme == SchemeKind.INA_SYNC:
-        t_ina = max(t_ina, _window_cap_time(data_bytes, n_slots, slot_payload))
-    elif scheme == SchemeKind.INA_ASYNC:
-        bw = min(ctx.path_bottleneck(g, switch) for g in gpus)
-        t_ina *= _atp_cost_factor(bw, n_slots, slot_payload, contention)
-        t_ina /= ATP_WIRE_EFFICIENCY
-    else:  # pragma: no cover - exhaustive enum
-        raise ValueError(f"unhandled scheme {scheme}")
-
-    if t_ina <= t_ring:
-        links = tuple(ina_link_footprint(ctx, gpus, switch))
-        return GroupCommEstimate(scheme, "ina", switch, t_ina, links)
-    return GroupCommEstimate(scheme, "ring", None, t_ring, ring_links)
+    return get_scheme(scheme).estimate_time(
+        ctx,
+        gpus,
+        data_bytes,
+        n_slots=n_slots,
+        slot_payload=slot_payload,
+        contention=contention,
+    )
 
 
 def price_group_step(
     ctx: CommContext,
     gpus: Sequence[int],
-    scheme: SchemeKind,
+    scheme: SchemeKind | str | CollectiveScheme,
     mode: str,
     ina_switch: int | None,
     data_bytes: float,
@@ -176,28 +78,19 @@ def price_group_step(
     scheduler ablated) commit to the offline plan's mode/switch and do
     not re-select per iteration; only the physics (live bandwidths along
     the committed route) varies. ``mode``/``ina_switch`` come from the
-    plan's :class:`GroupCommEstimate`.
+    plan's :class:`GroupCommEstimate`. Dispatches to the registered
+    :class:`CollectiveScheme`.
     """
-    gpus = list(gpus)
-    if len(gpus) <= 1 or data_bytes <= 0:
-        return 0.0
-    if scheme == SchemeKind.HYBRID:
-        return hybrid_forced_time(
-            ctx, gpus, data_bytes, ethernet_mode=mode, switch=ina_switch
-        )
-    if mode in ("ring", "none"):
-        return ring_allreduce_time(ctx, gpus, data_bytes)
-    # mode == "ina" on a homogeneous scheme
-    if ina_switch is None:
-        raise ValueError("ina mode requires a switch")
-    t_ina = ina_allreduce_time(ctx, gpus, ina_switch, data_bytes)
-    if scheme == SchemeKind.INA_SYNC:
-        return max(t_ina, _window_cap_time(data_bytes, n_slots, slot_payload))
-    if scheme == SchemeKind.INA_ASYNC:
-        bw = min(ctx.path_bottleneck(g, ina_switch) for g in gpus)
-        t_ina *= _atp_cost_factor(bw, n_slots, slot_payload, contention)
-        return t_ina / ATP_WIRE_EFFICIENCY
-    return t_ina
+    return get_scheme(scheme).forced_time(
+        ctx,
+        gpus,
+        mode,
+        ina_switch,
+        data_bytes,
+        n_slots=n_slots,
+        slot_payload=slot_payload,
+        contention=contention,
+    )
 
 
 def sync_steps_per_pass(model: ModelConfig, p_pipe: int) -> int:

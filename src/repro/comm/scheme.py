@@ -1,0 +1,724 @@
+"""The CollectiveScheme protocol and registry: one dispatch point for
+every communication-scheduling scheme.
+
+Eq. 7 selects, per tensor-parallel group, INA (``alpha``) or ring
+(``beta``); a *scheme* bundles everything a serving system needs to know
+about that choice — how to estimate a group step (Algorithm 2's
+``getlatency``), how to price a committed policy at live link state, which
+policy-table rows the online scheduler should enumerate, how many INA
+switch candidates those rows consume, and what a group degrades to when
+its aggregation switch dies.
+
+Every layer dispatches through :func:`get_scheme` instead of
+``SchemeKind`` ladders: ``latency.estimate_group_step`` /
+``price_group_step``, the planner's candidate enumeration and estimation
+cache keys, the online scheduler's policy cost tables, the engine's
+static pricing, the controller's failover direction, and the CLI. Adding
+a collective is one file registering one subclass (see
+``docs/COLLECTIVES.md``); ``repro/comm/twostage.py`` and
+``repro/comm/tree.py`` are the reference examples.
+
+The four classic schemes — the paper's three baselines plus HeroServe —
+are ported here verbatim from the pre-registry branch ladders, so their
+estimates and plans are byte-identical (pinned by
+``tests/data/golden_scheme_parity.json``):
+
+* ``RING``       — ring all-reduce only (DistServe),
+* ``INA_SYNC``   — SwitchML: synchronous INA, slot-window throughput cap,
+* ``INA_ASYNC``  — ATP: asynchronous INA, end-host fallback under slot
+  contention,
+* ``HYBRID``     — HeroServe: NVLink first-stage reduction, then the
+  cheaper of INA/ring among per-server leaders.
+
+Every scheme still applies Eq. 7's argmin against the plain ring, because
+all baselines fall back to NCCL when INA would be slower.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.comm.context import CommContext
+from repro.comm.hybrid import (
+    elect_leader,
+    group_by_server,
+    hybrid_forced_time,
+    hybrid_link_footprint,
+    local_reduce_time,
+    plan_hybrid_allreduce,
+)
+from repro.comm.ina import (
+    ina_allreduce_time,
+    ina_link_footprint,
+    select_ina_switch,
+)
+from repro.comm.ring import (
+    ring_allreduce_time,
+    ring_link_footprint,
+    ring_order,
+)
+from repro.switch.protocols import ATP_FALLBACK_PENALTY, DEFAULT_RTT
+
+#: Per-job aggregator-slot share. The Tofino pool (512 slots in our
+#: dataplane model) is divided among tenant jobs by the control plane's
+#: SlotAllocator; a serving deployment shares each switch with the other
+#: phase's groups and background tenants, so a job's working share is a
+#: quarter-pool. ATP's asynchronous streaming needs ~bw*RTT/payload slots
+#: in flight to saturate a 100G link (~98 at 1 KiB payloads); contention
+#: eating into the share is what triggers its end-host fallback.
+DEFAULT_N_SLOTS = 128
+DEFAULT_SLOT_PAYLOAD = 1024  # bytes
+
+#: ATP goodput efficiency relative to SwitchML: ATP's best-effort packet
+#: format carries per-packet job/sequence metadata and reserves header
+#: room for the fallback path, so its payload fraction per MTU is lower
+#: (Lao et al. report ~10% framing overhead vs SwitchML's packed slots).
+ATP_WIRE_EFFICIENCY = 0.9
+
+
+class SchemeKind(enum.Enum):
+    """Communication scheduling scheme of a serving system."""
+
+    RING = "ring"
+    INA_SYNC = "ina_sync"
+    INA_ASYNC = "ina_async"
+    HYBRID = "hybrid"
+    RING_2STAGE = "ring-2stage"
+    TREE = "tree"
+
+
+@dataclass(frozen=True)
+class GroupCommEstimate:
+    """Chosen mode and per-step latency for one TP group (Eq. 7 output)."""
+
+    scheme: SchemeKind
+    #: Eq. 7 selector: "ina" (alpha=1) or "ring" (beta=1); hybrid reports
+    #: its Ethernet-stage mode, other schemes their own mode string.
+    mode: str
+    ina_switch: int | None
+    step_time: float
+    #: directed links the chosen policy occupies (for load registration)
+    links: tuple[int, ...]
+
+
+def _window_cap_time(
+    data_bytes: float, n_slots: int, slot_payload: int
+) -> float:
+    """Minimum time the SwitchML window allows for ``data_bytes``."""
+    goodput = n_slots * slot_payload / DEFAULT_RTT
+    return data_bytes / goodput
+
+
+def _atp_cost_factor(
+    bottleneck_bw: float,
+    n_slots: int,
+    slot_payload: int,
+    contention: float,
+) -> float:
+    """Mean per-chunk cost multiplier from ATP's end-host fallback."""
+    demand = bottleneck_bw * DEFAULT_RTT / slot_payload
+    available = max(1.0, (1.0 - contention) * n_slots)
+    in_switch = min(1.0, available / max(demand, 1e-9))
+    return in_switch + (1.0 - in_switch) * ATP_FALLBACK_PENALTY
+
+
+def rank_switches(
+    ctx: CommContext, gpus: Sequence[int], k: int
+) -> list[int]:
+    """The ``k`` INA-capable switches nearest to the group."""
+    sel = ctx.route_table.selection_bytes
+    cands = ctx.built.ina_capable_switches()
+
+    def score(sw: int) -> float:
+        return max(
+            ctx.path_time(g, sw, sel) + ctx.path_time(sw, g, sel)
+            for g in gpus
+        )
+
+    # Tie-break equal scores on the switch id so candidate order (and
+    # therefore policy enumeration) is deterministic across runs.
+    return sorted(cands, key=lambda sw: (score(sw), sw))[: max(1, k)]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One row of a group's policy cost table, scheme-agnostically.
+
+    The online scheduler turns these into
+    :class:`~repro.core.policy.Policy` objects (adding the policy id and
+    bottleneck capacity); the spec itself carries only what the scheme
+    knows: the canonical name, mode string, optional aggregation switch
+    and the directed links the route occupies.
+    """
+
+    name: str
+    mode: str
+    switch: int | None
+    links: tuple[int, ...]
+
+
+class SchemeBinding:
+    """Per-group view of a scheme: policy enumeration and live pricing.
+
+    A binding owns whatever per-group state a scheme needs across
+    repeated ``decide`` calls (e.g. the hybrid scheme's per-switch leader
+    caches), so the online scheduler itself stays scheme-agnostic.
+    """
+
+    def __init__(
+        self,
+        scheme: "CollectiveScheme",
+        ctx: CommContext,
+        gpus: Sequence[int],
+    ) -> None:
+        self.scheme = scheme
+        self.ctx = ctx
+        self.gpus = list(gpus)
+
+    # -- policy enumeration -------------------------------------------------
+
+    def _ring_spec(self) -> PolicySpec:
+        return PolicySpec(
+            self.scheme.policy_key("ring"),
+            "ring",
+            None,
+            tuple(ring_link_footprint(self.ctx, self.gpus)),
+        )
+
+    def policy_specs(self, n_switch_candidates: int) -> list[PolicySpec]:
+        """The group's candidate policy-table rows, fallback last."""
+        if len(self.gpus) == 1:
+            # Degenerate single-GPU group: nothing to synchronise. Every
+            # scheme exposes the same zero-cost "ring" policy (via
+            # policy_key, so the naming stays uniform) instead of
+            # enumerating switches it will never use.
+            return [self._ring_spec()]
+        k = self.scheme.switch_demand(n_switch_candidates)
+        switches = (
+            rank_switches(self.ctx, self.gpus, k) if k > 0 else []
+        )
+        return self._specs(switches)
+
+    def _specs(self, switches: list[int]) -> list[PolicySpec]:
+        return [self._ring_spec()]
+
+    # -- live pricing -------------------------------------------------------
+
+    def policy_time(
+        self, mode: str, switch: int | None, data_bytes: float
+    ) -> float:
+        """Live latency of executing one policy row for ``data_bytes``."""
+        if mode == "ring":
+            return ring_allreduce_time(self.ctx, self.gpus, data_bytes)
+        return self._time(mode, switch, data_bytes)
+
+    def _time(
+        self, mode: str, switch: int | None, data_bytes: float
+    ) -> float:
+        raise ValueError(
+            f"scheme {self.scheme.name!r}: unknown policy mode {mode!r}"
+        )
+
+
+class CollectiveScheme(ABC):
+    """One collective-communication scheme, pluggable at every layer.
+
+    Subclasses set ``kind`` (their :class:`SchemeKind` tag),
+    ``heterogeneous`` (the network view their routes assume) and
+    optionally ``binding_class``, then implement ``_estimate`` (Eq. 7
+    group-step selection) and ``_forced`` (pricing a committed policy).
+    Register one instance with :func:`register_scheme` and every layer —
+    planner, estimation cache, policy tables, engine, failover, CLI,
+    baselines — picks it up with zero special-casing.
+    """
+
+    kind: SchemeKind
+    #: network view: True when the scheme stages traffic over NVLink, so
+    #: its contexts should route through intra-server links.
+    heterogeneous: bool = False
+    binding_class: type[SchemeBinding] = SchemeBinding
+
+    @property
+    def name(self) -> str:
+        """Canonical registry key (the :class:`SchemeKind` value)."""
+        return self.kind.value
+
+    # -- protocol ----------------------------------------------------------
+
+    def policy_key(
+        self, mode: str = "ring", switch: int | None = None
+    ) -> str:
+        """Canonical policy-table name of a ``(mode, switch)`` route."""
+        return mode if switch is None else f"{mode}@{switch}"
+
+    def switch_demand(self, n_candidates: int) -> int:
+        """INA switch candidates the policy table consumes (0 = none)."""
+        return 0
+
+    def failover_target(self) -> str:
+        """Mode a group degrades to when its aggregation switch dies."""
+        return "ring"
+
+    def bind(
+        self, ctx: CommContext, gpus: Sequence[int]
+    ) -> SchemeBinding:
+        """A per-group binding for policy enumeration and live pricing."""
+        return self.binding_class(self, ctx, gpus)
+
+    # -- Eq. 7 estimation --------------------------------------------------
+
+    def estimate_time(
+        self,
+        ctx: CommContext,
+        gpus: Sequence[int],
+        data_bytes: float,
+        n_slots: int = DEFAULT_N_SLOTS,
+        slot_payload: int = DEFAULT_SLOT_PAYLOAD,
+        contention: float = 0.0,
+    ) -> GroupCommEstimate:
+        """One synchronisation step's latency under this scheme.
+
+        This is Algorithm 2's ``getlatency``: compute the scheme's
+        flavoured latency and the plain ring latency, return the cheaper
+        with its selector. Single-GPU groups short-circuit to a zero-cost
+        ring estimate for every scheme.
+        """
+        gpus = list(gpus)
+        if not gpus:
+            raise ValueError("empty GPU group")
+        t_ring = ring_allreduce_time(ctx, gpus, data_bytes)
+        ring_links = tuple(ring_link_footprint(ctx, gpus))
+        if len(gpus) == 1:
+            return GroupCommEstimate(
+                self.kind, "ring", None, t_ring, ring_links
+            )
+        return self._estimate(
+            ctx,
+            gpus,
+            data_bytes,
+            t_ring,
+            ring_links,
+            n_slots,
+            slot_payload,
+            contention,
+        )
+
+    @abstractmethod
+    def _estimate(
+        self,
+        ctx: CommContext,
+        gpus: list[int],
+        data_bytes: float,
+        t_ring: float,
+        ring_links: tuple[int, ...],
+        n_slots: int,
+        slot_payload: int,
+        contention: float,
+    ) -> GroupCommEstimate:
+        """Eq. 7 body for a non-degenerate group (``len(gpus) > 1``)."""
+
+    # -- committed-policy pricing ------------------------------------------
+
+    def forced_time(
+        self,
+        ctx: CommContext,
+        gpus: Sequence[int],
+        mode: str,
+        switch: int | None,
+        data_bytes: float,
+        n_slots: int = DEFAULT_N_SLOTS,
+        slot_payload: int = DEFAULT_SLOT_PAYLOAD,
+        contention: float = 0.0,
+    ) -> float:
+        """Latency of executing a *fixed* policy at current link state.
+
+        Static systems commit to the plan's mode/switch and do not
+        re-select per iteration; only the physics (live bandwidths along
+        the committed route) varies.
+        """
+        gpus = list(gpus)
+        if len(gpus) <= 1 or data_bytes <= 0:
+            return 0.0
+        return self._forced(
+            ctx,
+            gpus,
+            mode,
+            switch,
+            data_bytes,
+            n_slots,
+            slot_payload,
+            contention,
+        )
+
+    @abstractmethod
+    def _forced(
+        self,
+        ctx: CommContext,
+        gpus: list[int],
+        mode: str,
+        switch: int | None,
+        data_bytes: float,
+        n_slots: int,
+        slot_payload: int,
+        contention: float,
+    ) -> float:
+        """Fixed-policy pricing for a non-degenerate group."""
+
+    # -- link accounting ---------------------------------------------------
+
+    def link_footprint(
+        self,
+        ctx: CommContext,
+        gpus: Sequence[int],
+        mode: str = "ring",
+        switch: int | None = None,
+    ) -> tuple[int, ...]:
+        """Directed links a fixed policy occupies (load registration)."""
+        return tuple(ring_link_footprint(ctx, list(gpus)))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, CollectiveScheme] = {}
+
+
+def register_scheme(scheme: CollectiveScheme) -> CollectiveScheme:
+    """Register a scheme under its canonical name; returns it."""
+    key = scheme.name
+    if key in _REGISTRY:
+        raise ValueError(f"scheme {key!r} is already registered")
+    _REGISTRY[key] = scheme
+    return scheme
+
+
+def get_scheme(key: "SchemeKind | str | CollectiveScheme") -> CollectiveScheme:
+    """Resolve a scheme by kind, canonical name, or identity."""
+    if isinstance(key, CollectiveScheme):
+        return key
+    name = key.value if isinstance(key, SchemeKind) else str(key)
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown collective scheme {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_schemes() -> tuple[CollectiveScheme, ...]:
+    """Every registered scheme, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+# ---------------------------------------------------------------------------
+# the four classic schemes (ported verbatim from the branch ladders)
+# ---------------------------------------------------------------------------
+
+
+class RingScheme(CollectiveScheme):
+    """Plain Ethernet ring all-reduce (DistServe / NCCL)."""
+
+    kind = SchemeKind.RING
+
+    def _estimate(
+        self, ctx, gpus, data_bytes, t_ring, ring_links,
+        n_slots, slot_payload, contention,
+    ):
+        return GroupCommEstimate(
+            self.kind, "ring", None, t_ring, ring_links
+        )
+
+    def _forced(
+        self, ctx, gpus, mode, switch, data_bytes,
+        n_slots, slot_payload, contention,
+    ):
+        if mode in ("ring", "none"):
+            return ring_allreduce_time(ctx, gpus, data_bytes)
+        raise ValueError(f"ring scheme cannot price mode {mode!r}")
+
+
+class _InaBinding(SchemeBinding):
+    def _specs(self, switches):
+        specs = [
+            PolicySpec(
+                self.scheme.policy_key("ina", sw),
+                "ina",
+                sw,
+                self.scheme.link_footprint(self.ctx, self.gpus, "ina", sw),
+            )
+            for sw in switches
+        ]
+        specs.append(self._ring_spec())
+        return specs
+
+    def _time(self, mode, switch, data_bytes):
+        if mode == "ina":
+            # Live pricing uses the plain Eq. 8 time: the window cap and
+            # ATP fallback are *offline* throughput models; the online
+            # table reads congestion from the live link bandwidths.
+            assert switch is not None
+            return ina_allreduce_time(
+                self.ctx, self.gpus, switch, data_bytes
+            )
+        return super()._time(mode, switch, data_bytes)
+
+
+class _InaSchemeBase(CollectiveScheme):
+    """Shared Eq. 7 body of the homogeneous-network INA flavours."""
+
+    binding_class = _InaBinding
+
+    def switch_demand(self, n_candidates: int) -> int:
+        return n_candidates
+
+    def _adjust(
+        self, ctx, gpus, switch, data_bytes, t_ina,
+        n_slots, slot_payload, contention,
+    ) -> float:
+        """Protocol-specific correction of the raw Eq. 8 time."""
+        return t_ina
+
+    def _estimate(
+        self, ctx, gpus, data_bytes, t_ring, ring_links,
+        n_slots, slot_payload, contention,
+    ):
+        # Homogeneous-network INA: all members push over Ethernet.
+        switch = select_ina_switch(ctx, gpus)
+        t_ina = ina_allreduce_time(ctx, gpus, switch, data_bytes)
+        t_ina = self._adjust(
+            ctx, gpus, switch, data_bytes, t_ina,
+            n_slots, slot_payload, contention,
+        )
+        if t_ina <= t_ring:
+            links = tuple(ina_link_footprint(ctx, gpus, switch))
+            return GroupCommEstimate(self.kind, "ina", switch, t_ina, links)
+        return GroupCommEstimate(self.kind, "ring", None, t_ring, ring_links)
+
+    def _forced(
+        self, ctx, gpus, mode, switch, data_bytes,
+        n_slots, slot_payload, contention,
+    ):
+        if mode in ("ring", "none"):
+            return ring_allreduce_time(ctx, gpus, data_bytes)
+        if switch is None:
+            raise ValueError("ina mode requires a switch")
+        t_ina = ina_allreduce_time(ctx, gpus, switch, data_bytes)
+        return self._adjust(
+            ctx, gpus, switch, data_bytes, t_ina,
+            n_slots, slot_payload, contention,
+        )
+
+    def link_footprint(self, ctx, gpus, mode="ring", switch=None):
+        if mode == "ina" and switch is not None:
+            return tuple(ina_link_footprint(ctx, list(gpus), switch))
+        return tuple(ring_link_footprint(ctx, list(gpus)))
+
+
+class InaSyncScheme(_InaSchemeBase):
+    """SwitchML: synchronous INA with the slot-window throughput cap."""
+
+    kind = SchemeKind.INA_SYNC
+
+    def _adjust(
+        self, ctx, gpus, switch, data_bytes, t_ina,
+        n_slots, slot_payload, contention,
+    ):
+        return max(
+            t_ina, _window_cap_time(data_bytes, n_slots, slot_payload)
+        )
+
+
+class InaAsyncScheme(_InaSchemeBase):
+    """ATP: asynchronous INA with end-host fallback under contention."""
+
+    kind = SchemeKind.INA_ASYNC
+
+    def _adjust(
+        self, ctx, gpus, switch, data_bytes, t_ina,
+        n_slots, slot_payload, contention,
+    ):
+        bw = min(ctx.path_bottleneck(g, switch) for g in gpus)
+        t_ina *= _atp_cost_factor(bw, n_slots, slot_payload, contention)
+        t_ina /= ATP_WIRE_EFFICIENCY
+        return t_ina
+
+
+class _HybridBinding(SchemeBinding):
+    """Hybrid per-group state: per-switch leader election caches."""
+
+    def __init__(self, scheme, ctx, gpus):
+        super().__init__(scheme, ctx, gpus)
+        self._leaders_by_switch: dict[int, list[int]] = {}
+
+    def leaders(self, switch: int) -> list[int]:
+        cached = self._leaders_by_switch.get(switch)
+        if cached is None:
+            by_server = group_by_server(self.ctx, self.gpus)
+            cached = [
+                elect_leader(self.ctx, members, switch)
+                for members in by_server.values()
+            ]
+            self._leaders_by_switch[switch] = cached
+        return cached
+
+    def _specs(self, switches):
+        ctx, gpus = self.ctx, self.gpus
+        specs: list[PolicySpec] = []
+        multi_server = len(group_by_server(ctx, gpus)) > 1
+        if multi_server:
+            for sw in switches:
+                leaders = self.leaders(sw)
+                links = list(ina_link_footprint(ctx, leaders, sw))
+                for members, leader in zip(
+                    group_by_server(ctx, gpus).values(), leaders
+                ):
+                    for g in members:
+                        if g != leader:
+                            links.extend(ctx.path_links(g, leader))
+                            links.extend(ctx.path_links(leader, g))
+                specs.append(
+                    PolicySpec(
+                        self.scheme.policy_key("hybrid-ina", sw),
+                        "hybrid-ina",
+                        sw,
+                        tuple(links),
+                    )
+                )
+            leaders = self.leaders(switches[0])
+            specs.append(
+                PolicySpec(
+                    self.scheme.policy_key("hybrid-ring"),
+                    "hybrid-ring",
+                    None,
+                    tuple(ring_link_footprint(ctx, leaders)),
+                )
+            )
+        else:
+            # One server: the NVLink ring is unbeatable and uses no
+            # fabric links; still expose the Ethernet ring fallback.
+            specs.append(
+                PolicySpec(
+                    self.scheme.policy_key("nvlink"), "nvlink", None, ()
+                )
+            )
+        specs.append(self._ring_spec())
+        return specs
+
+    def _time(self, mode, switch, data_bytes):
+        ctx, gpus = self.ctx, self.gpus
+        if mode == "nvlink":
+            return ring_allreduce_time(
+                ctx, gpus, data_bytes, order=ring_order(ctx, gpus)
+            )
+        # hybrid flavours: NVLink stage + Ethernet stage among leaders.
+        by_server = group_by_server(ctx, gpus)
+        if mode == "hybrid-ina":
+            assert switch is not None
+            leaders = self.leaders(switch)
+        elif mode == "hybrid-ring":
+            leaders = self.leaders(rank_switches(ctx, gpus, 1)[0])
+        else:
+            return super()._time(mode, switch, data_bytes)
+        stage1 = max(
+            local_reduce_time(ctx, members, leader, data_bytes)
+            for members, leader in zip(by_server.values(), leaders)
+        )
+        if mode == "hybrid-ina":
+            stage2 = ina_allreduce_time(ctx, leaders, switch, data_bytes)
+        else:
+            stage2 = ring_allreduce_time(ctx, leaders, data_bytes)
+        return 2.0 * stage1 + stage2
+
+
+class HybridScheme(CollectiveScheme):
+    """HeroServe's NVLink-first hybrid all-reduce."""
+
+    kind = SchemeKind.HYBRID
+    heterogeneous = True
+    binding_class = _HybridBinding
+
+    def switch_demand(self, n_candidates: int) -> int:
+        return n_candidates
+
+    def _estimate(
+        self, ctx, gpus, data_bytes, t_ring, ring_links,
+        n_slots, slot_payload, contention,
+    ):
+        decision = plan_hybrid_allreduce(ctx, gpus, data_bytes)
+        t_hybrid = decision.total_time
+        if t_hybrid <= t_ring:
+            links = tuple(hybrid_link_footprint(ctx, gpus, decision))
+            return GroupCommEstimate(
+                self.kind,
+                decision.ethernet_mode,
+                decision.ina_switch,
+                t_hybrid,
+                links,
+            )
+        return GroupCommEstimate(self.kind, "ring", None, t_ring, ring_links)
+
+    def _forced(
+        self, ctx, gpus, mode, switch, data_bytes,
+        n_slots, slot_payload, contention,
+    ):
+        return hybrid_forced_time(
+            ctx, gpus, data_bytes, ethernet_mode=mode, switch=switch
+        )
+
+    def link_footprint(self, ctx, gpus, mode="ring", switch=None):
+        gpus = list(gpus)
+        by_server = group_by_server(ctx, gpus)
+        if mode in ("ring", "none") and switch is None or len(by_server) == 1:
+            return tuple(ring_link_footprint(ctx, gpus))
+        if switch is None:
+            provisional = [m[0] for m in by_server.values()]
+            switch = select_ina_switch(ctx, provisional)
+        leaders = [
+            elect_leader(ctx, members, switch)
+            for members in by_server.values()
+        ]
+        links: list[int] = []
+        for members, leader in zip(by_server.values(), leaders):
+            for g in members:
+                if g != leader:
+                    links.extend(ctx.path_links(g, leader))
+                    links.extend(ctx.path_links(leader, g))
+        if mode == "ina":
+            links.extend(ina_link_footprint(ctx, leaders, switch))
+        else:
+            links.extend(
+                ring_link_footprint(
+                    ctx, leaders, order=ring_order(ctx, leaders)
+                )
+            )
+        return tuple(links)
+
+
+RING_SCHEME = register_scheme(RingScheme())
+INA_SYNC_SCHEME = register_scheme(InaSyncScheme())
+INA_ASYNC_SCHEME = register_scheme(InaAsyncScheme())
+HYBRID_SCHEME = register_scheme(HybridScheme())
+
+__all__ = [
+    "ATP_WIRE_EFFICIENCY",
+    "DEFAULT_N_SLOTS",
+    "DEFAULT_SLOT_PAYLOAD",
+    "CollectiveScheme",
+    "GroupCommEstimate",
+    "PolicySpec",
+    "SchemeBinding",
+    "SchemeKind",
+    "get_scheme",
+    "rank_switches",
+    "register_scheme",
+    "registered_schemes",
+    "RING_SCHEME",
+    "INA_SYNC_SCHEME",
+    "INA_ASYNC_SCHEME",
+    "HYBRID_SCHEME",
+]

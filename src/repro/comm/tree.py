@@ -1,0 +1,170 @@
+"""``tree``: recursive halving-doubling all-reduce over Ethernet.
+
+Rabenseifner's algorithm on the homogeneous network view: a
+reduce-scatter by recursive *halving* (round ``r`` exchanges
+``D / 2^(r+1)`` bytes between partners ``i`` and ``i XOR 2^r``), then an
+all-gather by recursive *doubling* that mirrors it. ``log2(p)`` rounds
+each way instead of the ring's ``2(p-1)`` steps, so the tree wins on
+latency-dominated (small-payload) steps and loses to the ring's perfect
+bandwidth utilisation on large ones — exactly the regime split Eq. 7's
+argmin arbitrates.
+
+Non-power-of-two groups fold the ``p - 2^⌊log2 p⌋`` extra members in a
+pre-reduce (extra ``i + p2`` pushes its full tensor to partner ``i``) and
+a post-broadcast mirror, the standard MPI treatment.
+
+``T_tree = pre + 2 · Σ_r max_pairs t(i, i⊕2^r, D/2^(r+1)) + post``
+
+Members pair in server-major ring order so early (largest-chunk) rounds
+hit server-adjacent partners. One file, one registration — see
+``docs/COLLECTIVES.md``.
+"""
+
+from __future__ import annotations
+
+from repro.comm.context import CommContext
+from repro.comm.ring import (
+    ring_allreduce_time,
+    ring_link_footprint,
+    ring_order,
+)
+from repro.comm.scheme import (
+    CollectiveScheme,
+    GroupCommEstimate,
+    PolicySpec,
+    SchemeBinding,
+    SchemeKind,
+    register_scheme,
+)
+
+
+def _split(ctx: CommContext, gpus: list[int]) -> tuple[list[int], int]:
+    """Server-major member order and the power-of-two core size."""
+    members = ring_order(ctx, gpus)
+    p2 = 1
+    while p2 * 2 <= len(members):
+        p2 *= 2
+    return members, p2
+
+
+def tree_allreduce_time(
+    ctx: CommContext, gpus: list[int], data_bytes: float
+) -> float:
+    """Halving-doubling time with non-power-of-two pre/post folding."""
+    gpus = list(gpus)
+    if len(gpus) <= 1 or data_bytes <= 0:
+        return 0.0
+    members, p2 = _split(ctx, gpus)
+    extras = len(members) - p2
+    pre = post = 0.0
+    if extras:
+        pre = max(
+            ctx.path_time(members[p2 + i], members[i], data_bytes)
+            for i in range(extras)
+        )
+        post = max(
+            ctx.path_time(members[i], members[p2 + i], data_bytes)
+            for i in range(extras)
+        )
+    core = members[:p2]
+    halving = 0.0
+    dist, r = 1, 0
+    while dist < p2:
+        chunk = data_bytes / float(2 ** (r + 1))
+        halving += max(
+            max(
+                ctx.path_time(core[i], core[i ^ dist], chunk),
+                ctx.path_time(core[i ^ dist], core[i], chunk),
+            )
+            for i in range(p2)
+        )
+        dist <<= 1
+        r += 1
+    return pre + 2.0 * halving + post
+
+
+def tree_link_footprint(
+    ctx: CommContext, gpus: list[int]
+) -> tuple[int, ...]:
+    """Every directed link any halving/doubling exchange traverses."""
+    gpus = list(gpus)
+    if len(gpus) < 2:
+        return ()
+    members, p2 = _split(ctx, gpus)
+    links: list[int] = []
+    for i in range(len(members) - p2):
+        links.extend(ctx.path_links(members[p2 + i], members[i]))
+        links.extend(ctx.path_links(members[i], members[p2 + i]))
+    core = members[:p2]
+    dist = 1
+    while dist < p2:
+        for i in range(p2):
+            links.extend(ctx.path_links(core[i], core[i ^ dist]))
+        dist <<= 1
+    return tuple(links)
+
+
+class _TreeBinding(SchemeBinding):
+    def _specs(self, switches):
+        return [
+            PolicySpec(
+                self.scheme.policy_key("tree"),
+                "tree",
+                None,
+                tree_link_footprint(self.ctx, self.gpus),
+            ),
+            self._ring_spec(),
+        ]
+
+    def _time(self, mode, switch, data_bytes):
+        if mode == "tree":
+            return tree_allreduce_time(self.ctx, self.gpus, data_bytes)
+        return super()._time(mode, switch, data_bytes)
+
+
+class TreeScheme(CollectiveScheme):
+    """Recursive halving-doubling over Ethernet (``tree``)."""
+
+    kind = SchemeKind.TREE
+    binding_class = _TreeBinding
+
+    def _estimate(
+        self, ctx, gpus, data_bytes, t_ring, ring_links,
+        n_slots, slot_payload, contention,
+    ):
+        t_tree = tree_allreduce_time(ctx, gpus, data_bytes)
+        if t_tree <= t_ring:
+            return GroupCommEstimate(
+                self.kind,
+                "tree",
+                None,
+                t_tree,
+                tree_link_footprint(ctx, gpus),
+            )
+        return GroupCommEstimate(self.kind, "ring", None, t_ring, ring_links)
+
+    def _forced(
+        self, ctx, gpus, mode, switch, data_bytes,
+        n_slots, slot_payload, contention,
+    ):
+        if mode == "tree":
+            return tree_allreduce_time(ctx, gpus, data_bytes)
+        if mode in ("ring", "none"):
+            return ring_allreduce_time(ctx, gpus, data_bytes)
+        raise ValueError(f"tree scheme cannot price mode {mode!r}")
+
+    def link_footprint(self, ctx, gpus, mode="ring", switch=None):
+        gpus = list(gpus)
+        if mode == "tree":
+            return tree_link_footprint(ctx, gpus)
+        return tuple(ring_link_footprint(ctx, gpus))
+
+
+TREE_SCHEME = register_scheme(TreeScheme())
+
+__all__ = [
+    "TREE_SCHEME",
+    "TreeScheme",
+    "tree_allreduce_time",
+    "tree_link_footprint",
+]

@@ -1,0 +1,182 @@
+"""``ring-2stage``: hierarchical NVLink-staged ring all-reduce.
+
+DeepSpeed-style two-level collective for multi-server groups on a
+heterogeneous network view:
+
+1. **NVLink reduce-scatter** inside each server: the tensor is split into
+   ``k`` shards (``k`` = members on the server) and reduced onto the
+   server's *first* member (the static leader — no per-switch election,
+   unlike HeroServe's hybrid), costing ``(k-1)`` shard pushes bounded by
+   the slowest member→leader NVLink path.
+2. **Inter-server Ethernet ring** over the per-server leaders at the full
+   payload (leaders hold fully reduced server-local sums).
+3. **NVLink all-gather** mirroring stage 1.
+
+``T_2stage = 2 · max_s (k_s - 1) · max_{g≠lead} t(g, lead, D/k_s)
+           + T_ring(leaders, D)``
+
+A single-server group degenerates to the pure NVLink ring (mode
+``"none"``, matching the hybrid scheme's vocabulary). Like every scheme,
+Eq. 7 still compares against the plain Ethernet ring and falls back when
+staging loses (tiny payloads where the extra NVLink latency dominates).
+
+This file is the whole integration: registering :class:`TwoStageScheme`
+below is what makes ``ring-2stage`` a planner candidate, a policy-table
+column, an engine-executable mode, a failover source, a CLI choice and
+the ``DS-2Stage`` baseline's collective. See ``docs/COLLECTIVES.md``.
+"""
+
+from __future__ import annotations
+
+from repro.comm.context import CommContext
+from repro.comm.hybrid import group_by_server
+from repro.comm.ring import (
+    ring_allreduce_time,
+    ring_link_footprint,
+    ring_order,
+)
+from repro.comm.scheme import (
+    CollectiveScheme,
+    GroupCommEstimate,
+    PolicySpec,
+    SchemeBinding,
+    SchemeKind,
+    register_scheme,
+)
+
+
+def _leaders(ctx: CommContext, gpus: list[int]) -> list[int]:
+    return [members[0] for members in group_by_server(ctx, gpus).values()]
+
+
+def _stage_local(
+    ctx: CommContext, members: list[int], leader: int, data_bytes: float
+) -> float:
+    """One server's NVLink reduce-scatter (== the mirrored all-gather)."""
+    k = len(members)
+    if k <= 1:
+        return 0.0
+    shard = data_bytes / k
+    return (k - 1) * max(
+        ctx.path_time(g, leader, shard) for g in members if g != leader
+    )
+
+
+def twostage_allreduce_time(
+    ctx: CommContext, gpus: list[int], data_bytes: float
+) -> float:
+    """Hierarchical reduce-scatter → leader ring → all-gather time."""
+    gpus = list(gpus)
+    if len(gpus) <= 1 or data_bytes <= 0:
+        return 0.0
+    by_server = group_by_server(ctx, gpus)
+    if len(by_server) == 1:
+        return ring_allreduce_time(
+            ctx, gpus, data_bytes, order=ring_order(ctx, gpus)
+        )
+    stage_local = max(
+        _stage_local(ctx, members, members[0], data_bytes)
+        for members in by_server.values()
+    )
+    stage_ring = ring_allreduce_time(ctx, _leaders(ctx, gpus), data_bytes)
+    return 2.0 * stage_local + stage_ring
+
+
+def twostage_link_footprint(
+    ctx: CommContext, gpus: list[int]
+) -> tuple[int, ...]:
+    """NVLink member↔leader legs plus the leaders' Ethernet ring."""
+    gpus = list(gpus)
+    by_server = group_by_server(ctx, gpus)
+    if len(by_server) == 1:
+        return tuple(
+            ring_link_footprint(ctx, gpus, order=ring_order(ctx, gpus))
+        )
+    links: list[int] = []
+    for members in by_server.values():
+        leader = members[0]
+        for g in members:
+            if g != leader:
+                links.extend(ctx.path_links(g, leader))
+                links.extend(ctx.path_links(leader, g))
+    links.extend(ring_link_footprint(ctx, _leaders(ctx, gpus)))
+    return tuple(links)
+
+
+class _TwoStageBinding(SchemeBinding):
+    def _specs(self, switches):
+        ctx, gpus = self.ctx, self.gpus
+        if len(group_by_server(ctx, gpus)) > 1:
+            specs = [
+                PolicySpec(
+                    self.scheme.policy_key("2stage"),
+                    "2stage",
+                    None,
+                    twostage_link_footprint(ctx, gpus),
+                )
+            ]
+        else:
+            specs = [
+                PolicySpec(
+                    self.scheme.policy_key("nvlink"), "nvlink", None, ()
+                )
+            ]
+        specs.append(self._ring_spec())
+        return specs
+
+    def _time(self, mode, switch, data_bytes):
+        if mode in ("2stage", "nvlink"):
+            return twostage_allreduce_time(self.ctx, self.gpus, data_bytes)
+        return super()._time(mode, switch, data_bytes)
+
+
+class TwoStageScheme(CollectiveScheme):
+    """Hierarchical NVLink/Ethernet two-stage ring (``ring-2stage``)."""
+
+    kind = SchemeKind.RING_2STAGE
+    heterogeneous = True
+    binding_class = _TwoStageBinding
+
+    def _estimate(
+        self, ctx, gpus, data_bytes, t_ring, ring_links,
+        n_slots, slot_payload, contention,
+    ):
+        t_2stage = twostage_allreduce_time(ctx, gpus, data_bytes)
+        if t_2stage <= t_ring:
+            mode = (
+                "none" if len(group_by_server(ctx, gpus)) == 1 else "2stage"
+            )
+            return GroupCommEstimate(
+                self.kind,
+                mode,
+                None,
+                t_2stage,
+                twostage_link_footprint(ctx, gpus),
+            )
+        return GroupCommEstimate(self.kind, "ring", None, t_ring, ring_links)
+
+    def _forced(
+        self, ctx, gpus, mode, switch, data_bytes,
+        n_slots, slot_payload, contention,
+    ):
+        if mode in ("2stage", "none", "nvlink"):
+            return twostage_allreduce_time(ctx, gpus, data_bytes)
+        if mode == "ring":
+            return ring_allreduce_time(ctx, gpus, data_bytes)
+        raise ValueError(f"ring-2stage cannot price mode {mode!r}")
+
+    def link_footprint(self, ctx, gpus, mode="ring", switch=None):
+        gpus = list(gpus)
+        if mode == "ring":
+            return tuple(ring_link_footprint(ctx, gpus))
+        return twostage_link_footprint(ctx, gpus)
+
+
+TWOSTAGE_SCHEME = register_scheme(TwoStageScheme())
+
+__all__ = [
+    "TWOSTAGE_SCHEME",
+    "TwoStageScheme",
+    "twostage_allreduce_time",
+    "twostage_link_footprint",
+]

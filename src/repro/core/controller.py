@@ -17,7 +17,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.comm.context import CommContext
-from repro.comm.latency import SchemeKind
+from repro.comm.scheme import SchemeKind, get_scheme
 from repro.core.scheduler import CommDecision, LoadAwareScheduler
 from repro.faults.health import HealthRegistry
 from repro.obs.logging_config import get_logger
@@ -38,6 +38,9 @@ class CentralController:
     observer: object = NULL_OBSERVER
     #: failure-detection registry; ``None`` keeps the fault-free path.
     health: HealthRegistry | None = None
+    #: extra registered collectives whose policies join every group's
+    #: table alongside the primary scheme's (e.g. ("ring-2stage", "tree"))
+    extra_schemes: tuple[str, ...] = ()
     _schedulers: dict[tuple[int, ...], LoadAwareScheduler] = field(
         default_factory=dict
     )
@@ -70,6 +73,7 @@ class CentralController:
                 self.scheme,
                 n_switch_candidates=self.n_switch_candidates,
                 observer=self.observer,
+                extra_schemes=self.extra_schemes,
             )
             if self.health is not None:
                 sched.apply_health(self.health)
@@ -126,7 +130,10 @@ class CentralController:
             changed, degraded = sched.apply_health(self.health)
             if not changed:
                 continue
-            direction = "ina->ring" if degraded else "ring->ina"
+            fallback = get_scheme(self.scheme).failover_target()
+            direction = (
+                f"ina->{fallback}" if degraded else f"{fallback}->ina"
+            )
             if degraded:
                 self.health.failovers += 1
             log.info("failover: group %s %s at t=%.3f", key, direction, now)

@@ -49,6 +49,7 @@ from repro.comm.latency import (
     GroupCommEstimate,
     SchemeKind,
     estimate_group_step,
+    get_scheme,
 )
 
 __all__ = ["EstimationCache"]
@@ -183,7 +184,9 @@ class EstimationCache:
         key = (
             tuple(gpus),
             float(data_bytes),
-            scheme,
+            # canonical registry name, so SchemeKind / str / scheme-object
+            # spellings of the same collective share entries
+            get_scheme(scheme).name,
             n_slots,
             slot_payload,
             float(contention),

@@ -1,15 +1,18 @@
 """Load-aware online scheduler (paper §III-D).
 
 One :class:`LoadAwareScheduler` exists per tensor-parallel GPU group. At
-construction it enumerates the group's candidate *policies* — the rows of
-the Fig. 5 policy selection table:
+construction it asks the group's :class:`~repro.comm.scheme.SchemeBinding`
+(from the CollectiveScheme registry) to enumerate the candidate
+*policies* — the rows of the Fig. 5 policy selection table:
 
 * for the hybrid (HeroServe) scheme: ``hybrid-ina`` via each of the
   ``n_switch_candidates`` nearest INA-capable switches, ``hybrid-ring``
   (NVLink stage + leader ring), and the plain ``ring`` fallback;
 * for homogeneous INA schemes: ``ina`` via each candidate switch plus
   ``ring``;
-* for the ring scheme: ``ring`` only (nothing to adapt — DistServe).
+* for the ring scheme: ``ring`` only (nothing to adapt — DistServe);
+* any registered extra schemes (``ring-2stage``, ``tree``, …) contribute
+  their rows when enabled via ``extra_schemes``, name-deduplicated.
 
 On every ncclAllreduce-equivalent call, :meth:`decide` consults the
 policy cost table (Eq. 16), applies the Eq. 17 virtual-utilisation
@@ -25,20 +28,11 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.comm.context import CommContext
-from repro.comm.hybrid import (
-    elect_leader,
-    group_by_server,
-    local_reduce_time,
-)
-from repro.comm.ina import (
-    ina_allreduce_time,
-    ina_link_footprint,
-)
-from repro.comm.latency import SchemeKind
-from repro.comm.ring import (
-    ring_allreduce_time,
-    ring_link_footprint,
-    ring_order,
+from repro.comm.scheme import (
+    SchemeBinding,
+    SchemeKind,
+    get_scheme,
+    rank_switches,  # noqa: F401  (compat re-export)
 )
 from repro.core.policy import Policy, PolicyCostTable
 from repro.obs.observer import NULL_OBSERVER
@@ -63,24 +57,6 @@ def _bottleneck_capacity(ctx: CommContext, links: Sequence[int]) -> float:
     return min(topo.links[lid].capacity for lid in links)
 
 
-def rank_switches(
-    ctx: CommContext, gpus: Sequence[int], k: int
-) -> list[int]:
-    """The ``k`` INA-capable switches nearest to the group."""
-    sel = ctx.route_table.selection_bytes
-    cands = ctx.built.ina_capable_switches()
-
-    def score(sw: int) -> float:
-        return max(
-            ctx.path_time(g, sw, sel) + ctx.path_time(sw, g, sel)
-            for g in gpus
-        )
-
-    # Tie-break equal scores on the switch id so candidate order (and
-    # therefore policy enumeration) is deterministic across runs.
-    return sorted(cands, key=lambda sw: (score(sw), sw))[: max(1, k)]
-
-
 class LoadAwareScheduler:
     """Per-group online scheduler with a policy cost table."""
 
@@ -93,125 +69,63 @@ class LoadAwareScheduler:
         window: float = 0.1,
         gamma: float = 0.3,
         observer: object = NULL_OBSERVER,
+        extra_schemes: Sequence[str] = (),
     ) -> None:
         if not gpus:
             raise ValueError("empty GPU group")
         self.ctx = ctx
         self.gpus = list(gpus)
-        self.scheme = scheme
+        primary = get_scheme(scheme)
+        self.scheme = primary.kind
         self.observer = observer or NULL_OBSERVER
-        self._leaders_by_switch: dict[int, list[int]] = {}
-        policies = self._build_policies(n_switch_candidates)
+        self._binding = primary.bind(ctx, self.gpus)
+        self._policy_binding: list[SchemeBinding] = []
+        policies = self._build_policies(n_switch_candidates, extra_schemes)
         self.table = PolicyCostTable(policies, window=window, gamma=gamma)
 
     # -- policy construction ------------------------------------------------
 
-    def _hybrid_leaders(self, switch: int) -> list[int]:
-        cached = self._leaders_by_switch.get(switch)
-        if cached is None:
-            by_server = group_by_server(self.ctx, self.gpus)
-            cached = [
-                elect_leader(self.ctx, members, switch)
-                for members in by_server.values()
-            ]
-            self._leaders_by_switch[switch] = cached
-        return cached
-
-    def _build_policies(self, n_switch_candidates: int) -> list[Policy]:
+    def _build_policies(
+        self, n_switch_candidates: int, extra_schemes: Sequence[str]
+    ) -> list[Policy]:
         ctx = self.ctx
         policies: list[Policy] = []
+        seen: set[str] = set()
 
-        def add(name: str, mode: str, switch: int | None,
-                links: Sequence[int]) -> None:
-            policies.append(
-                Policy(
-                    policy_id=len(policies),
-                    name=name,
-                    mode=mode,
-                    switch=switch,
-                    links=tuple(links),
-                    bottleneck_capacity=_bottleneck_capacity(ctx, links),
+        def add_specs(binding: SchemeBinding) -> None:
+            for spec in binding.policy_specs(n_switch_candidates):
+                if spec.name in seen:
+                    continue
+                seen.add(spec.name)
+                self._policy_binding.append(binding)
+                policies.append(
+                    Policy(
+                        policy_id=len(policies),
+                        name=spec.name,
+                        mode=spec.mode,
+                        switch=spec.switch,
+                        links=spec.links,
+                        bottleneck_capacity=_bottleneck_capacity(
+                            ctx, spec.links
+                        ),
+                    )
                 )
-            )
 
-        ring_links = ring_link_footprint(ctx, self.gpus)
-        if self.scheme == SchemeKind.RING or len(self.gpus) == 1:
-            add("ring", "ring", None, ring_links)
-            return policies
-
-        switches = rank_switches(ctx, self.gpus, n_switch_candidates)
-        if self.scheme == SchemeKind.HYBRID:
-            multi_server = len(group_by_server(ctx, self.gpus)) > 1
-            if multi_server:
-                for sw in switches:
-                    leaders = self._hybrid_leaders(sw)
-                    links = list(ina_link_footprint(ctx, leaders, sw))
-                    for members, leader in zip(
-                        group_by_server(ctx, self.gpus).values(),
-                        leaders,
-                    ):
-                        for g in members:
-                            if g != leader:
-                                links.extend(ctx.path_links(g, leader))
-                                links.extend(ctx.path_links(leader, g))
-                    add(f"hybrid-ina@{sw}", "hybrid-ina", sw, links)
-                leaders = self._hybrid_leaders(switches[0])
-                lr_links = ring_link_footprint(ctx, leaders)
-                add("hybrid-ring", "hybrid-ring", None, lr_links)
-            else:
-                # One server: the NVLink ring is unbeatable and uses no
-                # fabric links; still expose the Ethernet ring fallback.
-                add("nvlink", "nvlink", None, [])
-            add("ring", "ring", None, ring_links)
-            return policies
-
-        # Homogeneous INA schemes (SwitchML / ATP flavours).
-        for sw in switches:
-            add(
-                f"ina@{sw}",
-                "ina",
-                sw,
-                ina_link_footprint(ctx, self.gpus, sw),
-            )
-        add("ring", "ring", None, ring_links)
+        add_specs(self._binding)
+        if len(self.gpus) > 1:
+            for extra in extra_schemes:
+                scheme = get_scheme(extra)
+                if scheme.kind == self.scheme:
+                    continue
+                add_specs(scheme.bind(ctx, self.gpus))
         return policies
 
     # -- pricing --------------------------------------------------------------
 
     def _estimate_time(self, policy: Policy, data_bytes: float) -> float:
         """Live latency of executing ``policy`` for ``data_bytes``."""
-        ctx = self.ctx
-        if policy.mode == "ring":
-            return ring_allreduce_time(ctx, self.gpus, data_bytes)
-        if policy.mode == "nvlink":
-            return ring_allreduce_time(
-                ctx, self.gpus, data_bytes, order=ring_order(ctx, self.gpus)
-            )
-        if policy.mode == "ina":
-            assert policy.switch is not None
-            return ina_allreduce_time(
-                ctx, self.gpus, policy.switch, data_bytes
-            )
-        # hybrid flavours: NVLink stage + Ethernet stage among leaders.
-        by_server = group_by_server(ctx, self.gpus)
-        if policy.mode == "hybrid-ina":
-            assert policy.switch is not None
-            leaders = self._hybrid_leaders(policy.switch)
-        else:
-            leaders = self._hybrid_leaders(
-                rank_switches(ctx, self.gpus, 1)[0]
-            )
-        stage1 = max(
-            local_reduce_time(ctx, members, leader, data_bytes)
-            for members, leader in zip(by_server.values(), leaders)
-        )
-        if policy.mode == "hybrid-ina":
-            stage2 = ina_allreduce_time(
-                ctx, leaders, policy.switch, data_bytes
-            )
-        else:
-            stage2 = ring_allreduce_time(ctx, leaders, data_bytes)
-        return 2.0 * stage1 + stage2
+        binding = self._policy_binding[policy.policy_id]
+        return binding.policy_time(policy.mode, policy.switch, data_bytes)
 
     # -- public API -------------------------------------------------------------
 

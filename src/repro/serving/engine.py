@@ -89,6 +89,9 @@ class EngineConfig:
     #: observability sink; the shared no-op default records nothing and
     #: leaves results byte-identical to an unobserved run
     observer: object = NULL_OBSERVER
+    #: extra registered collectives (e.g. ("ring-2stage", "tree")) whose
+    #: policies the online scheduler considers alongside the plan's scheme
+    extra_schemes: tuple[str, ...] = ()
 
 
 class ServingSimulator:

@@ -6,7 +6,18 @@ rng draw sequence is untouched. These tests sweep seeds and topologies
 comparing the full ``Plan`` dataclasses (``==`` over every nested field
 plus ``repr`` equality, i.e. byte-identical rendering), and exercise the
 fault-replan path that must invalidate the cache.
+
+``TestGoldenSchemeParity`` additionally pins the CollectiveScheme
+registry refactor against ``tests/data/golden_scheme_parity.json``,
+captured from the pre-registry branch ladders: Eq. 7 estimates and full
+planner output for ring/ina_sync/ina_async/hybrid must stay
+byte-identical across seeds 0/7/13 on the testbed and 2tracks
+topologies (regenerate only for intentional physics changes, via
+``tests/make_scheme_goldens.py``).
 """
+
+import json
+import os
 
 import pytest
 
@@ -17,6 +28,10 @@ from repro.llm import OPT_66B, A100, V100, BatchSpec, CostModelBank
 from repro.network import build_testbed, build_xtracks_cluster
 
 SEEDS = [0, 1, 2, 7, 13]
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_scheme_parity.json"
+)
 
 
 @pytest.fixture(scope="module")
@@ -74,6 +89,55 @@ class TestByteIdenticalPlans:
         assert second.cache_stats["hit_rate"] > first.cache_stats[
             "hit_rate"
         ]
+
+
+class TestGoldenSchemeParity:
+    """Registry dispatch reproduces the pre-refactor ladders exactly."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN_PATH) as fh:
+            return json.load(fh)
+
+    @pytest.fixture(scope="class")
+    def goldgen(self):
+        # The golden generator doubles as the recompute harness: it
+        # renders estimates/plans in exactly the pinned format.
+        import sys
+
+        sys.path.insert(0, os.path.dirname(__file__))
+        try:
+            import make_scheme_goldens
+        finally:
+            sys.path.pop(0)
+        return make_scheme_goldens
+
+    @pytest.fixture(scope="class")
+    def topologies(self, goldgen):
+        return goldgen._topologies()
+
+    @pytest.mark.parametrize("topo", ["testbed", "2tracks"])
+    def test_estimates_byte_identical(
+        self, golden, goldgen, topologies, topo
+    ):
+        now = goldgen._estimates(topologies[topo])
+        want = golden["topologies"][topo]["estimates"]
+        for scheme, cases in want.items():
+            for case, vals in cases.items():
+                assert now[scheme][case] == vals, (
+                    f"{topo}/{scheme}/{case} diverged from golden"
+                )
+
+    @pytest.mark.parametrize("topo", ["testbed", "2tracks"])
+    def test_plans_byte_identical(
+        self, golden, goldgen, topologies, topo
+    ):
+        now = goldgen._plans(topologies[topo])
+        want = golden["topologies"][topo]["plans"]
+        # seeds 0/7/13 x ring/ina_sync/ina_async/hybrid, repr-hash level
+        assert len(want) == 12
+        for key, vals in want.items():
+            assert now[key] == vals, f"{topo}/plans/{key} diverged"
 
 
 class TestReplanInvalidation:

@@ -1,0 +1,422 @@
+"""The CollectiveScheme registry and the two registry-added schemes.
+
+Covers the registry API, the uniform degenerate-group pricing fix, the
+``ring-2stage`` and ``tree`` time formulas against independently
+recomputed values, extra-scheme policy tables + failover masking, the
+``DS-2Stage`` baseline assembly, and the ``python -m repro schemes``
+subcommand. (Byte-parity of the four classic schemes is pinned by
+``tests/test_planner_equivalence.py::TestGoldenSchemeParity``.)
+"""
+
+import pytest
+
+from repro.__main__ import main
+from repro.baselines import (
+    ALL_SYSTEMS,
+    DS_2STAGE,
+    EXTRA_SYSTEMS,
+    SYSTEM_BY_NAME,
+    build_system,
+    simulate_trace,
+)
+from repro.comm import (
+    CommContext,
+    SchemeKind,
+    allreduce_bytes,
+    estimate_group_step,
+    get_scheme,
+    group_by_server,
+    price_group_step,
+    register_scheme,
+    registered_schemes,
+    ring_allreduce_time,
+    ring_order,
+    tree_allreduce_time,
+    twostage_allreduce_time,
+)
+from repro.core import SLA_TESTBED_CHATBOT, LoadAwareScheduler
+from repro.core.estcache import EstimationCache
+from repro.core.plan import ParallelConfig
+from repro.llm import OPT_66B, A100, V100, CostModelBank
+from repro.network import LinkLoadTracker, build_testbed
+from repro.util.rng import make_rng
+from repro.workloads import generate_sharegpt_trace
+
+ALL_KINDS = list(SchemeKind)
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed()
+
+
+def ctx_for(tb, scheme):
+    return CommContext.from_built(
+        tb, heterogeneous=get_scheme(scheme).heterogeneous
+    )
+
+
+def live_ctx(tb, heterogeneous=True):
+    base = CommContext.from_built(tb, heterogeneous=heterogeneous)
+    return CommContext(
+        built=tb,
+        route_table=base.route_table,
+        linkstate=LinkLoadTracker(tb.topology),
+        heterogeneous=heterogeneous,
+    )
+
+
+class TestRegistryApi:
+    def test_six_schemes_registered(self):
+        names = [s.name for s in registered_schemes()]
+        assert names == [
+            "ring", "ina_sync", "ina_async", "hybrid",
+            "ring-2stage", "tree",
+        ]
+
+    def test_resolution_spellings(self):
+        by_kind = get_scheme(SchemeKind.HYBRID)
+        assert get_scheme("hybrid") is by_kind
+        assert get_scheme(by_kind) is by_kind
+        assert get_scheme("ring-2stage").kind is SchemeKind.RING_2STAGE
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError, match="teleportation"):
+            get_scheme("teleportation")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme(get_scheme("ring"))
+
+    def test_network_views(self):
+        assert not get_scheme("ring").heterogeneous
+        assert not get_scheme("ina_sync").heterogeneous
+        assert not get_scheme("ina_async").heterogeneous
+        assert not get_scheme("tree").heterogeneous
+        assert get_scheme("hybrid").heterogeneous
+        assert get_scheme("ring-2stage").heterogeneous
+
+    def test_failover_targets(self):
+        for scheme in registered_schemes():
+            assert scheme.failover_target() == "ring"
+
+    def test_switch_demand(self):
+        for name in ("ring", "ring-2stage", "tree"):
+            assert get_scheme(name).switch_demand(3) == 0
+        for name in ("ina_sync", "ina_async", "hybrid"):
+            assert get_scheme(name).switch_demand(3) == 3
+
+    def test_policy_key_uniform(self):
+        scheme = get_scheme("ina_sync")
+        assert scheme.policy_key("ring") == "ring"
+        assert scheme.policy_key("ina", 5) == "ina@5"
+        assert get_scheme("hybrid").policy_key("hybrid-ina", 7) == (
+            "hybrid-ina@7"
+        )
+
+    def test_estimate_accepts_string_scheme(self, tb):
+        ctx = ctx_for(tb, "tree")
+        gpus = tb.topology.gpu_ids()[:8]
+        a = estimate_group_step(ctx, gpus, 1e6, "tree")
+        b = estimate_group_step(ctx, gpus, 1e6, SchemeKind.TREE)
+        assert a == b
+
+
+class TestDegenerateGroups:
+    """Satellite fix: single-GPU groups cost 0 under *every* scheme."""
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_single_gpu_estimate_is_free(self, tb, kind):
+        ctx = ctx_for(tb, kind)
+        solo = [tb.topology.gpu_ids()[0]]
+        est = estimate_group_step(ctx, solo, 8e6, kind)
+        assert est.mode == "ring"
+        assert est.step_time == 0.0
+        assert est.links == ()
+        assert price_group_step(ctx, solo, kind, est.mode,
+                                est.ina_switch, 8e6) == 0.0
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_single_gpu_policy_table_uniform(self, tb, kind):
+        ctx = live_ctx(tb, get_scheme(kind).heterogeneous)
+        s = LoadAwareScheduler(ctx, [tb.topology.gpu_ids()[0]], kind)
+        assert [p.name for p in s.table.policies] == ["ring"]
+        d = s.decide(8e6)
+        assert d.step_time == 0.0 and d.links == ()
+
+
+class TestTwoStageFormula:
+    def test_matches_reconstruction(self, tb):
+        ctx = ctx_for(tb, "ring-2stage")
+        gpus = tb.topology.gpu_ids()[:8]
+        data = 4e6
+        by_server = group_by_server(ctx, gpus)
+        assert len(by_server) > 1, "need a cross-server group"
+        stage_local = 0.0
+        for members in by_server.values():
+            leader, k = members[0], len(members)
+            if k > 1:
+                t = (k - 1) * max(
+                    ctx.path_time(g, leader, data / k)
+                    for g in members if g != leader
+                )
+                stage_local = max(stage_local, t)
+        leaders = [m[0] for m in by_server.values()]
+        expected = 2.0 * stage_local + ring_allreduce_time(
+            ctx, leaders, data
+        )
+        assert twostage_allreduce_time(ctx, gpus, data) == expected
+
+    def test_single_server_is_nvlink_ring(self, tb):
+        ctx = ctx_for(tb, "ring-2stage")
+        gpus = list(tb.server_gpus[0])
+        data = 4e6
+        expected = ring_allreduce_time(
+            ctx, gpus, data, order=ring_order(ctx, gpus)
+        )
+        assert twostage_allreduce_time(ctx, gpus, data) == expected
+        est = estimate_group_step(ctx, gpus, data, "ring-2stage")
+        assert est.mode in ("none", "ring")
+
+    def test_degenerate_zero(self, tb):
+        ctx = ctx_for(tb, "ring-2stage")
+        g = tb.topology.gpu_ids()[0]
+        assert twostage_allreduce_time(ctx, [g], 1e6) == 0.0
+        assert twostage_allreduce_time(ctx, [g, g + 1], 0.0) == 0.0
+
+    def test_estimate_is_eq7_argmin(self, tb):
+        ctx = ctx_for(tb, "ring-2stage")
+        gpus = tb.topology.gpu_ids()[:8]
+        for data in (1e4, 8e6):
+            est = estimate_group_step(ctx, gpus, data, "ring-2stage")
+            t_ring = ring_allreduce_time(ctx, gpus, data)
+            t_2s = twostage_allreduce_time(ctx, gpus, data)
+            assert est.step_time == min(t_ring, t_2s)
+            assert est.mode == ("2stage" if t_2s <= t_ring else "ring")
+
+    def test_nvlink_staging_beats_plain_ring_large_payload(self, tb):
+        # The point of the scheme: at bandwidth-dominated payloads the
+        # NVLink first stage shrinks the Ethernet ring to one GPU per
+        # server, so 2stage wins on the heterogeneous testbed.
+        ctx = ctx_for(tb, "ring-2stage")
+        gpus = tb.topology.gpu_ids()[:8]
+        data = 8e6
+        assert twostage_allreduce_time(ctx, gpus, data) < (
+            ring_allreduce_time(ctx, gpus, data)
+        )
+
+
+class TestTreeFormula:
+    def test_matches_reconstruction(self, tb):
+        ctx = ctx_for(tb, "tree")
+        gpus = tb.topology.gpu_ids()[:8]
+        data = 2e6
+        members = ring_order(ctx, gpus)
+        p2 = 1
+        while p2 * 2 <= len(members):
+            p2 *= 2
+        assert p2 == len(members) == 8, "power-of-two core expected"
+        expected = 0.0
+        dist, r = 1, 0
+        while dist < p2:
+            chunk = data / float(2 ** (r + 1))
+            expected += max(
+                max(
+                    ctx.path_time(members[i], members[i ^ dist], chunk),
+                    ctx.path_time(members[i ^ dist], members[i], chunk),
+                )
+                for i in range(p2)
+            )
+            dist <<= 1
+            r += 1
+        expected *= 2.0
+        assert tree_allreduce_time(ctx, gpus, data) == expected
+
+    def test_non_power_of_two_folds_extras(self, tb):
+        ctx = ctx_for(tb, "tree")
+        gpus = tb.topology.gpu_ids()[:6]
+        data = 2e6
+        members = ring_order(ctx, gpus)
+        t6 = tree_allreduce_time(ctx, gpus, data)
+        t4 = tree_allreduce_time(ctx, members[:4], data)
+        pre = max(
+            ctx.path_time(members[4 + i], members[i], data)
+            for i in range(2)
+        )
+        post = max(
+            ctx.path_time(members[i], members[4 + i], data)
+            for i in range(2)
+        )
+        assert t6 == pytest.approx(t4 + pre + post)
+
+    def test_degenerate_zero(self, tb):
+        ctx = ctx_for(tb, "tree")
+        g = tb.topology.gpu_ids()[0]
+        assert tree_allreduce_time(ctx, [g], 1e6) == 0.0
+        assert tree_allreduce_time(ctx, [g, g + 1], 0.0) == 0.0
+
+    def test_estimate_is_eq7_argmin(self, tb):
+        ctx = ctx_for(tb, "tree")
+        gpus = tb.topology.gpu_ids()[:8]
+        for data in (1e4, 8e6):
+            est = estimate_group_step(ctx, gpus, data, "tree")
+            t_ring = ring_allreduce_time(ctx, gpus, data)
+            t_tree = tree_allreduce_time(ctx, gpus, data)
+            assert est.step_time == min(t_ring, t_tree)
+            assert est.mode == ("tree" if t_tree <= t_ring else "ring")
+
+    def test_fewer_rounds_than_ring_small_payload(self, tb):
+        # log2(p) exchange rounds beat 2(p-1) ring steps when per-step
+        # latency dominates (tiny payloads).
+        ctx = ctx_for(tb, "tree")
+        gpus = tb.topology.gpu_ids()[:8]
+        assert tree_allreduce_time(ctx, gpus, 1e3) < (
+            ring_allreduce_time(ctx, gpus, 1e3)
+        )
+
+
+class TestExtraSchemesOnline:
+    def test_policy_tables_gain_extra_rows(self, tb):
+        ctx = live_ctx(tb)
+        s = LoadAwareScheduler(
+            ctx, tb.topology.gpu_ids()[:8], SchemeKind.HYBRID,
+            n_switch_candidates=2,
+            extra_schemes=("ring-2stage", "tree"),
+        )
+        names = [p.name for p in s.table.policies]
+        # Extra rows joined the table, deduplicated by name (one shared
+        # "ring" fallback instead of three).
+        assert "2stage" in names and "tree" in names
+        assert names.count("ring") == 1
+
+    def test_extras_prefix_matches_plain_table(self, tb):
+        gpus = tb.topology.gpu_ids()[:8]
+        plain = LoadAwareScheduler(
+            live_ctx(tb), gpus, SchemeKind.HYBRID, n_switch_candidates=2
+        )
+        extended = LoadAwareScheduler(
+            live_ctx(tb), gpus, SchemeKind.HYBRID, n_switch_candidates=2,
+            extra_schemes=("ring-2stage", "tree"),
+        )
+        n = len(plain.table.policies)
+        assert [
+            (p.name, p.mode, p.switch, p.links)
+            for p in extended.table.policies[:n]
+        ] == [
+            (p.name, p.mode, p.switch, p.links)
+            for p in plain.table.policies
+        ]
+
+    def test_extra_rows_priced_and_selectable(self, tb):
+        ctx = live_ctx(tb)
+        s = LoadAwareScheduler(
+            ctx, tb.topology.gpu_ids()[:8], SchemeKind.RING,
+            extra_schemes=("ring-2stage", "tree"),
+        )
+        by_name = {p.name: p for p in s.table.policies}
+        data = 8e6
+        assert s._estimate_time(by_name["2stage"], data) == (
+            twostage_allreduce_time(ctx, s.gpus, data)
+        )
+        assert s._estimate_time(by_name["tree"], data) == (
+            tree_allreduce_time(ctx, s.gpus, data)
+        )
+        d = s.decide(data)
+        assert d.step_time > 0.0
+
+    def test_primary_scheme_not_duplicated_by_extras(self, tb):
+        s = LoadAwareScheduler(
+            live_ctx(tb), tb.topology.gpu_ids()[:8], SchemeKind.TREE,
+            extra_schemes=("tree",),
+        )
+        assert [p.name for p in s.table.policies] == ["tree", "ring"]
+
+    def test_extras_survive_switch_death(self, tb):
+        from repro.faults import HealthRegistry
+
+        ctx = live_ctx(tb)
+        s = LoadAwareScheduler(
+            ctx, tb.topology.gpu_ids()[:8], SchemeKind.HYBRID,
+            n_switch_candidates=2,
+            extra_schemes=("ring-2stage", "tree"),
+        )
+        health = HealthRegistry()
+        for sw in tb.access_switches:
+            health.mark_down("switch", sw, now=0.0)
+        health.poll(1.0)
+        changed, degraded = s.apply_health(health)
+        assert changed and degraded
+        # Switchless routes (hybrid-ring, ring, 2stage, tree) remain.
+        d = s.decide(8e6)
+        assert d.policy.switch is None
+
+
+class TestDs2StageBaseline:
+    def test_spec_registered_outside_core_four(self):
+        assert len(ALL_SYSTEMS) == 4
+        assert DS_2STAGE not in ALL_SYSTEMS
+        assert EXTRA_SYSTEMS == (DS_2STAGE,)
+        assert SYSTEM_BY_NAME["DS-2Stage"] is DS_2STAGE
+        assert DS_2STAGE.scheme is SchemeKind.RING_2STAGE
+        assert DS_2STAGE.heterogeneous and not DS_2STAGE.online
+
+    def test_plans_and_serves(self, tb):
+        bank = CostModelBank(OPT_66B, {"A100": A100, "V100": V100})
+        trace = generate_sharegpt_trace(0.5, 15, make_rng(0))
+        system = build_system(
+            DS_2STAGE, tb, OPT_66B, bank, SLA_TESTBED_CHATBOT,
+            trace.representative_batch(8),
+            arrival_rate=0.5,
+            forced_parallel=ParallelConfig(8, 1, 8, 1),
+        )
+        assert system.plan.scheme is SchemeKind.RING_2STAGE
+        prefill_modes = {est.mode for est in system.plan.prefill.comm}
+        assert prefill_modes <= {"2stage", "none", "ring"}
+        metrics = simulate_trace(system, trace)
+        assert metrics.n_finished > 0
+        assert metrics.mean_ttft() > 0.0
+
+
+class TestEstcacheCanonicalKeys:
+    def test_kind_and_string_share_entries(self, tb):
+        ctx = ctx_for(tb, "tree")
+        cache = EstimationCache(ctx)
+        gpus = tuple(tb.topology.gpu_ids()[:8])
+        a = cache.group_step(gpus, 1e6, SchemeKind.TREE)
+        b = cache.group_step(gpus, 1e6, "tree")
+        assert a == b
+        assert cache.group_hits == 1
+
+
+class TestSchemesCli:
+    def test_lists_all_registered(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "ring", "ina_sync", "ina_async", "hybrid",
+            "ring-2stage", "tree",
+        ):
+            assert name in out
+        assert "failover" in out
+
+    def test_2tracks_topology(self, capsys):
+        assert main(
+            ["schemes", "--topology", "2tracks", "--group-size", "4",
+             "--tokens", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 GPUs" in out and "2tracks" in out
+
+    def test_quickstart_with_extra_schemes(self, capsys):
+        assert main(
+            ["quickstart", "--rate", "0.4", "--duration", "10",
+             "--schemes", "ring-2stage,tree"]
+        ) == 0
+        assert "attainment" in capsys.readouterr().out
+
+    def test_bad_extra_scheme_rejected(self):
+        with pytest.raises(KeyError):
+            main(
+                ["quickstart", "--rate", "0.4", "--duration", "5",
+                 "--schemes", "warp-drive"]
+            )
