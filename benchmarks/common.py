@@ -10,8 +10,9 @@ testbed.
 Telemetry dumps: pass ``--obs-dir DIR`` (or set ``REPRO_OBS_DIR``) and
 every bench mirrors its result table there; benches that run the
 serving simulator additionally attach an observer + flight recorder to
-each run and dump the Chrome trace, the metrics snapshot, the summary
-and the flight-recorder JSONL per (system, rate) run.
+each run and dump the Chrome trace, the metrics snapshot, the summary,
+the critical-path attribution JSON and the flight-recorder JSONL per
+(system, rate) run.
 """
 
 from __future__ import annotations
@@ -33,7 +34,7 @@ from repro.core.objective import SlaSpec
 from repro.core.plan import ParallelConfig
 from repro.llm import A100, V100, CostModelBank, ModelConfig
 from repro.network.builders import BuiltTopology
-from repro.obs import FlightRecorder, Observer
+from repro.obs import AttributionCollector, FlightRecorder, Observer
 from repro.serving import EngineConfig
 from repro.serving.metrics import SLA_ATTAINMENT_TARGET, ServingMetrics
 from repro.util.rng import make_rng
@@ -100,7 +101,9 @@ def maybe_observed_config(
     """
     if OBS_DIR is None:
         return None, None
-    observer = Observer(recorder=FlightRecorder())
+    observer = Observer(
+        recorder=FlightRecorder(), attribution=AttributionCollector()
+    )
     return EngineConfig(observer=observer, **kwargs), observer
 
 
@@ -114,6 +117,24 @@ def dump_observation(name: str, observer, metrics=None) -> None:
     )
     if observer.recorder is not None:
         observer.recorder.write_jsonl(obs_path(f"{name}-flight.jsonl"))
+    attribution = getattr(observer, "attribution", None)
+    if attribution is not None and attribution.finished:
+        payload = {
+            "n_requests": len(attribution.finished),
+            "budget": attribution.budget(),
+            "slowest": [
+                {
+                    "request_id": a.request_id,
+                    "total_s": a.total,
+                    "dominant": a.dominant[0],
+                    "detail": a.dominant_detail(),
+                    "components": dict(a.components),
+                }
+                for a in attribution.slowest(5)
+            ],
+        }
+        with open(obs_path(f"{name}-attribution.json"), "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
     if metrics is not None:
         with open(obs_path(f"{name}-summary.json"), "w") as fh:
             json.dump(metrics.summary(), fh, indent=2, sort_keys=True)

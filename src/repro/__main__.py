@@ -8,6 +8,7 @@ Commands
 ``plan``       — run the offline planner and print the chosen plan
 ``schemes``    — list registered collectives with estimated step times
 ``report``     — run an observed simulation and render the HTML report
+``explain``    — per-request critical-path waterfalls for the K slowest
 ``demo``       — chaos demo: fault-injected run -> flight JSONL + report
 
 Fault flags (``quickstart`` / ``demo``): ``--fault-plan FILE`` injects
@@ -354,8 +355,12 @@ def cmd_report(args) -> int:
         targets.append(SLOTarget("tpot", args.slo_tpot))
     if not targets:
         targets = default_slo_targets(sla)
+    from repro.obs import AttributionCollector
+
     observer = Observer(
-        slo=SLOMonitor(targets), recorder=FlightRecorder()
+        slo=SLOMonitor(targets),
+        recorder=FlightRecorder(),
+        attribution=AttributionCollector(),
     )
     system, metrics = quick_testbed(
         rate=args.rate,
@@ -380,11 +385,51 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    """Attribute the slowest requests' latency along the critical path."""
+    from repro import quick_testbed
+    from repro.obs import AttributionCollector, render_waterfalls
+    from repro.serving import EngineConfig
+
+    attribution = AttributionCollector()
+    observer = Observer(
+        slo=_slo_monitor(args),
+        recorder=(
+            FlightRecorder()
+            if getattr(args, "flight_out", None)
+            else None
+        ),
+        attribution=attribution,
+    )
+    system, metrics = quick_testbed(
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        engine_config=EngineConfig(
+            observer=observer, extra_schemes=_parse_schemes(args)
+        ),
+        fault_plan=_load_fault_plan(args),
+    )
+    if not attribution.finished:
+        print("no requests finished — nothing to explain")
+        return 1
+    print(
+        render_waterfalls(attribution, slowest=args.slowest), end=""
+    )
+    _export(observer, args)
+    return 0
+
+
 def cmd_demo(args) -> int:
     """Chaos demo: observed HeroServe run under fault injection."""
     from repro import SLA_TESTBED_CHATBOT, quick_testbed
     from repro.faults import FaultEvent, FaultPlan
-    from repro.obs import default_slo_targets, render_text, write_report
+    from repro.obs import (
+        AttributionCollector,
+        default_slo_targets,
+        render_text,
+        write_report,
+    )
     from repro.serving import EngineConfig
 
     if args.flight_out is None:
@@ -411,6 +456,7 @@ def cmd_demo(args) -> int:
     observer = Observer(
         slo=slo or SLOMonitor(default_slo_targets(SLA_TESTBED_CHATBOT)),
         recorder=FlightRecorder(),
+        attribution=AttributionCollector(),
     )
     system, metrics = quick_testbed(
         rate=args.rate,
@@ -610,6 +656,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
+        "explain",
+        help="critical-path waterfalls for the K slowest requests",
+        parents=[common, obs_flags, fault_flags],
+    )
+    p.add_argument("--rate", type=float, default=1.0)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="K",
+        help="how many of the slowest requests to explain (default 5)",
+    )
+    p.add_argument(
+        "--schemes",
+        default=None,
+        metavar="LIST",
+        help="comma-separated extra collectives for the online policy "
+        "tables (e.g. ring-2stage,tree)",
+    )
+
+    p = sub.add_parser(
         "demo",
         help="chaos demo: fault-injected run -> flight JSONL + report",
         parents=[common, obs_flags, fault_flags],
@@ -652,6 +721,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": cmd_plan,
         "schemes": cmd_schemes,
         "report": cmd_report,
+        "explain": cmd_explain,
         "demo": cmd_demo,
     }
     return handlers[args.command](args)

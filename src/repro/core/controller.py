@@ -13,6 +13,7 @@ atomically between simulation events).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -46,6 +47,11 @@ class CentralController:
     )
     _last_refresh: float = field(default=float("-inf"))
     refreshes: int = 0
+
+    def __post_init__(self) -> None:
+        #: simulator self-profiler carried by the observer (or None);
+        #: cached so the per-tick fast path skips the getattr
+        self._selfprof = getattr(self.observer, "selfprof", None)
 
     def scheduler_for(
         self, gpus: Sequence[int]
@@ -94,12 +100,25 @@ class CentralController:
         if now - self._last_refresh < self.refresh_period:
             return False
         self._last_refresh = now
-        if self.ctx.linkstate is not None:
-            self.ctx.linkstate.poll()
-        if self.health is not None:
-            self._poll_health(now)
-        for sched in self._schedulers.values():
-            sched.refresh()
+        sp = self._selfprof
+        if sp is None:
+            if self.ctx.linkstate is not None:
+                self.ctx.linkstate.poll()
+            if self.health is not None:
+                self._poll_health(now)
+            for sched in self._schedulers.values():
+                sched.refresh()
+        else:
+            t0 = time.perf_counter()
+            if self.ctx.linkstate is not None:
+                self.ctx.linkstate.poll()
+            if self.health is not None:
+                self._poll_health(now)
+            t1 = time.perf_counter()
+            sp.add("controller.poll", t1 - t0)
+            for sched in self._schedulers.values():
+                sched.refresh()
+            sp.add("controller.refresh", time.perf_counter() - t1)
         self.refreshes += 1
         return True
 

@@ -186,6 +186,12 @@ class LinkLoadTracker:
             ]
         return self._kind_name_cache
 
+    def kind_names(self) -> list[str]:
+        """Per-link kind names (``"ethernet"``, ``"nvlink"``, ...)
+        indexed by link id — the attribution layer labels congested
+        links with these."""
+        return self._kind_names()
+
     def utilization_by_kind(self) -> dict[str, tuple[float, float]]:
         """``{kind: (mean, max)}`` instantaneous utilisation per link kind.
 

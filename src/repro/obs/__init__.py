@@ -17,8 +17,24 @@ when disabled):
 * :mod:`repro.obs.recorder` — ring-buffered simulation flight recorder
   sampled on controller ticks, exported as JSONL;
 * :mod:`repro.obs.report` — folds recorder + metrics + alerts into one
-  self-contained HTML dashboard and a plain-text summary.
+  self-contained HTML dashboard and a plain-text summary;
+* :mod:`repro.obs.attribution` — per-request critical-path attribution:
+  TTFT/TPOT decomposed into named components (queue wait, allreduce by
+  policy with the congested link, KV retry inflation, ...), aggregated
+  into fleet p50/p99 budgets and CLI waterfalls;
+* :mod:`repro.obs.selfprof` — host wall-clock self-profiling of the
+  simulator's own hot path (requests-simulated/sec, per-event-tag
+  handler times) — the BENCH_engine measurement harness.
 """
+
+from repro.obs.attribution import (
+    CRITICAL_PATH_COMPONENTS,
+    AttributionCollector,
+    RequestAttribution,
+    RequestTimeline,
+    render_waterfall,
+    render_waterfalls,
+)
 
 from repro.obs.logging_config import (
     get_logger,
@@ -46,6 +62,7 @@ from repro.obs.report import (
     render_text,
     write_report,
 )
+from repro.obs.selfprof import SelfProfiler, SelfProfilingObserver
 from repro.obs.slo import (
     Alert,
     AlertSink,
@@ -58,6 +75,14 @@ from repro.obs.trace import SpanRecord, TraceRecorder
 __all__ = [
     "Alert",
     "AlertSink",
+    "AttributionCollector",
+    "CRITICAL_PATH_COMPONENTS",
+    "RequestAttribution",
+    "RequestTimeline",
+    "render_waterfall",
+    "render_waterfalls",
+    "SelfProfiler",
+    "SelfProfilingObserver",
     "SLOMonitor",
     "SLOTarget",
     "default_slo_targets",

@@ -1,0 +1,496 @@
+"""Per-request critical-path attribution.
+
+The observability layer of PRs 1-2 answers *what* the TTFT/TPOT
+percentiles are; this module answers *where the time went* for each
+request. An :class:`AttributionCollector` (attached to an
+:class:`~repro.obs.observer.Observer` via ``attribution=``) causally
+links the engine's per-request hooks — arrival, prefill/decode passes,
+all-reduce slices, KV transfers, fault retries/requeues — into one
+:class:`RequestTimeline` per ``request_id``, then, on finish, folds the
+timeline into a :class:`RequestAttribution`: the request's end-to-end
+latency decomposed along its critical path into named components.
+
+The decomposition telescopes **exactly**: every boundary is a recorded
+simulation timestamp and every compute share is derived by subtracting
+the recorded communication share from its interval, so
+
+``sum(components) == (finish - arrival) == TTFT + decode latency``
+
+holds to float rounding regardless of how the individual estimators
+price their pieces (the acceptance property of ISSUE 6).
+
+Components
+----------
+``queue_wait``        arrival -> first prefill admission
+``fault_redo``        progress lost to a server failure: first prefill
+                      admission -> the *final* (successful) admission
+``prefill_compute``   final prefill pass minus its sync share
+``prefill_allreduce`` the pass's communication share (tensor-parallel
+                      all-reduce slices + pipeline sync), with per-policy
+                      detail naming the congested link/switch each group
+                      priced through
+``kv_transfer``       the final, completed prefill->decode KV handoff
+``kv_retry_backoff``  retry/backoff inflation while decode was
+                      unreachable (plus any cancelled partial transfers)
+``decode_wait``       KV landed -> admitted into the decode batch
+``decode_compute``    decode iterations minus their sync share
+``decode_allreduce``  accumulated decode-pass communication share
+
+The congested-link detail comes from the engine's per-group decision
+records: the :class:`~repro.network.linkstate.LinkLoadTracker`
+utilisation argmax over the links the chosen
+:class:`~repro.comm.scheme.CollectiveScheme` policy's ``link_footprint``
+occupies — i.e. the contention the policy actually priced against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.request import RequestState
+
+__all__ = [
+    "CRITICAL_PATH_COMPONENTS",
+    "AllreduceShare",
+    "RequestTimeline",
+    "RequestAttribution",
+    "AttributionCollector",
+    "render_waterfall",
+    "render_waterfalls",
+]
+
+#: Canonical component order — waterfalls, report bars and the
+#: ``cp_*`` summary keys all follow it.
+CRITICAL_PATH_COMPONENTS: tuple[str, ...] = (
+    "queue_wait",
+    "fault_redo",
+    "prefill_compute",
+    "prefill_allreduce",
+    "kv_transfer",
+    "kv_retry_backoff",
+    "decode_wait",
+    "decode_compute",
+    "decode_allreduce",
+)
+
+
+@dataclass
+class AllreduceShare:
+    """One policy's accumulated sync time within a phase, plus the most
+    congested link it priced through (utilisation argmax over the
+    policy's link footprint at decision time)."""
+
+    policy: str
+    phase: str
+    seconds: float = 0.0
+    count: int = 0
+    bottleneck_link: int | None = None
+    bottleneck_kind: str = ""
+    bottleneck_util: float = 0.0
+    switch: int | None = None
+
+    def merge(
+        self,
+        dur: float,
+        link: int | None,
+        kind: str,
+        util: float,
+        switch: int | None,
+    ) -> None:
+        self.seconds += dur
+        self.count += 1
+        if link is not None and util >= self.bottleneck_util:
+            self.bottleneck_link = link
+            self.bottleneck_kind = kind
+            self.bottleneck_util = util
+        if switch is not None:
+            self.switch = switch
+
+    def describe(self) -> str:
+        """``policy via link 34 [ethernet] (peak util 87%)``."""
+        where = ""
+        if self.switch is not None:
+            where = f" via switch {self.switch}"
+        if self.bottleneck_link is not None:
+            where += (
+                f" via link {self.bottleneck_link}"
+                f" [{self.bottleneck_kind}]"
+                f" (peak util {self.bottleneck_util:.0%})"
+            )
+        return f"policy {self.policy}{where}"
+
+
+@dataclass
+class RequestTimeline:
+    """Live accumulator for one in-flight request's observer events."""
+
+    request_id: int
+    arrival: float
+    #: first prefill admission ever (survives requeues)
+    first_prefill_start: float = field(default=float("nan"))
+    #: communication share of the final prefill pass
+    prefill_comm: float = 0.0
+    #: duration of the latest (final) KV transfer attempt
+    kv_span: float = 0.0
+    #: accumulated communication share over decode iterations
+    decode_comm: float = 0.0
+    decode_iters: int = 0
+    kv_retries: int = 0
+    requeues: int = 0
+    #: ``(phase, policy) -> AllreduceShare`` sync detail
+    allreduce: dict[tuple[str, str], AllreduceShare] = field(
+        default_factory=dict
+    )
+
+    def on_prefill(self, start: float, t_comm: float) -> None:
+        if math.isnan(self.first_prefill_start):
+            self.first_prefill_start = start
+        self.prefill_comm = t_comm
+
+    def on_allreduce(
+        self,
+        phase: str,
+        policy: str,
+        dur: float,
+        link: int | None,
+        kind: str,
+        util: float,
+        switch: int | None,
+    ) -> None:
+        key = (phase, policy)
+        share = self.allreduce.get(key)
+        if share is None:
+            share = self.allreduce[key] = AllreduceShare(policy, phase)
+        share.merge(dur, link, kind, util, switch)
+
+    def on_kv_span(self, dur: float) -> None:
+        # Latest wins: a transfer cancelled by a failover is superseded
+        # by the retried one; the lost partial time lands in the
+        # kv_retry_backoff component, not in kv_transfer.
+        self.kv_span = dur
+
+    def on_decode(self, t_comm: float) -> None:
+        self.decode_comm += t_comm
+        self.decode_iters += 1
+
+    def on_requeued(self) -> None:
+        """A failure wiped this request's progress: redo from prefill.
+
+        Per-attempt accumulators reset so the fresh attempt is measured
+        cleanly; the lost wall-time shows up as ``fault_redo`` because
+        ``first_prefill_start`` is retained.
+        """
+        self.requeues += 1
+        self.prefill_comm = 0.0
+        self.kv_span = 0.0
+        self.decode_comm = 0.0
+        self.decode_iters = 0
+        self.allreduce.clear()
+
+
+def _pos(x: float) -> float:
+    """Clamp float-rounding residue (~1e-16 of the timestamp) to zero."""
+    return x if x > 0.0 else 0.0
+
+
+@dataclass(frozen=True)
+class RequestAttribution:
+    """One finished request's critical-path decomposition."""
+
+    request_id: int
+    arrival: float
+    ttft: float
+    decode_latency: float
+    components: dict[str, float]
+    allreduce: tuple[AllreduceShare, ...]
+    requeues: int
+    kv_retries: int
+    decode_iters: int
+
+    @property
+    def total(self) -> float:
+        """End-to-end latency — equals ``sum(components)`` by design."""
+        return self.ttft + self.decode_latency
+
+    @property
+    def dominant(self) -> tuple[str, float]:
+        """``(component name, seconds)`` of the largest component."""
+        name = max(self.components, key=self.components.__getitem__)
+        return name, self.components[name]
+
+    def dominant_detail(self) -> str:
+        """Human detail for the dominant component: for all-reduce
+        components the top policy and the congested link/switch it
+        priced through; for others the phase boundary semantics."""
+        name, _ = self.dominant
+        if name in ("prefill_allreduce", "decode_allreduce"):
+            phase = name.split("_", 1)[0]
+            shares = [s for s in self.allreduce if s.phase == phase]
+            if shares:
+                top = max(shares, key=lambda s: s.seconds)
+                return f"{top.describe()}, {top.seconds:.4f}s synced"
+        if name == "kv_retry_backoff":
+            return f"{self.kv_retries} retries while decode unreachable"
+        if name == "fault_redo":
+            return f"{self.requeues} requeue(s) after server failure"
+        if name == "decode_compute":
+            return f"{self.decode_iters} decode iterations"
+        return ""
+
+
+class AttributionCollector:
+    """Links observer events into per-request critical-path budgets.
+
+    Attach via ``Observer(attribution=AttributionCollector())``. The
+    default observer keeps ``attribution=None`` so existing observed
+    runs (and their summaries) stay byte-identical.
+    """
+
+    def __init__(self) -> None:
+        #: in-flight timelines keyed by request_id
+        self.live: dict[int, RequestTimeline] = {}
+        #: finished attributions, in finish order
+        self.finished: list[RequestAttribution] = []
+
+    # -- event intake (called by Observer hooks) ------------------------
+
+    def on_arrival(self, ts: float, req: "RequestState") -> None:
+        self.live[req.request_id] = RequestTimeline(
+            request_id=req.request_id, arrival=ts
+        )
+
+    def on_dropped(self, ts: float, req: "RequestState") -> None:
+        self.live.pop(req.request_id, None)
+
+    def on_prefill(
+        self, start: float, request_ids: tuple[int, ...], t_comm: float
+    ) -> None:
+        for rid in request_ids:
+            tl = self.live.get(rid)
+            if tl is not None:
+                tl.on_prefill(start, t_comm)
+
+    def on_allreduce(
+        self,
+        phase: str,
+        request_ids: tuple[int, ...],
+        policy: str,
+        dur: float,
+        bottleneck_link: int | None,
+        bottleneck_kind: str,
+        bottleneck_util: float,
+        switch: int | None,
+    ) -> None:
+        for rid in request_ids:
+            tl = self.live.get(rid)
+            if tl is not None:
+                tl.on_allreduce(
+                    phase,
+                    policy,
+                    dur,
+                    bottleneck_link,
+                    bottleneck_kind,
+                    bottleneck_util,
+                    switch,
+                )
+
+    def on_kv_span(
+        self, dur: float, request_ids: tuple[int, ...]
+    ) -> None:
+        for rid in request_ids:
+            tl = self.live.get(rid)
+            if tl is not None:
+                tl.on_kv_span(dur)
+
+    def on_kv_retry(self, request_ids: tuple[int, ...]) -> None:
+        for rid in request_ids:
+            tl = self.live.get(rid)
+            if tl is not None:
+                tl.kv_retries += 1
+
+    def on_decode(
+        self, request_ids: tuple[int, ...], t_comm: float
+    ) -> None:
+        for rid in request_ids:
+            tl = self.live.get(rid)
+            if tl is not None:
+                tl.on_decode(t_comm)
+
+    def on_requeued(self, request_ids: tuple[int, ...]) -> None:
+        for rid in request_ids:
+            tl = self.live.get(rid)
+            if tl is not None:
+                tl.on_requeued()
+
+    # -- finalisation ----------------------------------------------------
+
+    def on_finished(self, ts: float, req: "RequestState") -> None:
+        tl = self.live.pop(req.request_id, None)
+        if tl is None:
+            return
+        first_start = tl.first_prefill_start
+        if math.isnan(first_start):  # pragma: no cover - defensive
+            first_start = req.prefill_start
+        prefill_iv = req.first_token_time - req.prefill_start
+        kv_iv = req.kv_done_time - req.first_token_time
+        decode_iv = req.finish_time - req.decode_start
+        components = {
+            "queue_wait": _pos(first_start - tl.arrival),
+            "fault_redo": _pos(req.prefill_start - first_start),
+            "prefill_compute": _pos(prefill_iv - tl.prefill_comm),
+            "prefill_allreduce": _pos(min(tl.prefill_comm, prefill_iv)),
+            "kv_transfer": _pos(min(tl.kv_span, kv_iv)),
+            "kv_retry_backoff": _pos(kv_iv - tl.kv_span),
+            "decode_wait": _pos(req.decode_start - req.kv_done_time),
+            "decode_compute": _pos(decode_iv - tl.decode_comm),
+            "decode_allreduce": _pos(min(tl.decode_comm, decode_iv)),
+        }
+        self.finished.append(
+            RequestAttribution(
+                request_id=req.request_id,
+                arrival=tl.arrival,
+                ttft=req.first_token_time - tl.arrival,
+                decode_latency=req.finish_time - req.first_token_time,
+                components=components,
+                allreduce=tuple(
+                    sorted(
+                        tl.allreduce.values(),
+                        key=lambda s: s.seconds,
+                        reverse=True,
+                    )
+                ),
+                requeues=tl.requeues,
+                kv_retries=tl.kv_retries,
+                decode_iters=tl.decode_iters,
+            )
+        )
+
+    # -- fleet reductions ------------------------------------------------
+
+    def component_matrix(self) -> dict[str, np.ndarray]:
+        """``{component: per-request seconds}`` over finished requests."""
+        return {
+            name: np.array(
+                [a.components[name] for a in self.finished]
+            )
+            for name in CRITICAL_PATH_COMPONENTS
+        }
+
+    def budget(self) -> dict[str, dict[str, float]]:
+        """Fleet-wide per-component time budgets.
+
+        ``{component: {"mean": s, "p50": s, "p99": s, "share": frac}}``
+        where ``share`` is the component's fraction of total attributed
+        time — the stacked-bar weights of the report.
+        """
+        if not self.finished:
+            return {}
+        mat = self.component_matrix()
+        grand = sum(float(v.sum()) for v in mat.values())
+        out: dict[str, dict[str, float]] = {}
+        for name in CRITICAL_PATH_COMPONENTS:
+            v = mat[name]
+            out[name] = {
+                "mean": float(v.mean()),
+                "p50": float(np.percentile(v, 50)),
+                "p99": float(np.percentile(v, 99)),
+                "share": float(v.sum()) / grand if grand > 0 else 0.0,
+            }
+        return out
+
+    def fleet_summary(self) -> dict[str, float]:
+        """Flat ``cp_*`` keys merged into ``ServingMetrics.summary()``."""
+        out: dict[str, float] = {
+            "cp_requests": float(len(self.finished))
+        }
+        for name, stats in self.budget().items():
+            out[f"cp_{name}_p50_s"] = stats["p50"]
+            out[f"cp_{name}_p99_s"] = stats["p99"]
+        return out
+
+    def slowest(self, k: int = 5) -> list[RequestAttribution]:
+        """The ``k`` worst requests by end-to-end latency."""
+        return sorted(
+            self.finished, key=lambda a: a.total, reverse=True
+        )[:k]
+
+
+# ----------------------------------------------------------------------
+# text rendering (CLI `explain`)
+# ----------------------------------------------------------------------
+
+_BAR_WIDTH = 32
+
+#: Components below this are float-rounding residue of the exact
+#: telescoping decomposition, not real time — renderers skip them.
+_DISPLAY_EPS_S = 1e-6
+
+
+def render_waterfall(attr: RequestAttribution) -> str:
+    """One request's critical-path waterfall as aligned text."""
+    total = attr.total
+    flags = []
+    if attr.requeues:
+        flags.append(f"{attr.requeues} requeue(s)")
+    if attr.kv_retries:
+        flags.append(f"{attr.kv_retries} kv retries")
+    suffix = f"   [{', '.join(flags)}]" if flags else ""
+    lines = [
+        f"request {attr.request_id}  total {total:.4f}s = "
+        f"TTFT {attr.ttft:.4f}s + decode {attr.decode_latency:.4f}s"
+        f"{suffix}"
+    ]
+    for name in CRITICAL_PATH_COMPONENTS:
+        sec = attr.components[name]
+        if sec < _DISPLAY_EPS_S:
+            continue
+        frac = sec / total if total > 0 else 0.0
+        bar = "#" * max(1, round(frac * _BAR_WIDTH))
+        lines.append(
+            f"  {name:<18s} {sec:9.4f}s {frac:6.1%} |{bar}"
+        )
+    dom_name, dom_sec = attr.dominant
+    detail = attr.dominant_detail()
+    detail = f" — {detail}" if detail else ""
+    lines.append(
+        f"  dominant: {dom_name} ({dom_sec:.4f}s,"
+        f" {dom_sec / total if total > 0 else 0.0:.1%}){detail}"
+    )
+    if attr.allreduce:
+        top = attr.allreduce[0]
+        lines.append(
+            f"  comm path: {top.describe()} — {top.seconds:.4f}s "
+            f"over {top.count} pass(es)"
+        )
+    return "\n".join(lines)
+
+
+def render_waterfalls(
+    collector: AttributionCollector, slowest: int = 5
+) -> str:
+    """Fleet budget table + waterfalls for the ``slowest`` K requests."""
+    if not collector.finished:
+        return "no finished requests to attribute"
+    lines = [
+        f"critical-path budget over {len(collector.finished)} "
+        "finished requests:",
+        f"  {'component':<18s} {'p50':>10s} {'p99':>10s} {'share':>7s}",
+    ]
+    for name, stats in collector.budget().items():
+        if stats["p99"] < _DISPLAY_EPS_S:
+            continue
+        lines.append(
+            f"  {name:<18s} {stats['p50']:9.4f}s {stats['p99']:9.4f}s "
+            f"{stats['share']:6.1%}"
+        )
+    lines.append("")
+    lines.append(f"slowest {slowest} requests:")
+    for attr in collector.slowest(slowest):
+        lines.append("")
+        lines.append(render_waterfall(attr))
+    return "\n".join(lines)

@@ -29,7 +29,9 @@ from repro.obs.trace import REQUEST_PID, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.network.linkstate import LinkLoadTracker
+    from repro.obs.attribution import AttributionCollector
     from repro.obs.recorder import FlightRecorder
+    from repro.obs.selfprof import SelfProfiler
     from repro.obs.slo import SLOMonitor
     from repro.serving.engine import ServingSimulator
     from repro.serving.request import RequestState
@@ -70,6 +72,8 @@ class Observer:
         max_trace_events: int = 1_000_000,
         slo: "SLOMonitor | None" = None,
         recorder: "FlightRecorder | None" = None,
+        attribution: "AttributionCollector | None" = None,
+        selfprof: "SelfProfiler | None" = None,
     ) -> None:
         self.trace = trace or TraceRecorder(max_events=max_trace_events)
         self.metrics = metrics or MetricsRegistry()
@@ -79,6 +83,11 @@ class Observer:
         self.slo = slo
         #: optional flight recorder, sampled on ``engine_tick``
         self.recorder = recorder
+        #: optional per-request critical-path attribution collector
+        self.attribution = attribution
+        #: optional simulator self-profiler (host wall-clock hot path);
+        #: read by the engine directly, independent of ``enabled``
+        self.selfprof = selfprof
 
         m = self.metrics
         self._slo_alerts = m.counter(
@@ -133,6 +142,8 @@ class Observer:
 
     def request_arrival(self, ts: float, req: "RequestState") -> None:
         self._requests.inc(event="arrival")
+        if self.attribution is not None:
+            self.attribution.on_arrival(ts, req)
         self.trace.instant(
             "requests",
             "arrival",
@@ -144,6 +155,8 @@ class Observer:
 
     def request_dropped(self, ts: float, req: "RequestState") -> None:
         self._requests.inc(event="dropped")
+        if self.attribution is not None:
+            self.attribution.on_dropped(ts, req)
         self.trace.instant(
             "requests", "dropped", ts, request_id=req.request_id
         )
@@ -155,10 +168,18 @@ class Observer:
         self._tpot.observe(req.tpot)
         if self.slo is not None:
             self.slo.record_request(ts, req)
+        if self.attribution is not None:
+            self.attribution.on_finished(ts, req)
         t = self.trace
         rid = req.request_id
         _span_if_valid(
-            t, "requests", "queued", req.arrival_time, req.prefill_start, rid
+            t,
+            "requests",
+            "queued",
+            req.arrival_time,
+            req.prefill_start,
+            rid,
+            request_id=rid,
         )
         _span_if_valid(
             t,
@@ -167,6 +188,7 @@ class Observer:
             req.prefill_start,
             req.first_token_time,
             rid,
+            request_id=rid,
             input_len=req.input_len,
         )
         _span_if_valid(
@@ -176,6 +198,7 @@ class Observer:
             req.first_token_time,
             req.kv_done_time,
             rid,
+            request_id=rid,
         )
         _span_if_valid(
             t,
@@ -184,6 +207,7 @@ class Observer:
             req.kv_done_time,
             req.decode_start,
             rid,
+            request_id=rid,
         )
         _span_if_valid(
             t,
@@ -192,6 +216,7 @@ class Observer:
             req.decode_start,
             req.finish_time,
             rid,
+            request_id=rid,
             output_len=req.output_len,
             ttft_s=req.ttft,
             tpot_s=req.tpot,
@@ -202,9 +227,12 @@ class Observer:
     def prefill_span(
         self, start: float, dur: float, n_requests: int, tokens: int,
         t_compute: float, t_comm: float,
+        request_ids: tuple[int, ...] = (),
     ) -> None:
         self._prefill_batches.inc()
         self._batch_size.observe(n_requests, phase="prefill")
+        if self.attribution is not None:
+            self.attribution.on_prefill(start, request_ids, t_comm)
         self.trace.complete(
             "prefill",
             f"prefill[{n_requests}r/{tokens}t]",
@@ -214,14 +242,18 @@ class Observer:
             tokens=tokens,
             t_compute_s=t_compute,
             t_comm_s=t_comm,
+            request_ids=list(request_ids),
         )
 
     def decode_span(
         self, start: float, dur: float, q: int, context: int,
         t_compute: float, t_comm: float,
+        request_ids: tuple[int, ...] = (),
     ) -> None:
         self._decode_iters.inc()
         self._batch_size.observe(q, phase="decode")
+        if self.attribution is not None:
+            self.attribution.on_decode(request_ids, t_comm)
         self.trace.complete(
             "decode",
             f"decode[q={q}]",
@@ -231,12 +263,16 @@ class Observer:
             context_tokens=context,
             t_compute_s=t_compute,
             t_comm_s=t_comm,
+            request_ids=list(request_ids),
         )
 
     def kv_transfer_span(
-        self, start: float, dur: float, n_requests: int, tokens: int
+        self, start: float, dur: float, n_requests: int, tokens: int,
+        request_ids: tuple[int, ...] = (),
     ) -> None:
         self._kv_transfers.inc()
+        if self.attribution is not None:
+            self.attribution.on_kv_span(dur, request_ids)
         self.trace.complete(
             "kv_transfer",
             f"kv[{n_requests}r/{tokens}t]",
@@ -244,6 +280,7 @@ class Observer:
             dur,
             n_requests=n_requests,
             tokens=tokens,
+            request_ids=list(request_ids),
         )
 
     def allreduce_span(
@@ -256,11 +293,29 @@ class Observer:
         mode: str,
         steps: int,
         data_bytes: float,
+        request_ids: tuple[int, ...] = (),
+        bottleneck_link: int | None = None,
+        bottleneck_kind: str = "",
+        bottleneck_util: float = 0.0,
+        switch: int | None = None,
     ) -> None:
         """One group's synchronisation slice of a pass, policy-labelled.
 
         Nested (by timestamps) inside the owning prefill/decode span.
+        ``bottleneck_*`` names the most utilised link of the policy's
+        footprint at decision time — the congestion it priced against.
         """
+        if self.attribution is not None:
+            self.attribution.on_allreduce(
+                phase,
+                request_ids,
+                policy,
+                dur,
+                bottleneck_link,
+                bottleneck_kind,
+                bottleneck_util,
+                switch,
+            )
         self.trace.complete(
             "allreduce",
             f"allreduce:{policy}",
@@ -272,6 +327,11 @@ class Observer:
             mode=mode,
             steps=steps,
             data_bytes=data_bytes,
+            request_ids=list(request_ids),
+            bottleneck_link=bottleneck_link,
+            bottleneck_kind=bottleneck_kind,
+            bottleneck_util=bottleneck_util,
+            switch=switch,
         )
 
     def policy_selected(
@@ -396,25 +456,61 @@ class Observer:
                 direction=direction,
             )
 
-    def kv_retry(self, ts: float, attempt: int, delay: float) -> None:
+    def kv_retry(
+        self, ts: float, attempt: int, delay: float,
+        request_ids: tuple[int, ...] = (),
+    ) -> None:
         self._fault_counter(
             "_kv_retries",
             "repro_kv_transfer_retries_total",
             "KV transfers deferred by backoff while decode unreachable",
         ).inc()
+        if self.attribution is not None:
+            self.attribution.on_kv_retry(request_ids)
         self.trace.instant(
-            "faults", "kv_retry", ts, attempt=attempt, delay_s=delay
+            "faults",
+            "kv_retry",
+            ts,
+            attempt=attempt,
+            delay_s=delay,
+            request_ids=list(request_ids),
         )
 
-    def requests_requeued(self, ts: float, n: int) -> None:
+    def requests_requeued(
+        self, ts: float, n: int, request_ids: tuple[int, ...] = ()
+    ) -> None:
         self._fault_counter(
             "_requeued",
             "repro_requests_requeued_total",
             "requests that lost progress to a failure and redo prefill",
         ).inc(n)
-        self.trace.instant("faults", "requeue", ts, n_requests=n)
+        if self.attribution is not None:
+            self.attribution.on_requeued(request_ids)
+        self.trace.instant(
+            "faults",
+            "requeue",
+            ts,
+            n_requests=n,
+            request_ids=list(request_ids),
+        )
         if self.recorder is not None:
             self.recorder.log_event(ts, "requests_requeued", n=n)
+
+    # -- run boundary --------------------------------------------------------
+
+    def run_finished(self, ts: float, sim: "ServingSimulator") -> None:
+        """End of a standalone engine run: attach derived summaries.
+
+        When an attribution collector is present its fleet-wide
+        critical-path budget is folded into the run's
+        :class:`~repro.serving.metrics.ServingMetrics` (``cp_*`` summary
+        keys). Absent one, this hook changes nothing — summaries stay
+        byte-identical.
+        """
+        if self.attribution is not None and self.attribution.finished:
+            sim.metrics.attribution_stats = (
+                self.attribution.fleet_summary()
+            )
 
     # -- profiling ----------------------------------------------------------
 
@@ -464,6 +560,8 @@ class NullObserver:
     profiler = NULL_PROFILER
     slo = None
     recorder = None
+    attribution = None
+    selfprof = None
 
     def request_arrival(self, ts, req) -> None:
         pass
@@ -512,10 +610,13 @@ class NullObserver:
     def failover(self, ts, group, direction) -> None:
         pass
 
-    def kv_retry(self, ts, attempt, delay) -> None:
+    def kv_retry(self, ts, attempt, delay, request_ids=()) -> None:
         pass
 
-    def requests_requeued(self, ts, n) -> None:
+    def requests_requeued(self, ts, n, request_ids=()) -> None:
+        pass
+
+    def run_finished(self, ts, sim) -> None:
         pass
 
     def phase(self, name: str):

@@ -10,7 +10,10 @@ custom properties on ``prefers-color-scheme``. The same data renders as
 a plain-text summary for terminals and CI logs.
 
 Sections: SLO attainment table (per-target burn rates and status),
-alert log, cluster timeline sparkline tiles (queues, KV, per-kind link
+alert log, critical-path attribution (stacked per-component budget bars
+and the slowest-request table, when an
+:class:`~repro.obs.attribution.AttributionCollector` was attached),
+cluster timeline sparkline tiles (queues, KV, per-kind link
 utilisation, INA switch pressure), top-k busiest links, policy-flip
 timeline, and the per-group policy selection table.
 """
@@ -56,6 +59,7 @@ def build_report_data(
         "summary": {},
         "slo": None,
         "flight": None,
+        "attribution": None,
         "policy_selections": [],
     }
     if serving_metrics is not None:
@@ -119,6 +123,28 @@ def build_report_data(
     slo = getattr(observer, "slo", None)
     if slo is not None:
         data["slo"] = slo.snapshot(now)
+
+    attribution = getattr(observer, "attribution", None)
+    if attribution is not None and attribution.finished:
+        data["attribution"] = {
+            "n_requests": len(attribution.finished),
+            "budget": attribution.budget(),
+            "slowest": [
+                {
+                    "request_id": a.request_id,
+                    "total_s": a.total,
+                    "ttft_s": a.ttft,
+                    "decode_s": a.decode_latency,
+                    "dominant": a.dominant[0],
+                    "dominant_s": a.dominant[1],
+                    "detail": a.dominant_detail(),
+                    "components": dict(a.components),
+                    "requeues": a.requeues,
+                    "kv_retries": a.kv_retries,
+                }
+                for a in attribution.slowest(5)
+            ],
+        }
 
     metrics = getattr(observer, "metrics", None)
     if metrics is not None:
@@ -222,6 +248,8 @@ _CSS = """
   --muted: #898781; --grid: #e1e0d9; --baseline: #c3c2b7;
   --border: rgba(11,11,11,0.10);
   --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #8f5fd6; --series-5: #d6a21f; --series-6: #d64a8a;
+  --series-7: #2ab5c9; --series-8: #7a8a2a; --series-9: #8a8a8a;
   --status-good: #0ca30c; --status-warning: #fab219;
   --status-critical: #d03b3b;
   font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
@@ -235,8 +263,20 @@ _CSS = """
     --muted: #898781; --grid: #2c2c2a; --baseline: #383835;
     --border: rgba(255,255,255,0.10);
     --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #9a6ee0; --series-5: #c9981f; --series-6: #e0569a;
+    --series-7: #31aec1; --series-8: #8a9a35; --series-9: #9a9a9a;
   }
 }
+.viz-root .cpbar { display: flex; width: 100%; max-width: 640px;
+  height: 18px; border-radius: 4px; overflow: hidden;
+  border: 1px solid var(--border); margin: 4px 0 10px; }
+.viz-root .cpbar span { display: block; height: 100%; }
+.viz-root .cplegend { display: flex; flex-wrap: wrap; gap: 4px 14px;
+  font-size: 12px; color: var(--text-secondary); margin: 2px 0 14px; }
+.viz-root .cplegend .key { display: inline-block; width: 10px;
+  height: 10px; border-radius: 2px; margin-right: 4px; }
+.viz-root .cpbar-label { font-size: 12px;
+  color: var(--text-secondary); }
 .viz-root h1 { font-size: 20px; margin: 0 0 2px; }
 .viz-root h2 { font-size: 14px; margin: 28px 0 10px;
   color: var(--text-secondary); text-transform: uppercase;
@@ -465,6 +505,100 @@ def _policy_tables(data: dict) -> str:
     return "".join(out)
 
 
+#: Stable component -> CSS series-colour assignment for the stacked bars.
+_CP_COLORS = {
+    "queue_wait": "var(--series-5)",
+    "fault_redo": "var(--status-critical)",
+    "prefill_compute": "var(--series-1)",
+    "prefill_allreduce": "var(--series-2)",
+    "kv_transfer": "var(--series-7)",
+    "kv_retry_backoff": "var(--series-6)",
+    "decode_wait": "var(--series-9)",
+    "decode_compute": "var(--series-3)",
+    "decode_allreduce": "var(--series-4)",
+}
+
+
+def _cp_stacked_bar(budget: dict, stat: str) -> str:
+    """One horizontal stacked bar over the per-component ``stat``."""
+    total = sum(s.get(stat, 0.0) for s in budget.values())
+    if total <= 0:
+        return ""
+    segs = []
+    for name, stats in budget.items():
+        v = stats.get(stat, 0.0)
+        frac = v / total
+        if frac < 0.001:
+            continue
+        tip = html.escape(f"{name}: {v:.4f}s ({frac:.1%})")
+        segs.append(
+            f'<span style="width:{frac * 100:.2f}%;'
+            f'background:{_CP_COLORS.get(name, "var(--muted)")}" '
+            f'title="{tip}"></span>'
+        )
+    return (
+        f'<div class="cpbar-label">{stat} budget '
+        f"({total:.3f}s total)</div>"
+        f'<div class="cpbar">{"".join(segs)}</div>'
+    )
+
+
+def _attribution_section(attribution: dict | None) -> str:
+    """Stacked per-component budget bars + the slowest-request table."""
+    if not attribution:
+        return (
+            '<p class="empty">attribution disabled — attach an '
+            "AttributionCollector (or run `python -m repro explain`) "
+            "to decompose per-request critical paths</p>"
+        )
+    budget = attribution.get("budget") or {}
+    legend = "".join(
+        f'<span><span class="key" style="background:'
+        f'{_CP_COLORS.get(name, "var(--muted)")}"></span>'
+        f"{html.escape(name)}</span>"
+        for name, stats in budget.items()
+        if stats.get("share", 0.0) >= 0.001
+    )
+    bars = (
+        f'<p class="sub">over {attribution["n_requests"]} finished '
+        "requests; segment = component share of the per-request "
+        "p50/p99 time budget</p>"
+        f"{_cp_stacked_bar(budget, 'p50')}"
+        f"{_cp_stacked_bar(budget, 'p99')}"
+        f'<div class="cplegend">{legend}</div>'
+    )
+    rows = []
+    for r in attribution.get("slowest") or []:
+        flags = []
+        if r.get("requeues"):
+            flags.append(f"{r['requeues']} requeue")
+        if r.get("kv_retries"):
+            flags.append(f"{r['kv_retries']} kv-retry")
+        detail = r.get("detail") or ""
+        if flags:
+            detail = f"{detail} [{', '.join(flags)}]" if detail else (
+                f"[{', '.join(flags)}]"
+            )
+        rows.append(
+            "<tr>"
+            f"<td class='num'>{r['request_id']}</td>"
+            f"<td class='num'>{r['total_s']:.3f}s</td>"
+            f"<td class='num'>{r['ttft_s']:.3f}s</td>"
+            f"<td>{html.escape(r['dominant'])}</td>"
+            f"<td class='num'>{r['dominant_s']:.3f}s</td>"
+            f"<td>{html.escape(detail)}</td>"
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr>"
+        "<th class='num'>request</th><th class='num'>total</th>"
+        "<th class='num'>TTFT</th><th>dominant component</th>"
+        "<th class='num'>time</th><th>detail</th>"
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+    return bars + "<h2>Slowest requests</h2>" + table
+
+
 def _summary_tiles(summary: dict) -> str:
     if not summary:
         return ""
@@ -507,6 +641,8 @@ def render_html(data: dict[str, Any]) -> str:
         f"{_slo_table(data.get('slo'))}"
         "<h2>Alert log</h2>"
         f"{_alert_table(data.get('slo'))}"
+        "<h2>Critical-path attribution</h2>"
+        f"{_attribution_section(data.get('attribution'))}"
         "<h2>Cluster timeline</h2>"
         f"{evicted_note}"
         f"{_timeline_tiles(flight)}"
@@ -573,6 +709,28 @@ def render_text(data: dict[str, Any]) -> str:
             lines.append(f"  {a['time']:8.1f}s {a['message']}")
         if len(alerts) > 10:
             lines.append(f"  ... and {len(alerts) - 10} more")
+    attribution = data.get("attribution")
+    if attribution:
+        budget = attribution.get("budget") or {}
+        lines.append(
+            "critical path "
+            f"({attribution['n_requests']} requests attributed):"
+        )
+        for name, stats in budget.items():
+            if stats.get("p99", 0.0) < 1e-6:
+                continue
+            lines.append(
+                f"  {name:20s} p50 {stats['p50']:.4f}s  "
+                f"p99 {stats['p99']:.4f}s  "
+                f"share {stats['share']:.1%}"
+            )
+        for r in attribution.get("slowest") or []:
+            lines.append(
+                f"  slowest req {r['request_id']}: "
+                f"{r['total_s']:.3f}s total, dominant "
+                f"{r['dominant']} {r['dominant_s']:.3f}s"
+                + (f" ({r['detail']})" if r.get("detail") else "")
+            )
     flight = data.get("flight")
     if flight:
         lines.append(

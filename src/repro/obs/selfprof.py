@@ -1,0 +1,166 @@
+"""Simulator self-profiling: where does the *simulator's* wall-clock go?
+
+Distinct from :mod:`repro.obs.profile` (planner phase timers, lock-based)
+and from the simulation-time spans of :mod:`repro.obs.trace`: a
+:class:`SelfProfiler` measures the engine's own Python hot path in
+**host** wall-clock — per-tag event-handler time from the
+:class:`~repro.sim.eventqueue.EventQueue`, plus named engine sections
+(batch formation, link-load bookkeeping, controller ticks) — and reduces
+them to requests-simulated/sec and events/sec. This is the measurement
+harness the ROADMAP's engine-vectorization work is gated on
+(``benchmarks/results/BENCH_engine.json``).
+
+Attach it through the observer handle: ``Observer(selfprof=...)`` for a
+fully observed run, or :class:`SelfProfilingObserver` — a
+:class:`~repro.obs.observer.NullObserver` carrying only the profiler —
+when the measurement itself must not pay span-emission overhead (the
+benchmark configuration). The engine reads ``observer.selfprof``
+independently of ``observer.enabled``, so the Null-based variant keeps
+simulation *results* byte-identical while still timing the hot path.
+
+Accumulators are plain dict-of-list counters without locks: the engine
+is single-threaded and the per-event overhead must stay at two
+``perf_counter`` calls plus one dict lookup.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.observer import NullObserver
+
+__all__ = ["SelfProfiler", "SelfProfilingObserver"]
+
+
+class SelfProfiler:
+    """Lock-free wall-clock accumulator for the simulator hot path."""
+
+    __slots__ = (
+        "sections",
+        "handlers",
+        "wall_s",
+        "events_fired",
+        "requests_finished",
+        "runs",
+        "_t0",
+    )
+
+    def __init__(self) -> None:
+        #: named engine/controller sections: ``{name: [total_s, count]}``
+        self.sections: dict[str, list] = {}
+        #: per-event-tag handler time: ``{tag: [total_s, count]}``
+        self.handlers: dict[str, list] = {}
+        self.wall_s = 0.0
+        self.events_fired = 0
+        self.requests_finished = 0
+        self.runs = 0
+        self._t0: float | None = None
+
+    # -- accumulation (hot) ----------------------------------------------
+
+    def add(self, name: str, dt: float) -> None:
+        """Accumulate one named section occurrence."""
+        acc = self.sections.get(name)
+        if acc is None:
+            self.sections[name] = [dt, 1]
+        else:
+            acc[0] += dt
+            acc[1] += 1
+
+    def event(self, tag: str, dt: float) -> None:
+        """Accumulate one event-handler firing (EventQueue callback)."""
+        acc = self.handlers.get(tag)
+        if acc is None:
+            self.handlers[tag] = [dt, 1]
+        else:
+            acc[0] += dt
+            acc[1] += 1
+
+    # -- run bracketing ----------------------------------------------------
+
+    def run_started(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def run_finished(self, n_finished: int, events_fired: int) -> None:
+        if self._t0 is not None:
+            self.wall_s += time.perf_counter() - self._t0
+            self._t0 = None
+        self.requests_finished += n_finished
+        self.events_fired += events_fired
+        self.runs += 1
+
+    # -- reductions --------------------------------------------------------
+
+    @property
+    def requests_per_s(self) -> float:
+        """Requests simulated per host wall-clock second."""
+        return (
+            self.requests_finished / self.wall_s
+            if self.wall_s > 0
+            else 0.0
+        )
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events_fired / self.wall_s if self.wall_s > 0 else 0.0
+
+    @staticmethod
+    def _table(acc: dict[str, list]) -> dict[str, dict[str, float]]:
+        return {
+            name: {"total_s": total, "count": float(count)}
+            for name, (total, count) in sorted(
+                acc.items(), key=lambda kv: kv[1][0], reverse=True
+            )
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-ready profile: throughput plus section/handler tables."""
+        return {
+            "runs": self.runs,
+            "wall_s": self.wall_s,
+            "events_fired": self.events_fired,
+            "events_per_s": self.events_per_s,
+            "requests_finished": self.requests_finished,
+            "requests_per_s": self.requests_per_s,
+            "sections": self._table(self.sections),
+            "event_handlers": self._table(self.handlers),
+        }
+
+    def report(self, title: str = "engine self-profile") -> str:
+        """Aligned text rendering of :meth:`snapshot`."""
+        lines = [
+            f"{title}: {self.requests_finished} requests / "
+            f"{self.events_fired} events in {self.wall_s:.3f}s wall "
+            f"({self.requests_per_s:.0f} req/s, "
+            f"{self.events_per_s:.0f} ev/s)"
+        ]
+        for label, acc in (
+            ("event handlers", self.handlers),
+            ("sections", self.sections),
+        ):
+            if not acc:
+                continue
+            lines.append(f"  {label}:")
+            for name, (total, count) in sorted(
+                acc.items(), key=lambda kv: kv[1][0], reverse=True
+            ):
+                mean_us = total / count * 1e6 if count else 0.0
+                lines.append(
+                    f"    {name:<24s} {total * 1e3:9.2f} ms "
+                    f"x{count:<8d} ({mean_us:7.1f} us/call)"
+                )
+        return "\n".join(lines)
+
+
+class SelfProfilingObserver(NullObserver):
+    """A NullObserver that carries only a :class:`SelfProfiler`.
+
+    ``enabled`` stays ``False``: no spans, no metrics, no behaviour
+    change — the simulation result is byte-identical to an unobserved
+    run — but the engine still times its hot path through
+    ``observer.selfprof``. This is the benchmark configuration: the
+    throughput number measures the simulator, not the telemetry.
+    """
+
+    def __init__(self, selfprof: SelfProfiler | None = None) -> None:
+        self.selfprof = selfprof or SelfProfiler()

@@ -25,6 +25,7 @@ Communication scheduling per system:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -123,6 +124,10 @@ class ServingSimulator:
         self.controller = controller
         self.cfg = config or EngineConfig()
         self.obs = self.cfg.observer or NULL_OBSERVER
+        #: simulator self-profiler (host wall-clock); carried by the
+        #: observer but read independently of ``obs.enabled`` so the
+        #: benchmark can time the hot path without span overhead
+        self._sp = getattr(self.obs, "selfprof", None)
         self._poll_counter = 0
 
         # A fleet shares one queue (and one link tracker) across
@@ -214,8 +219,10 @@ class ServingSimulator:
         bandwidths.
 
         ``decisions`` carries per-group (policy, mode, step time, steps,
-        bytes) records for the observability layer; it is built only
-        when an observer is attached.
+        bytes) records for the observability layer — including the most
+        utilised link of the policy's footprint at decision time, the
+        congestion it priced against — and is built only when an
+        observer is attached.
         """
         data = allreduce_bytes(self.model, tokens)
         steps = sync_steps_per_pass(self.model, len(stages))
@@ -223,12 +230,18 @@ class ServingSimulator:
         footprints: list[tuple[tuple[int, ...], float]] = []
         decisions: list[dict] = []
         observing = self.obs.enabled
+        if observing:
+            # Decision-time congestion view: loads registered by earlier
+            # passes, before this pass adds its own.
+            ls_util = self.ctx.linkstate.utilization()
+            ls_kinds = self.ctx.linkstate.kind_names()
         contention = self._contention()
         for grp, planned in zip(stages, plan_comm):
             if self.controller is not None and len(grp) > 1:
                 dec = self.controller.decide(grp, data)
                 step_t, links = dec.step_time, dec.links
                 policy_name, mode = dec.policy.name, dec.policy.mode
+                switch = dec.policy.switch
                 if (
                     self.faults is not None
                     and dec.policy.switch is not None
@@ -258,6 +271,7 @@ class ServingSimulator:
                     step_t *= INA_TIMEOUT_FACTOR
                 links = planned.links
                 mode = planned.mode
+                switch = planned.ina_switch
                 policy_name = (
                     f"{mode}@{planned.ina_switch}"
                     if planned.ina_switch is not None
@@ -272,6 +286,16 @@ class ServingSimulator:
             if links:
                 footprints.append((tuple(links), float(data * steps)))
             if observing:
+                b_link = None
+                b_kind = ""
+                b_util = 0.0
+                if links:
+                    ids = np.asarray(links, dtype=np.int64)
+                    u = ls_util[ids]
+                    j = int(u.argmax())
+                    b_link = int(ids[j])
+                    b_util = float(u[j])
+                    b_kind = ls_kinds[b_link]
                 decisions.append(
                     {
                         "group": tuple(grp),
@@ -280,6 +304,10 @@ class ServingSimulator:
                         "step_time": step_t,
                         "steps": steps,
                         "data_bytes": float(data),
+                        "switch": switch,
+                        "bottleneck_link": b_link,
+                        "bottleneck_kind": b_kind,
+                        "bottleneck_util": b_util,
                     }
                 )
         if len(stages) > 1:
@@ -287,7 +315,11 @@ class ServingSimulator:
         return total, footprints, decisions
 
     def _emit_allreduce_spans(
-        self, phase: str, comm_start: float, decisions: list[dict]
+        self,
+        phase: str,
+        comm_start: float,
+        decisions: list[dict],
+        request_ids: tuple[int, ...] = (),
     ) -> None:
         """Lay each group's sync slice inside the owning pass span.
 
@@ -308,6 +340,11 @@ class ServingSimulator:
                 d["mode"],
                 d["steps"],
                 d["data_bytes"],
+                request_ids=request_ids,
+                bottleneck_link=d["bottleneck_link"],
+                bottleneck_kind=d["bottleneck_kind"],
+                bottleneck_util=d["bottleneck_util"],
+                switch=d["switch"],
             )
             t += dur
 
@@ -317,18 +354,26 @@ class ServingSimulator:
         duration: float,
     ) -> list[int]:
         """Register each footprint's mean rate for the pass duration."""
+        sp = self._sp
+        t0 = time.perf_counter() if sp is not None else 0.0
         handles = []
         ls = self.ctx.linkstate
         for links, total_bytes in footprints:
             rate = total_bytes / max(duration, 1e-9)
             handles.append(ls.register(list(links), rate))
+        if sp is not None:
+            sp.add("engine.link_load", time.perf_counter() - t0)
         return handles
 
     def _release(self, handles: list[int]) -> None:
         # Tolerant release: failover cancellation may race an already
         # completed pass, and a double release must not kill the run.
+        sp = self._sp
+        t0 = time.perf_counter() if sp is not None else 0.0
         for h in handles:
             self.ctx.linkstate.release(h, strict=False)
+        if sp is not None:
+            sp.add("engine.link_load", time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     # prefill
@@ -357,7 +402,13 @@ class ServingSimulator:
     def _try_start_prefill(self) -> None:
         if self.prefill_busy or self._prefill_down or not self.prefill_queue:
             return
-        batch = self._form_prefill_batch()
+        sp = self._sp
+        if sp is None:
+            batch = self._form_prefill_batch()
+        else:
+            t0 = time.perf_counter()
+            batch = self._form_prefill_batch()
+            sp.add("engine.batch_formation", time.perf_counter() - t0)
         self.prefill_busy = True
         spec = BatchSpec(
             tuple(r.input_len for r in batch),
@@ -380,10 +431,14 @@ class ServingSimulator:
         self.metrics.prefill_batches += 1
         if self.obs.enabled:
             now = self.queue.now
+            rids = tuple(r.request_id for r in batch)
             self.obs.prefill_span(
-                now, duration, len(batch), spec.k_in, t_c, t_n
+                now, duration, len(batch), spec.k_in, t_c, t_n,
+                request_ids=rids,
             )
-            self._emit_allreduce_spans("prefill", now + t_c, decisions)
+            self._emit_allreduce_spans(
+                "prefill", now + t_c, decisions, rids
+            )
         ev = self.queue.schedule(
             duration, self._prefill_done, batch, spec, handles,
             tag="prefill_done",
@@ -426,7 +481,12 @@ class ServingSimulator:
             delay = self.faults.backoff(attempt)
             self.faults.counters.kv_retries += 1
             if self.obs.enabled:
-                self.obs.kv_retry(now, attempt, delay)
+                self.obs.kv_retry(
+                    now,
+                    attempt,
+                    delay,
+                    request_ids=tuple(r.request_id for r in batch),
+                )
             self.queue.schedule(
                 delay,
                 self._start_kv_transfer,
@@ -465,7 +525,10 @@ class ServingSimulator:
                         self.ctx.linkstate.register(links, nbytes / t_f)
                     )
             if self.obs.enabled:
-                self.obs.kv_transfer_span(now, t_f, len(batch), spec.k_in)
+                self.obs.kv_transfer_span(
+                    now, t_f, len(batch), spec.k_in,
+                    request_ids=tuple(r.request_id for r in batch),
+                )
             ev = self.queue.schedule(
                 t_f, self._kv_done, batch, handles, tag="kv_done"
             )
@@ -534,7 +597,13 @@ class ServingSimulator:
     def _try_start_decode(self) -> None:
         if self.decode_busy or self._decode_down:
             return
-        self._admit_decode()
+        sp = self._sp
+        if sp is None:
+            self._admit_decode()
+        else:
+            t0 = time.perf_counter()
+            self._admit_decode()
+            sp.add("engine.batch_formation", time.perf_counter() - t0)
         if not self.decode_active:
             return
         self.decode_busy = True
@@ -555,9 +624,12 @@ class ServingSimulator:
         self.metrics.decode_iterations += 1
         if self.obs.enabled:
             now = self.queue.now
-            self.obs.decode_span(now, duration, q, context, t_c, t_n)
+            rids = tuple(r.request_id for r in self.decode_active)
+            self.obs.decode_span(
+                now, duration, q, context, t_c, t_n, request_ids=rids
+            )
             self._emit_allreduce_spans(
-                "decode", now + t_c, self._decode_decisions
+                "decode", now + t_c, self._decode_decisions, rids
             )
         ev = self.queue.schedule(
             duration, self._decode_iter_done, handles, tag="decode_iter"
@@ -686,7 +758,11 @@ class ServingSimulator:
             self.faults.counters.requests_lost += len(lost)
             self.faults.counters.prefill_redos += len(lost)
         if self.obs.enabled:
-            self.obs.requests_requeued(self.queue.now, len(lost))
+            self.obs.requests_requeued(
+                self.queue.now,
+                len(lost),
+                request_ids=tuple(r.request_id for r in lost),
+            )
         # Victims keep their arrival priority: redo from the queue front.
         self.prefill_queue[:0] = lost
         self._try_start_prefill()
@@ -696,6 +772,15 @@ class ServingSimulator:
     # ------------------------------------------------------------------
 
     def _tick_controller(self) -> None:
+        sp = self._sp
+        if sp is None:
+            self._tick_controller_inner()
+        else:
+            t0 = time.perf_counter()
+            self._tick_controller_inner()
+            sp.add("engine.controller_tick", time.perf_counter() - t0)
+
+    def _tick_controller_inner(self) -> None:
         if self.controller is not None:
             refreshed = self.controller.tick(self.queue.now)
             if self.obs.enabled:
@@ -745,9 +830,18 @@ class ServingSimulator:
                 tr.arrival_time, self._on_arrival, req, tag="arrival"
             )
         horizon = self.trace.duration + self.cfg.drain_time
-        self.queue.run(until=horizon)
+        sp = self._sp
+        if sp is not None:
+            sp.run_started()
+        self.queue.run(until=horizon, profiler=sp)
+        if sp is not None:
+            sp.run_finished(
+                self.metrics.n_finished, self.queue.events_fired
+            )
         if self.faults is not None:
             self.faults.finalize(self.queue.now, self.metrics)
+        if self.obs.enabled:
+            self.obs.run_finished(self.queue.now, self)
         log.info(
             "run complete: %d finished, %d prefill batches, "
             "%d decode iterations, %d events fired",

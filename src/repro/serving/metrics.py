@@ -87,6 +87,11 @@ class ServingMetrics:
     dropped: int = 0
     #: set by the fault injector when a non-empty fault plan ran
     fault_stats: FaultStats | None = None
+    #: flat ``cp_*`` critical-path budget keys, attached by the
+    #: observer's ``run_finished`` hook when an
+    #: :class:`~repro.obs.attribution.AttributionCollector` was present
+    #: — ``None`` otherwise, keeping summaries byte-identical
+    attribution_stats: dict[str, float] | None = None
 
     def record_finish(self, req: RequestState) -> None:
         self.finished.append(req)
@@ -183,7 +188,8 @@ class ServingMetrics:
         """Flat dict used by the benchmark tables.
 
         Fault keys (MTTR, requests lost, degraded seconds, ...) appear
-        only when a fault plan actually ran.
+        only when a fault plan actually ran; ``cp_*`` critical-path
+        budget keys only when an attribution collector was attached.
         """
         out = {
             "finished": float(self.n_finished),
@@ -205,4 +211,6 @@ class ServingMetrics:
         }
         if self.fault_stats is not None:
             out.update(self.fault_stats.summary())
+        if self.attribution_stats is not None:
+            out.update(self.attribution_stats)
         return out

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -107,8 +108,13 @@ class EventQueue:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
-    def step(self) -> bool:
-        """Fire the next live event. Returns ``False`` if none remain."""
+    def step(self, profiler=None) -> bool:
+        """Fire the next live event. Returns ``False`` if none remain.
+
+        ``profiler`` (a :class:`~repro.obs.selfprof.SelfProfiler`) gets
+        the handler's host wall-clock time per event tag — the pop-level
+        hot-path instrumentation of the simulator self-profile.
+        """
         while self._heap:
             entry = heapq.heappop(self._heap)
             ev = entry.event
@@ -116,7 +122,14 @@ class EventQueue:
                 continue
             self.now = ev.time
             self._n_fired += 1
-            ev.fn(*ev.args)
+            if profiler is None:
+                ev.fn(*ev.args)
+            else:
+                t0 = time.perf_counter()
+                ev.fn(*ev.args)
+                profiler.event(
+                    ev.tag or "untagged", time.perf_counter() - t0
+                )
             return True
         return False
 
@@ -124,11 +137,13 @@ class EventQueue:
         self,
         until: float | None = None,
         max_events: int | None = None,
+        profiler=None,
     ) -> None:
         """Drain the queue, optionally bounded by time and/or event count.
 
         When ``until`` is given, events strictly after it are left in the
-        queue and ``now`` is advanced to ``until``.
+        queue and ``now`` is advanced to ``until``. ``profiler`` is
+        forwarded to :meth:`step`.
         """
         fired = 0
         while True:
@@ -142,5 +157,5 @@ class EventQueue:
             if until is not None and t > until:
                 self.now = until
                 return
-            self.step()
+            self.step(profiler)
             fired += 1

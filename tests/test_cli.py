@@ -232,3 +232,68 @@ class TestCliFaults:
         assert any(
             row.get("event") == "failover" for row in lines
         )
+
+
+class TestCliExplain:
+    def test_explain_prints_waterfalls(self, capsys):
+        assert main(
+            [
+                "explain",
+                "--rate", "0.8",
+                "--duration", "15",
+                "--slowest", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "critical-path budget" in out
+        assert "slowest 2 requests" in out
+        assert "dominant:" in out
+        # names the concrete network element the comm priced through
+        assert "via link" in out
+
+    def test_explain_with_fault_plan(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "seed": 0,
+                    "events": [
+                        {
+                            "time": 2.0,
+                            "kind": "server_down",
+                            "target": "server#0",
+                            "duration": 2.0,
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(
+            [
+                "explain",
+                "--rate", "1.0",
+                "--duration", "12",
+                "--fault-plan", str(plan),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kv_retry_backoff" in out
+
+    def test_report_includes_attribution_section(
+        self, capsys, tmp_path
+    ):
+        out_html = tmp_path / "report.html"
+        assert main(
+            [
+                "report",
+                "--rate", "0.8",
+                "--duration", "15",
+                "--out", str(out_html),
+            ]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "critical path" in text
+        html_text = out_html.read_text()
+        assert "Critical-path attribution" in html_text
+        assert "cpbar" in html_text
+        assert "Slowest requests" in html_text

@@ -74,6 +74,39 @@ class TestNoBehaviourChange:
             plain.summary(), sort_keys=True
         )
 
+    def test_null_observer_new_hooks_are_noops(self):
+        """Every hook added for attribution/self-profiling must stay a
+        no-op on the NullObserver — including the new keyword args."""
+        from repro.obs import NULL_OBSERVER
+
+        assert NULL_OBSERVER.attribution is None
+        assert NULL_OBSERVER.selfprof is None
+        NULL_OBSERVER.prefill_span(
+            0.0, 1.0, 1, 10, 0.5, 0.5, request_ids=(1, 2)
+        )
+        NULL_OBSERVER.decode_span(
+            0.0, 1.0, 1, 10, 0.5, 0.5, request_ids=(1,)
+        )
+        NULL_OBSERVER.kv_transfer_span(0.0, 1.0, 1, 10, request_ids=(1,))
+        NULL_OBSERVER.allreduce_span(
+            "prefill",
+            0.0,
+            1.0,
+            (0, 1),
+            "ring",
+            "eth",
+            2,
+            1e6,
+            request_ids=(1,),
+            bottleneck_link=3,
+            bottleneck_kind="ethernet",
+            bottleneck_util=0.5,
+            switch=0,
+        )
+        NULL_OBSERVER.kv_retry(0.0, 1, 0.1, request_ids=(1,))
+        NULL_OBSERVER.requests_requeued(0.0, 1, request_ids=(1,))
+        NULL_OBSERVER.run_finished(0.0, None)
+
 
 class TestHistogramsAgree:
     @pytest.mark.parametrize(
@@ -144,6 +177,44 @@ class TestSpans:
             assert span.args["policy"]
             assert span.args["mode"]
             assert span.args["phase"] in ("prefill", "decode")
+
+    def test_engine_spans_carry_request_ids(self, observed_run):
+        """Every batch/transfer/sync span names the requests inside it."""
+        observer, _, _ = observed_run
+        tr = observer.trace
+        for track in ("prefill", "decode", "kv_transfer", "allreduce"):
+            for span in tr.spans(track):
+                rids = span.args["request_ids"]
+                assert isinstance(rids, list), (track, span.name)
+                assert rids, (track, span.name)
+                assert all(isinstance(r, int) for r in rids)
+
+    def test_allreduce_spans_carry_bottleneck(self, observed_run):
+        """Sync spans name the congested link they were priced against."""
+        observer, _, _ = observed_run
+        spans = observer.trace.spans("allreduce")
+        for span in spans:
+            assert "bottleneck_link" in span.args
+            assert "bottleneck_util" in span.args
+            assert "switch" in span.args
+        linked = [
+            s for s in spans if s.args["bottleneck_link"] is not None
+        ]
+        assert linked, "no allreduce span recorded a bottleneck link"
+        for span in linked:
+            assert span.args["bottleneck_kind"]
+            assert 0.0 <= span.args["bottleneck_util"] <= 1.0
+
+    def test_lifecycle_spans_carry_request_id(self, observed_run):
+        observer, _, _ = observed_run
+        lanes = [
+            s
+            for s in observer.trace.spans("requests")
+            if s.pid == REQUEST_PID and s.dur is not None
+        ]
+        assert lanes
+        for span in lanes:
+            assert span.args["request_id"] == span.tid
 
     def test_allreduce_nested_in_owning_pass(self, observed_run):
         """Group sync spans fall inside a pass span of the same phase."""

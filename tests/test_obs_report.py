@@ -15,7 +15,7 @@ from html.parser import HTMLParser
 import pytest
 
 from repro.core.objective import SlaSpec
-from repro.obs import Observer
+from repro.obs import AttributionCollector, Observer
 from repro.obs.recorder import FlightRecorder, FlightSample
 from repro.obs.report import (
     build_report_data,
@@ -104,7 +104,25 @@ def synthetic_observer() -> Observer:
         )
         slo.observe(float(i), "ttft", 5.0)
     slo.evaluate(19.0)
-    return Observer(slo=slo, recorder=rec)
+    return Observer(
+        slo=slo, recorder=rec, attribution=synthetic_attribution()
+    )
+
+
+def synthetic_attribution() -> AttributionCollector:
+    """Three requests fed through the collector's own event hooks."""
+    att = AttributionCollector()
+    for i in range(3):
+        r = finished_request(i, 0.3 + 0.1 * i, 0.05)
+        att.on_arrival(r.arrival_time, r)
+        att.on_prefill(r.prefill_start, (i,), 0.05)
+        att.on_allreduce(
+            "prefill", (i,), "hybrid-ina@0", 0.05, 7, "ethernet", 0.6, 0
+        )
+        att.on_kv_span(0.0, (i,))
+        att.on_decode((i,), 0.01)
+        att.on_finished(r.finish_time, r)
+    return att
 
 
 def synthetic_metrics() -> ServingMetrics:
@@ -153,6 +171,35 @@ class TestBuildReportData:
         html_src = render_html(data)
         assert_well_formed(html_src)
         assert "no SLO targets configured" in html_src
+        assert "attribution disabled" in html_src
+
+
+class TestAttributionSection:
+    def test_data_populated(self, report_data):
+        att = report_data["attribution"]
+        assert att["n_requests"] == 3
+        assert "queue_wait" in att["budget"]
+        assert att["slowest"]
+        worst = att["slowest"][0]
+        # request 2 has the largest ttft in the synthetic set
+        assert worst["request_id"] == 2
+        assert worst["dominant"]
+        assert worst["total_s"] == pytest.approx(
+            sum(worst["components"].values())
+        )
+
+    def test_html_renders_bars_and_table(self, report_data):
+        html_src = render_html(report_data)
+        assert "Critical-path attribution" in html_src
+        assert 'class="cpbar"' in html_src
+        assert 'class="cplegend"' in html_src
+        assert "Slowest requests" in html_src
+        assert "p50 budget" in html_src and "p99 budget" in html_src
+
+    def test_text_renders_budget(self, report_data):
+        text = render_text(report_data)
+        assert "critical path (3 requests attributed)" in text
+        assert "slowest req 2:" in text
 
 
 class TestRenderHtml:
