@@ -119,20 +119,21 @@ def dump_observation(name: str, observer, metrics=None) -> None:
         observer.recorder.write_jsonl(obs_path(f"{name}-flight.jsonl"))
     attribution = getattr(observer, "attribution", None)
     if attribution is not None and attribution.finished:
-        payload = {
-            "n_requests": len(attribution.finished),
-            "budget": attribution.budget(),
-            "slowest": [
-                {
-                    "request_id": a.request_id,
-                    "total_s": a.total,
-                    "dominant": a.dominant[0],
-                    "detail": a.dominant_detail(),
-                    "components": dict(a.components),
-                }
-                for a in attribution.slowest(5)
-            ],
-        }
+        # Full per-request timelines (AttributionCollector.to_payload),
+        # so `python -m repro explain --from-dir` and the what-if
+        # profiler can replay the dump without re-simulating; the
+        # `slowest` digest stays for quick eyeballing.
+        payload = attribution.to_payload()
+        payload["slowest"] = [
+            {
+                "request_id": a.request_id,
+                "total_s": a.total,
+                "dominant": a.dominant[0],
+                "detail": a.dominant_detail(),
+                "components": dict(a.components),
+            }
+            for a in attribution.slowest(5)
+        ]
         with open(obs_path(f"{name}-attribution.json"), "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
     if metrics is not None:

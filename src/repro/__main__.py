@@ -10,6 +10,14 @@ Commands
 ``report``     — run an observed simulation and render the HTML report
 ``explain``    — per-request critical-path waterfalls for the K slowest
 ``demo``       — chaos demo: fault-injected run -> flight JSONL + report
+``whatif``     — counterfactual bottleneck ladder: predicted gain per
+resource upgrade (``--validate`` re-simulates each intervention and
+exits nonzero when the analytic estimate diverges beyond tolerance)
+
+``report`` and ``explain`` also accept ``--from-dir DIR`` to render
+from a previous run's ``--obs-dir`` dumps (flight JSONL, attribution
+JSON) instead of re-simulating; missing or older-format dumps degrade
+to a clear message, not a traceback.
 
 Fault flags (``quickstart`` / ``demo``): ``--fault-plan FILE`` injects
 a JSON fault plan on the simulation clock; ``--mtbf S`` / ``--mttr S``
@@ -342,10 +350,121 @@ def cmd_schemes(args) -> int:
     return 0
 
 
+def _find_run_file(
+    directory: str, run: str | None, suffix: str
+) -> "str | None":
+    """The ``<run>{suffix}`` dump inside ``directory`` (None if absent)."""
+    if run is not None:
+        path = os.path.join(directory, f"{run}{suffix}")
+        return path if os.path.isfile(path) else None
+    candidates = sorted(
+        f for f in os.listdir(directory) if f.endswith(suffix)
+    )
+    if not candidates:
+        return None
+    return os.path.join(directory, candidates[0])
+
+
+def _load_attribution_dump(path: str):
+    """AttributionCollector from a dump, or None + printed reason."""
+    import json
+
+    from repro.obs import AttributionCollector
+
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read attribution dump {path}: {exc}")
+        return None
+    try:
+        return AttributionCollector.from_payload(payload)
+    except (KeyError, TypeError):
+        print(
+            f"attribution dump {path} has no per-request timelines "
+            "(written by an older version?) — re-run the bench with "
+            "--obs-dir to refresh it"
+        )
+        return None
+
+
+def _report_from_dir(args) -> int:
+    """Render the report from a previous run's ``--obs-dir`` dumps."""
+    import json
+    from types import SimpleNamespace
+
+    from repro.obs import FlightRecorder, render_text, write_report
+
+    directory = args.from_dir
+    if not os.path.isdir(directory):
+        print(f"--from-dir: {directory!r} is not a directory")
+        return 0
+    run = getattr(args, "run", None)
+    flight_path = _find_run_file(directory, run, "-flight.jsonl")
+    attr_path = _find_run_file(directory, run, "-attribution.json")
+    summary_path = _find_run_file(directory, run, "-summary.json")
+    whatif_path = _find_run_file(directory, run, "-whatif.json")
+    if flight_path is None and attr_path is None:
+        print(
+            f"no *-flight.jsonl or *-attribution.json dumps in "
+            f"{directory!r} — run a bench with --obs-dir (or "
+            "`python -m repro whatif --json`) first"
+        )
+        return 0
+    recorder = None
+    if flight_path is not None:
+        try:
+            recorder = FlightRecorder.from_jsonl(flight_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read flight dump {flight_path}: {exc}")
+    attribution = (
+        _load_attribution_dump(attr_path)
+        if attr_path is not None
+        else None
+    )
+    serving_metrics = None
+    if summary_path is not None:
+        try:
+            with open(summary_path) as fh:
+                summary = json.load(fh)
+            serving_metrics = SimpleNamespace(
+                summary=lambda: summary
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot read summary dump {summary_path}: {exc}")
+    whatif = None
+    if whatif_path is not None:
+        try:
+            with open(whatif_path) as fh:
+                whatif = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read what-if dump {whatif_path}: {exc}")
+    observer = SimpleNamespace(
+        recorder=recorder,
+        attribution=attribution,
+        slo=None,
+        metrics=None,
+    )
+    data = write_report(
+        args.out,
+        observer=observer,
+        serving_metrics=serving_metrics,
+        title=f"replay of {os.path.basename(directory)}",
+        meta={"source": directory},
+        whatif=whatif,
+    )
+    print(render_text(data), end="")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro import SLA_TESTBED_CHATBOT, quick_testbed
     from repro.obs import default_slo_targets, render_text, write_report
     from repro.serving import EngineConfig
+
+    if getattr(args, "from_dir", None):
+        return _report_from_dir(args)
 
     sla = SLA_TESTBED_CHATBOT
     targets = []
@@ -390,6 +509,30 @@ def cmd_explain(args) -> int:
     from repro import quick_testbed
     from repro.obs import AttributionCollector, render_waterfalls
     from repro.serving import EngineConfig
+
+    if getattr(args, "from_dir", None):
+        directory = args.from_dir
+        if not os.path.isdir(directory):
+            print(f"--from-dir: {directory!r} is not a directory")
+            return 0
+        attr_path = _find_run_file(
+            directory, getattr(args, "run", None), "-attribution.json"
+        )
+        if attr_path is None:
+            print(
+                f"no *-attribution.json dump in {directory!r} — run a "
+                "bench with --obs-dir first"
+            )
+            return 0
+        attribution = _load_attribution_dump(attr_path)
+        if attribution is None or not attribution.finished:
+            return 0
+        print(f"replaying {attr_path}")
+        print(
+            render_waterfalls(attribution, slowest=args.slowest),
+            end="",
+        )
+        return 0
 
     attribution = AttributionCollector()
     observer = Observer(
@@ -494,6 +637,114 @@ def cmd_demo(args) -> int:
     )
     print(render_text(data), end="")
     print(f"wrote {args.out}")
+    return 0
+
+
+#: Pinned operating points the what-if tolerances were measured at: a
+#: loaded-but-unsaturated regime per topology. Saturated regimes amplify
+#: second-order congestion coupling the first-order analytic model does
+#: not capture (see docs/OBSERVABILITY.md).
+WHATIF_SETTINGS = {
+    "testbed": {"rate": 1.0, "duration": 40.0},
+    "2tracks": {"rate": 0.6, "duration": 60.0},
+}
+
+
+def _build_whatif_deployment(args):
+    """(system, trace) for the what-if CLI's pinned topologies."""
+    from repro import build_system, generate_sharegpt_trace
+    from repro.baselines import HEROSERVE
+    from repro.core import SLA_SIM_CHATBOT, SLA_TESTBED_CHATBOT
+    from repro.core.plan import ParallelConfig
+    from repro.llm import A100, V100, CostModelBank, OPT_66B, OPT_175B
+    from repro.network import build_testbed, build_xtracks_cluster
+    from repro.util.rng import make_rng
+
+    defaults = WHATIF_SETTINGS[args.topology]
+    rate = args.rate if args.rate is not None else defaults["rate"]
+    duration = (
+        args.duration
+        if args.duration is not None
+        else defaults["duration"]
+    )
+    if args.topology == "testbed":
+        built = build_testbed()
+        model = OPT_66B
+        bank = CostModelBank(model, {"A100": A100, "V100": V100})
+        sla = SLA_TESTBED_CHATBOT
+        parallel = ParallelConfig(8, 1, 8, 1)
+    else:
+        built = build_xtracks_cluster(2, n_units=1)
+        model = OPT_175B
+        bank = CostModelBank(model, {"A100": A100})
+        sla = SLA_SIM_CHATBOT
+        parallel = ParallelConfig(16, 1, 16, 1)
+    trace = generate_sharegpt_trace(
+        rate, duration, make_rng(args.seed)
+    )
+    system = build_system(
+        HEROSERVE,
+        built,
+        model,
+        bank,
+        sla,
+        trace.representative_batch(8),
+        arrival_rate=rate,
+        forced_parallel=parallel,
+    )
+    return system, trace, rate, duration
+
+
+def cmd_whatif(args) -> int:
+    """Rank counterfactual resource upgrades by predicted tail gain."""
+    import json
+
+    from repro.obs import WhatIfProfiler, render_ladder
+
+    system, trace, rate, duration = _build_whatif_deployment(args)
+    profiler = WhatIfProfiler(system, trace)
+    result = profiler.ladder(validate=args.validate)
+    print(render_ladder(result, top=args.top))
+    payload = result.to_payload(
+        meta={
+            "topology": args.topology,
+            "system": system.spec.name,
+            "rate": rate,
+            "duration": duration,
+            "seed": args.seed,
+        }
+    )
+    out_paths = []
+    if args.json:
+        out_paths.append(args.json)
+    obs_dir = os.environ.get("REPRO_OBS_DIR")
+    if obs_dir:
+        os.makedirs(obs_dir, exist_ok=True)
+        out_paths.append(
+            os.path.join(obs_dir, f"{args.topology}-whatif.json")
+        )
+    for path in out_paths:
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path}")
+    if args.report:
+        from repro.obs import write_report
+
+        write_report(
+            args.report,
+            serving_metrics=profiler.baseline_metrics,
+            title=f"what-if profile: {args.topology}",
+            meta=payload["meta"],
+            whatif=payload,
+        )
+        print(f"wrote {args.report}")
+    if args.validate and not result.all_within_tolerance:
+        print(
+            "FAIL: analytic estimates diverge from re-simulation "
+            "beyond the pinned tolerance"
+        )
+        return 1
     return 0
 
 
@@ -654,6 +905,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--rate", type=float, default=1.0)
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--from-dir",
+        default=None,
+        metavar="DIR",
+        help="render from a previous run's --obs-dir dumps "
+        "(flight/attribution/summary/whatif) instead of simulating",
+    )
+    p.add_argument(
+        "--run",
+        default=None,
+        metavar="NAME",
+        help="dump file prefix inside --from-dir (default: first found)",
+    )
 
     p = sub.add_parser(
         "explain",
@@ -669,6 +933,19 @@ def main(argv: list[str] | None = None) -> int:
         default=5,
         metavar="K",
         help="how many of the slowest requests to explain (default 5)",
+    )
+    p.add_argument(
+        "--from-dir",
+        default=None,
+        metavar="DIR",
+        help="replay a previous run's *-attribution.json dump "
+        "instead of simulating",
+    )
+    p.add_argument(
+        "--run",
+        default=None,
+        metavar="NAME",
+        help="dump file prefix inside --from-dir (default: first found)",
     )
     p.add_argument(
         "--schemes",
@@ -700,9 +977,62 @@ def main(argv: list[str] | None = None) -> int:
         "tables (e.g. ring-2stage,tree)",
     )
 
+    p = sub.add_parser(
+        "whatif",
+        help="counterfactual bottleneck ladder over resource upgrades",
+        parents=[common],
+    )
+    p.add_argument(
+        "--topology",
+        default="testbed",
+        choices=sorted(WHATIF_SETTINGS),
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="arrival rate (default: the topology's pinned "
+        "validation point)",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="trace duration in seconds (default: pinned per topology)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="K",
+        help="print only the top-K interventions (default: all)",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="re-simulate every intervention and exit nonzero when the "
+        "analytic estimate diverges beyond the pinned tolerance",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable ladder (also written to "
+        "$REPRO_OBS_DIR/<topology>-whatif.json when set)",
+    )
+    p.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="also render an HTML report with the what-if section",
+    )
+
     args = parser.parse_args(argv)
     # Fail on an unwritable output directory now, not after the run.
-    for attr in ("trace_out", "metrics_out", "flight_out", "out"):
+    for attr in (
+        "trace_out", "metrics_out", "flight_out", "out", "json", "report"
+    ):
         path = getattr(args, attr, None)
         if path:
             parent = os.path.dirname(path) or "."
@@ -723,6 +1053,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "explain": cmd_explain,
         "demo": cmd_demo,
+        "whatif": cmd_whatif,
     }
     return handlers[args.command](args)
 

@@ -189,6 +189,7 @@ def simulate_trace(
         CentralController(
             ctx=ctx,
             scheme=system.spec.scheme,
+            refresh_period=cfg.controller_period,
             observer=cfg.observer,
             health=health,
             extra_schemes=tuple(cfg.extra_schemes),

@@ -38,6 +38,10 @@ class LinkLoadTracker:
     _capacity: np.ndarray = field(init=False)
     _base_capacity: np.ndarray = field(init=False)
     _degrade: dict[int, float] = field(default_factory=dict, init=False)
+    #: what-if intervention scales (absolute, per link: capacity =
+    #: base * scale * degrade); distinct from fault degradation so a
+    #: counterfactually upgraded link can still brown out.
+    _scale: dict[int, float] = field(default_factory=dict, init=False)
     _load: np.ndarray = field(init=False)
     _ewma_util: np.ndarray = field(init=False)
     _next_handle: int = field(default=0, init=False)
@@ -123,11 +127,20 @@ class LinkLoadTracker:
 
     # -- fault injection ---------------------------------------------------
 
+    def _recompute_capacity(self, link_id: int) -> None:
+        self._capacity[link_id] = (
+            self._base_capacity[link_id]
+            * self._scale.get(link_id, 1.0)
+            * self._degrade.get(link_id, 1.0)
+        )
+
     def set_link_factor(self, link_id: int, factor: float) -> None:
         """Scale one directed link's capacity to ``factor``x its base.
 
         Models brownouts (capacity cuts, loss-induced goodput collapse)
         injected by :mod:`repro.faults`. ``factor=1`` restores the link.
+        Composes multiplicatively with any what-if intervention scale
+        (:meth:`scale_links`).
         """
         if not 0.0 < factor <= 1.0:
             raise ValueError(f"factor must be in (0, 1], got {factor}")
@@ -137,12 +150,70 @@ class LinkLoadTracker:
             self._degrade.pop(link_id, None)
         else:
             self._degrade[link_id] = factor
-        self._capacity[link_id] = self._base_capacity[link_id] * factor
+        self._recompute_capacity(link_id)
         self.version += 1
 
     def degraded_links(self) -> dict[int, float]:
         """Currently degraded links as ``{link_id: factor}``."""
         return dict(self._degrade)
+
+    # -- what-if interventions ---------------------------------------------
+
+    def scale_links(
+        self, link_ids: list[int] | np.ndarray, factor: float
+    ) -> None:
+        """Set (not multiply) a counterfactual capacity scale on links.
+
+        Used by the what-if profiler (:mod:`repro.obs.whatif`) to model
+        "what if this link class were ``factor``x faster" without forking
+        the topology builders. Unlike :meth:`set_link_factor` the factor
+        may exceed 1 (upgrades); the call is idempotent so re-applying a
+        config to a shared tracker cannot compound. ``factor=1`` clears.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        for link_id in np.asarray(link_ids, dtype=np.int64).tolist():
+            if not 0 <= link_id < len(self._capacity):
+                raise ValueError(f"link id {link_id} out of range")
+            if factor == 1.0:
+                self._scale.pop(link_id, None)
+            else:
+                self._scale[link_id] = factor
+            self._recompute_capacity(link_id)
+        self.version += 1
+
+    def scale_class(self, selector: str, factor: float) -> int:
+        """Scale every link whose class (or kind) matches ``selector``.
+
+        ``selector`` is a class name from
+        :meth:`~repro.network.topology.Topology.link_classes`
+        (``nvlink``/``pcie``/``ethernet_access``/``ethernet_trunk``) or a
+        raw kind name (``ethernet``). Returns the number of links scaled
+        (0 when the topology has no such links — not an error, so one
+        intervention catalog spans topologies).
+        """
+        classes = self.class_names()
+        kinds = self.kind_names()
+        vocab = set(classes) | set(kinds) | {
+            "nvlink", "pcie", "ethernet", "ethernet_access", "ethernet_trunk"
+        }
+        if selector not in vocab:
+            raise ValueError(
+                f"unknown link selector {selector!r}; expected one of "
+                f"{sorted(vocab)}"
+            )
+        ids = [
+            i
+            for i in range(len(self._capacity))
+            if classes[i] == selector or kinds[i] == selector
+        ]
+        if ids:
+            self.scale_links(ids, factor)
+        return len(ids)
+
+    def scaled_links(self) -> dict[int, float]:
+        """Active intervention scales as ``{link_id: factor}``."""
+        return dict(self._scale)
 
     def load(self) -> np.ndarray:
         """Copy of the per-link registered load (bytes/s)."""
@@ -191,6 +262,27 @@ class LinkLoadTracker:
         indexed by link id — the attribution layer labels congested
         links with these."""
         return self._kind_names()
+
+    def class_names(self) -> list[str]:
+        """Per-link class names (``ethernet_access``/``ethernet_trunk``/
+        ``nvlink``/``pcie``) indexed by link id; cached."""
+        if not hasattr(self, "_class_name_cache"):
+            self._class_name_cache = self.topology.link_classes()
+        return self._class_name_cache
+
+    def utilization_by_class(self) -> dict[str, tuple[float, float]]:
+        """``{class: (mean, max)}`` instantaneous utilisation per link
+        class — the finer-grained sibling of :meth:`utilization_by_kind`
+        that separates leader/access Ethernet from inter-track trunks."""
+        util = self.utilization()
+        names = self.class_names()
+        out: dict[str, tuple[float, float]] = {}
+        for cls in sorted(set(names)):
+            mask = np.array([n == cls for n in names])
+            u = util[mask]
+            if u.size:
+                out[cls] = (float(u.mean()), float(u.max()))
+        return out
 
     def utilization_by_kind(self) -> dict[str, tuple[float, float]]:
         """``{kind: (mean, max)}`` instantaneous utilisation per link kind.
@@ -241,11 +333,12 @@ class LinkLoadTracker:
         return self._ewma_util.copy()
 
     def reset(self) -> None:
-        """Drop all registrations, degradations, and history (between
-        benchmark runs)."""
+        """Drop all registrations, degradations, intervention scales,
+        and history (between benchmark runs)."""
         self._load[:] = 0.0
         self._ewma_util[:] = 0.0
         self._registrations.clear()
         self._degrade.clear()
+        self._scale.clear()
         self._capacity[:] = self._base_capacity
         self.version += 1

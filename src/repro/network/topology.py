@@ -214,6 +214,31 @@ class Topology:
         """Per-directed-link :class:`LinkKind` values as an int array."""
         return np.array([int(l.kind) for l in self.links], dtype=np.int64)
 
+    def link_classes(self) -> list[str]:
+        """Per-directed-link *class* names, indexed by link id.
+
+        A class is finer than :class:`LinkKind`: Ethernet splits into the
+        GPU<->access-switch "leader" links (``ethernet_access``, the paper's
+        intra-track bottleneck) and the switch<->switch trunks
+        (``ethernet_trunk``, inter-track). NVLink and PCIe map to
+        ``nvlink``/``pcie``. The what-if profiler targets interventions at
+        this granularity.
+        """
+        out: list[str] = []
+        for link in self.links:
+            if link.kind == LinkKind.NVLINK:
+                out.append("nvlink")
+            elif link.kind == LinkKind.PCIE:
+                out.append("pcie")
+            elif (
+                self.nodes[link.src].is_switch
+                and self.nodes[link.dst].is_switch
+            ):
+                out.append("ethernet_trunk")
+            else:
+                out.append("ethernet_access")
+        return out
+
     def endpoints_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """(src, dst) node-id arrays over directed links."""
         src = np.array([l.src for l in self.links], dtype=np.int64)

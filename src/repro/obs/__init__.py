@@ -24,7 +24,12 @@ when disabled):
   into fleet p50/p99 budgets and CLI waterfalls;
 * :mod:`repro.obs.selfprof` — host wall-clock self-profiling of the
   simulator's own hot path (requests-simulated/sec, per-event-tag
-  handler times) — the BENCH_engine measurement harness.
+  handler times) — the BENCH_engine measurement harness;
+* :mod:`repro.obs.whatif` — counterfactual bottleneck ranking: predicts
+  how p50/p99 TTFT, TPOT and throughput would move if one resource
+  (a link class, INA slots, prefill/decode compute, the KV path, the
+  scheduler tick) were k× faster, analytically from attribution
+  timelines and validated by perturbed re-simulation.
 """
 
 from repro.obs.attribution import (
@@ -71,6 +76,16 @@ from repro.obs.slo import (
     default_slo_targets,
 )
 from repro.obs.trace import SpanRecord, TraceRecorder
+from repro.obs.whatif import (
+    DEFAULT_CATALOG,
+    DEFAULT_TOLERANCE,
+    Intervention,
+    RunStats,
+    WhatIfEstimate,
+    WhatIfProfiler,
+    WhatIfResult,
+    render_ladder,
+)
 
 __all__ = [
     "Alert",
@@ -109,4 +124,12 @@ __all__ = [
     "PhaseStat",
     "SpanRecord",
     "TraceRecorder",
+    "DEFAULT_CATALOG",
+    "DEFAULT_TOLERANCE",
+    "Intervention",
+    "RunStats",
+    "WhatIfEstimate",
+    "WhatIfProfiler",
+    "WhatIfResult",
+    "render_ladder",
 ]

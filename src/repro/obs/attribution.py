@@ -111,6 +111,23 @@ class AllreduceShare:
         if switch is not None:
             self.switch = switch
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (round-trips via :meth:`from_dict`)."""
+        return {
+            "policy": self.policy,
+            "phase": self.phase,
+            "seconds": self.seconds,
+            "count": self.count,
+            "bottleneck_link": self.bottleneck_link,
+            "bottleneck_kind": self.bottleneck_kind,
+            "bottleneck_util": self.bottleneck_util,
+            "switch": self.switch,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AllreduceShare":
+        return cls(**d)
+
     def describe(self) -> str:
         """``policy via link 34 [ethernet] (peak util 87%)``."""
         where = ""
@@ -216,6 +233,36 @@ class RequestAttribution:
     def total(self) -> float:
         """End-to-end latency — equals ``sum(components)`` by design."""
         return self.ttft + self.decode_latency
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (round-trips via :meth:`from_dict`)."""
+        return {
+            "request_id": self.request_id,
+            "arrival": self.arrival,
+            "ttft": self.ttft,
+            "decode_latency": self.decode_latency,
+            "components": dict(self.components),
+            "allreduce": [s.to_dict() for s in self.allreduce],
+            "requeues": self.requeues,
+            "kv_retries": self.kv_retries,
+            "decode_iters": self.decode_iters,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RequestAttribution":
+        return cls(
+            request_id=d["request_id"],
+            arrival=d["arrival"],
+            ttft=d["ttft"],
+            decode_latency=d["decode_latency"],
+            components=dict(d["components"]),
+            allreduce=tuple(
+                AllreduceShare.from_dict(s) for s in d["allreduce"]
+            ),
+            requeues=d["requeues"],
+            kv_retries=d["kv_retries"],
+            decode_iters=d["decode_iters"],
+        )
 
     @property
     def dominant(self) -> tuple[str, float]:
@@ -418,6 +465,30 @@ class AttributionCollector:
         return sorted(
             self.finished, key=lambda a: a.total, reverse=True
         )[:k]
+
+    # -- persistence -----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Full JSON-ready dump: every finished attribution plus the
+        fleet budget. ``python -m repro explain --from-dir`` and the
+        what-if profiler rebuild a collector from this via
+        :meth:`from_payload`."""
+        return {
+            "n_requests": len(self.finished),
+            "budget": self.budget(),
+            "requests": [a.to_dict() for a in self.finished],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AttributionCollector":
+        """Rebuild a (finished-only) collector from :meth:`to_payload`
+        output. Raises ``KeyError`` on dumps that predate per-request
+        detail (callers degrade gracefully)."""
+        out = cls()
+        out.finished = [
+            RequestAttribution.from_dict(d) for d in payload["requests"]
+        ]
+        return out
 
 
 # ----------------------------------------------------------------------

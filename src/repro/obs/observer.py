@@ -20,6 +20,7 @@ lifecycles become Chrome-trace swimlanes.
 
 from __future__ import annotations
 
+import json
 import math
 from typing import TYPE_CHECKING
 
@@ -133,6 +134,13 @@ class Observer:
         self._link_util_kind = m.gauge(
             "repro_link_utilization_by_kind",
             "mean/max sampled utilisation per link kind",
+        )
+        self._link_util_class = m.histogram(
+            "repro_link_utilization_by_class",
+            "sampled utilisation distribution per link class "
+            "(nvlink / ethernet_access leaders / ethernet_trunk "
+            "inter-track)",
+            buckets=(0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.5),
         )
         self._kv_util = m.gauge(
             "repro_kv_cache_utilization", "decode KV cache occupancy"
@@ -349,10 +357,19 @@ class Observer:
             self.trace.instant("controller", "refresh", ts)
 
     def sample_links(self, ts: float, linkstate: "LinkLoadTracker") -> None:
-        """Export the monitoring agents' view as gauges."""
+        """Export the monitoring agents' view as gauges/histograms."""
         for kind, (mean_u, max_u) in linkstate.utilization_by_kind().items():
             self._link_util_kind.set(mean_u, kind=kind, stat="mean")
             self._link_util_kind.set(max_u, kind=kind, stat="max")
+        for cls, (mean_u, max_u) in (
+            linkstate.utilization_by_class().items()
+        ):
+            self._link_util_class.observe(
+                mean_u, link_class=cls, stat="mean"
+            )
+            self._link_util_class.observe(
+                max_u, link_class=cls, stat="max"
+            )
         for link_id, kind, util in linkstate.busy_links(
             LINK_GAUGE_MIN_UTIL
         ):
@@ -531,7 +548,10 @@ class Observer:
         anything else gets Chrome-trace JSON (loadable in
         ``chrome://tracing`` / Perfetto). ``metrics_path`` gets the JSON
         snapshot, or the text exposition when it ends in ``.txt`` /
-        ``.prom``.
+        ``.prom``. With a flight recorder attached, the metrics dump
+        additionally carries a ``busiest_links`` table (peak sampled
+        utilisation per link over the whole recording); recorder-less
+        dumps are unchanged.
         """
         if trace_path is not None:
             if trace_path.endswith(".jsonl"):
@@ -539,9 +559,32 @@ class Observer:
             else:
                 self.trace.write_chrome(trace_path)
         if metrics_path is not None:
+            busiest = (
+                self.recorder.top_links()
+                if self.recorder is not None and len(self.recorder)
+                else []
+            )
             if metrics_path.endswith((".txt", ".prom")):
+                text = self.metrics.render_text()
+                if busiest:
+                    rows = [
+                        "# busiest links (peak sampled utilisation)"
+                    ] + [
+                        f"# link {lid} [{kind}] {util:.3f}"
+                        for lid, kind, util in busiest
+                    ]
+                    text += "\n".join(rows) + "\n"
                 with open(metrics_path, "w") as fh:
-                    fh.write(self.metrics.render_text())
+                    fh.write(text)
+            elif busiest:
+                payload = self.metrics.snapshot()
+                payload["busiest_links"] = [
+                    {"link": lid, "kind": kind, "peak_util": util}
+                    for lid, kind, util in busiest
+                ]
+                with open(metrics_path, "w") as fh:
+                    json.dump(payload, fh, indent=2)
+                    fh.write("\n")
             else:
                 self.metrics.write_json(metrics_path)
 

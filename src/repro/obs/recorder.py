@@ -300,3 +300,61 @@ class FlightRecorder:
     def write_jsonl(self, path: str) -> None:
         with open(path, "w") as fh:
             fh.write(self.to_jsonl())
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "FlightRecorder":
+        """Rebuild a recorder from a :meth:`write_jsonl` dump.
+
+        ``python -m repro report --from-dir`` renders prior runs with
+        this. Samples and events round-trip (modulo the list->tuple
+        JSON coercions reversed here); dataplane attachments do not.
+        """
+        samples: list[FlightSample] = []
+        events: list[dict] = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                if "event" in row:
+                    events.append(row)
+                    continue
+                samples.append(
+                    FlightSample(
+                        time=row["time"],
+                        prefill_queue=row["prefill_queue"],
+                        decode_pending=row["decode_pending"],
+                        decode_active=row["decode_active"],
+                        prefill_busy=row["prefill_busy"],
+                        decode_busy=row["decode_busy"],
+                        kv_used=row["kv_used"],
+                        kv_capacity=row["kv_capacity"],
+                        link_util={
+                            k: (mean, mx)
+                            for k, (mean, mx) in row["link_util"].items()
+                        },
+                        busy_links=[
+                            (int(lid), kind, util)
+                            for lid, kind, util in row["busy_links"]
+                        ],
+                        policy_tables=row["policy_tables"],
+                        switch_pressure={
+                            int(s): (mean, mx)
+                            for s, (mean, mx) in row[
+                                "switch_pressure"
+                            ].items()
+                        },
+                        aggregators={
+                            int(s): c
+                            for s, c in row["aggregators"].items()
+                        },
+                    )
+                )
+        rec = cls(capacity=max(1, len(samples) + len(events)))
+        for s in samples:
+            rec.record(s)
+        for e in events:
+            rec._events.append(e)
+            rec.events_total += 1
+        return rec

@@ -51,8 +51,14 @@ def build_report_data(
     serving_metrics=None,
     title: str = "repro serving run",
     meta: dict[str, Any] | None = None,
+    whatif: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Fold observer + metrics into one JSON-serialisable report dict."""
+    """Fold observer + metrics into one JSON-serialisable report dict.
+
+    ``whatif`` is an optional
+    :meth:`~repro.obs.whatif.WhatIfResult.to_payload` dump; when given,
+    the report gains a ranked "What-if" intervention ladder.
+    """
     data: dict[str, Any] = {
         "title": title,
         "meta": dict(meta or {}),
@@ -60,6 +66,7 @@ def build_report_data(
         "slo": None,
         "flight": None,
         "attribution": None,
+        "whatif": whatif,
         "policy_selections": [],
     }
     if serving_metrics is not None:
@@ -599,6 +606,57 @@ def _attribution_section(attribution: dict | None) -> str:
     return bars + "<h2>Slowest requests</h2>" + table
 
 
+def _whatif_section(whatif: dict | None) -> str:
+    """Ranked intervention bars: predicted Δp99 TTFT per upgrade."""
+    if not whatif or not whatif.get("interventions"):
+        return (
+            '<p class="empty">no what-if profile attached — run '
+            "`python -m repro whatif` to rank counterfactual "
+            "bottlenecks</p>"
+        )
+    base = whatif.get("baseline") or {}
+    base_p99 = _finite(base.get("p99_ttft_s")) or 0.0
+    rows = whatif["interventions"]
+    max_gain = max(
+        (row["delta"]["p99_ttft_s"] for row in rows), default=0.0
+    )
+    out = [
+        '<p class="sub">predicted improvement if one resource were '
+        f"k&times; faster/bigger; baseline p99 TTFT {base_p99:.3f}s"
+        + (
+            ", validated against counterfactual re-simulation"
+            if whatif.get("validated")
+            else ""
+        )
+        + "</p>"
+    ]
+    bars = []
+    for row in rows:
+        iv = row["intervention"]
+        gain = row["delta"]["p99_ttft_s"]
+        frac = gain / max_gain if max_gain > 0 else 0.0
+        pct = gain / base_p99 if base_p99 > 0 else 0.0
+        note = f"&Delta;p99 TTFT {gain:+.4f}s ({pct:+.1%})"
+        if "rel_error" in row:
+            ok = row.get("within_tolerance")
+            cls = "ok" if ok else "page"
+            verdict = "ok" if ok else "diverged"
+            note += (
+                f" &middot; resim {row['resim_delta']['p99_ttft_s']:+.4f}s "
+                f'<span class="status {cls}">'
+                f"err {row['rel_error']:.0%} {verdict}</span>"
+            )
+        bars.append(
+            '<div class="cpbar-label">'
+            f"{html.escape(iv['label'])} &mdash; {note}</div>"
+            '<div class="cpbar"><span style="width:'
+            f'{max(frac, 0.0) * 100:.2f}%;'
+            'background:var(--series-1)"></span></div>'
+        )
+    out.append("".join(bars))
+    return "".join(out)
+
+
 def _summary_tiles(summary: dict) -> str:
     if not summary:
         return ""
@@ -643,6 +701,8 @@ def render_html(data: dict[str, Any]) -> str:
         f"{_alert_table(data.get('slo'))}"
         "<h2>Critical-path attribution</h2>"
         f"{_attribution_section(data.get('attribution'))}"
+        "<h2>What-if: counterfactual bottleneck ladder</h2>"
+        f"{_whatif_section(data.get('whatif'))}"
         "<h2>Cluster timeline</h2>"
         f"{evicted_note}"
         f"{_timeline_tiles(flight)}"
@@ -731,6 +791,36 @@ def render_text(data: dict[str, Any]) -> str:
                 f"{r['dominant']} {r['dominant_s']:.3f}s"
                 + (f" ({r['detail']})" if r.get("detail") else "")
             )
+    whatif = data.get("whatif")
+    if whatif and whatif.get("interventions"):
+        base_p99 = _finite(
+            (whatif.get("baseline") or {}).get("p99_ttft_s")
+        )
+        lines.append(
+            "what-if ladder"
+            + (
+                f" (baseline p99 TTFT {base_p99:.4f}s):"
+                if base_p99 is not None
+                else ":"
+            )
+        )
+        for row in whatif["interventions"]:
+            gain = row["delta"]["p99_ttft_s"]
+            note = ""
+            if "rel_error" in row:
+                note = (
+                    f"  [resim {row['resim_delta']['p99_ttft_s']:+.4f}s "
+                    f"err {row['rel_error']:.0%}"
+                    + (
+                        "]"
+                        if row.get("within_tolerance")
+                        else " DIVERGED]"
+                    )
+                )
+            lines.append(
+                f"  {row['intervention']['label']:<36s} "
+                f"dp99 TTFT {gain:+.4f}s{note}"
+            )
     flight = data.get("flight")
     if flight:
         lines.append(
@@ -759,6 +849,7 @@ def write_report(
     serving_metrics=None,
     title: str = "repro serving run",
     meta: dict[str, Any] | None = None,
+    whatif: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build, render and write the HTML report; returns the data dict."""
     data = build_report_data(
@@ -766,6 +857,7 @@ def write_report(
         serving_metrics=serving_metrics,
         title=title,
         meta=meta,
+        whatif=whatif,
     )
     with open(path, "w") as fh:
         fh.write(render_html(data))

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.comm.context import CommContext
 from repro.comm.latency import (
+    DEFAULT_N_SLOTS,
     SchemeKind,
     allreduce_bytes,
     price_group_step,
@@ -94,6 +95,21 @@ class EngineConfig:
     #: policies the online scheduler considers alongside the plan's scheme
     extra_schemes: tuple[str, ...] = ()
 
+    # -- counterfactual perturbations (repro.obs.whatif) ---------------
+    # Every default below is an exact no-op: a default-valued config
+    # leaves the simulation byte-identical to one without these fields.
+    #: ``((link_class, factor), ...)`` capacity scales applied to the
+    #: run's LinkLoadTracker at simulator construction; selectors are
+    #: Topology.link_classes() names (or raw kinds), factor > 1 = upgrade
+    link_scale: tuple[tuple[str, float], ...] = ()
+    #: speedups (>1 = faster) dividing the fitted compute/transfer times
+    prefill_compute_scale: float = 1.0
+    decode_compute_scale: float = 1.0
+    kv_time_scale: float = 1.0
+    #: override the INA switch SRAM slot budget used when *statically*
+    #: pricing plan-time policies (None keeps the scheme default)
+    n_slots: int | None = None
+
 
 class ServingSimulator:
     """One serving deployment executing a trace."""
@@ -124,6 +140,14 @@ class ServingSimulator:
         self.controller = controller
         self.cfg = config or EngineConfig()
         self.obs = self.cfg.observer or NULL_OBSERVER
+        # Counterfactual link upgrades (what-if resimulation). scale_links
+        # *sets* absolute factors, so replicas sharing one tracker cannot
+        # compound the scale.
+        for selector, factor in self.cfg.link_scale:
+            ctx.linkstate.scale_class(selector, factor)
+        self._n_slots = (
+            DEFAULT_N_SLOTS if self.cfg.n_slots is None else self.cfg.n_slots
+        )
         #: simulator self-profiler (host wall-clock); carried by the
         #: observer but read independently of ``obs.enabled`` so the
         #: benchmark can time the hot path without span overhead
@@ -259,6 +283,7 @@ class ServingSimulator:
                     planned.mode,
                     planned.ina_switch,
                     data,
+                    n_slots=self._n_slots,
                     contention=contention,
                 )
                 if (
@@ -420,6 +445,8 @@ class ServingSimulator:
         t_c = self.bank.group_prefill_time(
             self._prefill_hw, spec, self.plan.parallel.p_tens_prefill
         )
+        if self.cfg.prefill_compute_scale != 1.0:
+            t_c /= self.cfg.prefill_compute_scale
         t_n, footprints, decisions = self._phase_comm_time(
             self.prefill_stages,
             spec.k_in,
@@ -507,6 +534,14 @@ class ServingSimulator:
             self.decode_stages,
             exclude_gpus=exclude,
         )
+        # Counterfactual "KV path k x faster" = the *effective* payload
+        # shrinks by k (compression / a dedicated lane): the transfer
+        # completes k x sooner at the ORIGINAL flow rate. Scaling only
+        # t_f would register a super-physical nbytes/t_f rate and
+        # congest every concurrent collective sharing the leader links.
+        kv_scale = self.cfg.kv_time_scale
+        if kv_scale != 1.0:
+            t_f /= kv_scale
         if t_f > 0:
             # Register each prefill->decode pair's own byte rate on its
             # own path (registering the total on the union would multiply
@@ -522,7 +557,9 @@ class ServingSimulator:
             ):
                 if links:
                     handles.append(
-                        self.ctx.linkstate.register(links, nbytes / t_f)
+                        self.ctx.linkstate.register(
+                            links, nbytes / (kv_scale * t_f)
+                        )
                     )
             if self.obs.enabled:
                 self.obs.kv_transfer_span(
@@ -618,6 +655,8 @@ class ServingSimulator:
             self.plan.parallel.p_tens_decode,
             self.plan.parallel.p_pipe_decode,
         )
+        if self.cfg.decode_compute_scale != 1.0:
+            t_c /= self.cfg.decode_compute_scale
         t_n = self._decode_comm_time(q)
         duration = t_c + t_n
         handles = self._register_pass_load(self._decode_footprints, duration)

@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import json
 
+import inspect
+
 from repro import quick_testbed
 from repro.obs import Observer, SelfProfiler, SelfProfilingObserver
+from repro.obs.observer import NullObserver
 from repro.serving import EngineConfig
 from repro.sim.eventqueue import EventQueue
 
@@ -143,3 +146,91 @@ class TestEngineIntegration:
         )
         assert sp.requests_finished == metrics.n_finished
         assert "engine.batch_formation" in sp.sections
+
+
+class TestSnapshotReportRoundTrip:
+    """The snapshot IS the bench file format — it must survive JSON and
+    the human-readable report must cover everything in it."""
+
+    def populated(self) -> SelfProfiler:
+        observer = SelfProfilingObserver()
+        quick_testbed(
+            rate=1.0,
+            duration=15.0,
+            seed=0,
+            engine_config=EngineConfig(observer=observer),
+        )
+        return observer.selfprof
+
+    def test_snapshot_survives_json(self):
+        snap = self.populated().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_report_names_every_snapshot_entry(self):
+        sp = self.populated()
+        snap = sp.snapshot()
+        text = sp.report()
+        for section in snap["sections"]:
+            assert section in text, section
+        for tag in snap["event_handlers"]:
+            assert tag in text, tag
+        # headline rates appear with the snapshot's values
+        assert f"{snap['requests_per_s']:,.0f}" in text
+
+
+class TestObserverHookParity:
+    """Every hook the engine may call on a full :class:`Observer` must
+    exist on :class:`NullObserver` (and thus on
+    :class:`SelfProfilingObserver`) — a hook added to one but not the
+    other crashes unobserved runs, the worst possible failure mode for
+    an observability layer."""
+
+    @staticmethod
+    def public_hooks(cls) -> set[str]:
+        return {
+            name
+            for name, member in inspect.getmembers(
+                cls, predicate=inspect.isfunction
+            )
+            if not name.startswith("_")
+        }
+
+    def test_null_observer_covers_observer_hooks(self):
+        missing = self.public_hooks(Observer) - self.public_hooks(
+            NullObserver
+        )
+        assert not missing, missing
+
+    def test_selfprofiling_observer_is_a_null_observer(self):
+        obs = SelfProfilingObserver()
+        assert isinstance(obs, NullObserver)
+        assert obs.enabled is False  # engine stays on the no-op path
+        assert obs.selfprof is not None
+        missing = self.public_hooks(Observer) - self.public_hooks(
+            SelfProfilingObserver
+        )
+        assert not missing, missing
+
+    def test_null_hooks_are_callable_no_ops(self):
+        obs = NullObserver()
+        obs.request_arrival(0.0, None)
+        obs.request_dropped(0.0, None)
+        obs.request_finished(0.0, None)
+        obs.prefill_span()
+        obs.decode_span()
+        obs.kv_transfer_span()
+        obs.allreduce_span()
+        obs.policy_selected(0, "p", "m")
+        obs.controller_tick(0.0, True)
+        obs.sample_links(0.0, None)
+        obs.kv_sample(0.0, 0, 1)
+        obs.engine_tick(0.0, None)
+        obs.fault_injected(0.0, "k", 0)
+        obs.health_transition(0.0, "k", 0, "s")
+        obs.failover(0.0, 0, "d")
+        obs.kv_retry(0.0, 1, 0.1)
+        obs.requests_requeued(0.0, 1)
+        obs.run_finished(0.0, None)
+        with obs.phase("x"):
+            pass
+        obs.export()
