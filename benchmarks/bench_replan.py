@@ -1,0 +1,326 @@
+"""Online replanning on a load-shift trace with a phase-1 fabric storm.
+
+The scenario inverts the usual quiet/storm split so that *both* static
+endpoint plans are wrong for exactly one phase:
+
+* **phase 1** (t < 60 s, 0.15 req/s): a multi-tenant background-traffic
+  storm saturates the shared Ethernet fabric.  The cross-server TP8
+  plan (``pTP8xPP1``) collapses — its prefill allreduce rides the
+  congested links — while the intra-server TP4xPP2 plan keeps its
+  collectives on NVLink and barely notices.
+* **phase 2** (t >= 60 s, 0.6 req/s): the storm ends and the request
+  rate quadruples.  Now the conservative TP4xPP2 plan saturates on
+  prefill compute and builds an unbounded backlog, while TP8 on the
+  quiet fabric is comfortably fast.
+
+The online replanner starts on the storm-immune plan, detects the
+sustained post-shift prefill backlog, and executes a live quiesce ->
+KV-migration -> warm -> cutover transition onto the TP8 plan once the
+fabric is quiet.  It must beat **both** static endpoint plans on p99
+TTFT, with the transition bill (seconds, KV bytes moved, requests
+delayed, rollbacks) itemised in ``BENCH_replan.json``.
+
+Two more arms pin the safety story:
+
+* a decode-endpoint server fault injected inside the KV-migration
+  window rolls the transition back cleanly (a later trigger retries
+  after recovery) and drops zero requests;
+* an armed replanner whose thresholds can never fire leaves the run
+  byte-identical to one with the subsystem absent (golden parity).
+"""
+
+import pytest
+
+from repro import HEROSERVE, OPT_66B, build_system, build_testbed
+from repro.core import SLA_TESTBED_CHATBOT
+from repro.core.controller import CentralController
+from repro.core.plan import ParallelConfig
+from repro.core.replan import OnlineReplanner, ReplanConfig
+from repro.faults import FaultEvent, FaultInjector, FaultPlan, HealthRegistry
+from repro.obs import FlightRecorder, Observer
+from repro.serving import (
+    BackgroundTrafficConfig,
+    EngineConfig,
+    ServingSimulator,
+)
+from repro.serving.background import BackgroundTraffic
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+from repro.workloads import generate_loadshift_trace
+from repro.workloads.sharegpt import ShareGPTConfig
+
+from common import make_testbed_bank, save_json, save_result
+
+#: Cross-server TP8 — fastest prefill on a quiet fabric, fabric-exposed.
+PLAN_FAST = ParallelConfig(8, 1, 8, 1)
+#: Intra-server TP4 stages — collectives stay on NVLink, storm-immune.
+PLAN_SAFE = ParallelConfig(4, 2, 4, 2)
+
+SHIFT_AT = 60.0
+DURATION = 150.0
+RATE_LOW = 0.15   # phase 1, under the storm
+RATE_HIGH = 0.6   # phase 2, quiet fabric
+TRACE_SEED = 0
+STORM_SEED = 11
+
+#: Long-context chat (longbench-like): prefill-heavy, so plan choice
+#: is dominated by prefill compute vs allreduce exposure.
+LONGCHAT = ShareGPTConfig(
+    input_median=6000.0,
+    input_sigma=0.6,
+    input_min=1024,
+    input_max=16384,
+    output_median=150.0,
+    output_sigma=0.5,
+    output_min=16,
+    output_max=512,
+)
+
+#: Near-continuous multi-tenant bursts on 16 shared links — the §II
+#: INA-collapse regime.  Active only during phase 1.
+STORM = BackgroundTrafficConfig(
+    intensity=0.9,
+    mean_gap=0.2,
+    mean_duration=2.0,
+    links_per_burst=16,
+)
+
+#: Detector tuning: trigger on the load shift (prefill backlog), never
+#: on the storm itself — fabric/cost signals are muted so the replanner
+#: does not attempt a migration over the congested fabric.
+REPLAN = dict(
+    queue_high=6,
+    sustain_checks=4,
+    pending_high=10**6,
+    link_high=float("inf"),
+    cost_drift_high=float("inf"),
+    cooldown_s=10.0,
+    window_s=30.0,
+    min_window_requests=2,
+)
+
+#: A decode-endpoint server outage aimed at the KV-migration window
+#: (the fault-free migration spans ~81.1-84.4 s).
+MID_MIGRATION_FAULT = FaultPlan(
+    events=(
+        FaultEvent(
+            time=82.0,
+            kind="server_down",
+            target="server#0",
+            duration=3.0,
+        ),
+    ),
+    seed=0,
+)
+
+
+def run_arm(arm, replan_config=None, fault_plan=None):
+    """One serving run; returns (trace, metrics, replan timeline)."""
+    built = build_testbed()
+    bank = make_testbed_bank(OPT_66B)
+    trace = generate_loadshift_trace(
+        RATE_LOW,
+        RATE_HIGH,
+        SHIFT_AT,
+        DURATION,
+        make_rng(TRACE_SEED),
+        sharegpt_cfg=LONGCHAT,
+    )
+    plan0 = PLAN_FAST if arm == "static-fast" else PLAN_SAFE
+    system = build_system(
+        HEROSERVE,
+        built,
+        OPT_66B,
+        bank,
+        SLA_TESTBED_CHATBOT,
+        trace.representative_batch(8),
+        arrival_rate=RATE_HIGH,
+        forced_parallel=plan0,
+    )
+    ctx = system.fresh_context()
+    obs = Observer(recorder=FlightRecorder())
+    injector = health = None
+    if fault_plan is not None:
+        health = HealthRegistry()
+        injector = FaultInjector(fault_plan, health, ctx, observer=obs)
+    controller = CentralController(
+        ctx=ctx, scheme=system.spec.scheme, observer=obs, health=health
+    )
+    replanner = None
+    if replan_config is not None:
+        replanner = OnlineReplanner(config=replan_config, observer=obs)
+    sim = ServingSimulator(
+        ctx=ctx,
+        plan=system.plan,
+        model=OPT_66B,
+        bank=bank,
+        sla=system.sla,
+        trace=trace,
+        controller=controller,
+        replanner=replanner,
+        config=EngineConfig(observer=obs),
+        faults=injector,
+    )
+    if injector is not None:
+        injector.arm(sim.queue)
+    bg = BackgroundTraffic(
+        built.topology, ctx.linkstate, sim.queue, STORM, seed=STORM_SEED
+    )
+    bg.start(SHIFT_AT)  # the storm covers phase 1 only
+    metrics = sim.run()
+    return trace, metrics, obs.recorder.replan_timeline()
+
+
+def arm_stats(trace, metrics):
+    s = metrics.summary()
+    return {
+        "n_requests": len(trace),
+        "n_finished": metrics.n_finished,
+        "dropped": metrics.dropped,
+        "p99_ttft_s": s["p99_ttft_s"],
+        "mean_ttft_s": metrics.mean_ttft(),
+        "attainment": metrics.attainment(),
+        "replan_triggers": s.get("replan_triggers", 0.0),
+        "replan_transitions": s.get("replan_transitions", 0.0),
+        "replan_rollbacks": s.get("replan_rollbacks", 0.0),
+        "replan_transition_seconds": s.get(
+            "replan_transition_seconds", 0.0
+        ),
+        "replan_kv_bytes_moved": s.get("replan_kv_bytes_moved", 0.0),
+        "replan_requests_delayed": s.get("replan_requests_delayed", 0.0),
+    }
+
+
+def request_key(metrics):
+    """Per-request byte-identity key (ids, TTFTs, finish times)."""
+    return [
+        (r.request_id, r.ttft, r.finish_time) for r in metrics.finished
+    ]
+
+
+def run_loadshift():
+    out = {}
+    for arm in ("static-fast", "static-safe"):
+        trace, metrics, _ = run_arm(arm)
+        out[arm] = arm_stats(trace, metrics)
+
+    trace, metrics, timeline = run_arm(
+        "online", replan_config=ReplanConfig(target_parallel=PLAN_FAST,
+                                             **REPLAN)
+    )
+    out["online"] = arm_stats(trace, metrics)
+    out["online"]["timeline"] = timeline
+
+    trace, metrics, timeline = run_arm(
+        "online",
+        replan_config=ReplanConfig(target_parallel=PLAN_FAST, **REPLAN),
+        fault_plan=MID_MIGRATION_FAULT,
+    )
+    out["online-mid-fault"] = arm_stats(trace, metrics)
+    out["online-mid-fault"]["timeline"] = timeline
+
+    # Golden parity: an armed replanner whose thresholds can never fire
+    # must leave the run byte-identical to one without the subsystem.
+    never = ReplanConfig(
+        target_parallel=PLAN_FAST,
+        queue_high=float("inf"),
+        pending_high=float("inf"),
+        link_high=float("inf"),
+        cost_drift_high=float("inf"),
+    )
+    _, plain, _ = run_arm("static-safe")
+    _, armed, _ = run_arm("static-safe", replan_config=never)
+    out["parity"] = {
+        "identical": request_key(plain) == request_key(armed),
+        "armed_replan_keys_zero": all(
+            v == 0.0
+            for k, v in armed.summary().items()
+            if k.startswith("replan_")
+        ),
+    }
+    return out
+
+
+@pytest.mark.benchmark(group="replan")
+def test_replan_loadshift(benchmark):
+    res = benchmark.pedantic(run_loadshift, rounds=1, iterations=1)
+    arms = ("static-fast", "static-safe", "online", "online-mid-fault")
+    rows = [
+        [
+            arm,
+            f"{res[arm]['n_finished']}/{res[arm]['n_requests']}",
+            f"{res[arm]['p99_ttft_s']:.1f}",
+            f"{res[arm]['mean_ttft_s']:.1f}",
+            f"{res[arm]['replan_transitions']:.0f}",
+            f"{res[arm]['replan_rollbacks']:.0f}",
+            f"{res[arm]['replan_kv_bytes_moved'] / 1e9:.1f}",
+            f"{res[arm]['replan_requests_delayed']:.0f}",
+            f"{res[arm]['replan_transition_seconds']:.2f}",
+        ]
+        for arm in arms
+    ]
+    table = format_table(
+        [
+            "arm",
+            "finished",
+            "p99 TTFT s",
+            "mean TTFT s",
+            "trans",
+            "rollbk",
+            "KV GB",
+            "delayed",
+            "trans s",
+        ],
+        rows,
+        title=(
+            "Online replanning — phase-1 fabric storm, 0.15->0.6 req/s "
+            "load shift at t=60 s (OPT-66B, testbed)"
+        ),
+    )
+    print("\n" + table)
+    save_result("replan_loadshift", table)
+    save_json(
+        "BENCH_replan",
+        {
+            "scenario": {
+                "topology": "testbed",
+                "model": "OPT_66B",
+                "plan_fast": "pTP8xPP1/dTP8xPP1",
+                "plan_safe": "pTP4xPP2/dTP4xPP2",
+                "rates_req_s": [RATE_LOW, RATE_HIGH],
+                "shift_at_s": SHIFT_AT,
+                "duration_s": DURATION,
+                "storm": "phase 1 only, intensity 0.9 on 16 links",
+                "trace_seed": TRACE_SEED,
+                "storm_seed": STORM_SEED,
+            },
+            "arms": {k: res[k] for k in arms},
+            "parity": res["parity"],
+        },
+    )
+
+    # Every arm finishes every request; nothing is ever dropped.
+    for arm in arms:
+        assert res[arm]["n_finished"] == res[arm]["n_requests"], arm
+        assert res[arm]["dropped"] == 0, arm
+
+    # Acceptance: online replanning beats BOTH static endpoint plans.
+    online = res["online"]
+    assert online["p99_ttft_s"] < res["static-fast"]["p99_ttft_s"]
+    assert online["p99_ttft_s"] < res["static-safe"]["p99_ttft_s"]
+    assert online["replan_transitions"] >= 1
+    assert online["replan_rollbacks"] == 0
+    assert online["replan_kv_bytes_moved"] > 0
+    assert online["replan_requests_delayed"] > 0
+
+    # A fault inside the migration rolls back, then retries cleanly.
+    faulted = res["online-mid-fault"]
+    assert faulted["replan_rollbacks"] >= 1
+    assert faulted["replan_transitions"] >= 1
+    events = [e["event"] for e in faulted["timeline"]]
+    assert "transition_rollback" in events
+    assert "transition_complete" in events
+
+    # Replanning off (never-firing thresholds) is byte-identical.
+    assert res["parity"]["identical"]
+    assert res["parity"]["armed_replan_keys_zero"]

@@ -53,7 +53,9 @@ from repro.core import (
     SLA_TESTBED_CHATBOT,
     CentralController,
     OfflinePlanner,
+    OnlineReplanner,
     Plan,
+    ReplanConfig,
     SlaSpec,
 )
 from repro.llm import (
@@ -74,7 +76,11 @@ from repro.obs import (
     setup_logging,
 )
 from repro.serving import EngineConfig, ServingMetrics, find_max_rate
-from repro.workloads import generate_longbench_trace, generate_sharegpt_trace
+from repro.workloads import (
+    generate_loadshift_trace,
+    generate_longbench_trace,
+    generate_sharegpt_trace,
+)
 
 
 def quick_testbed(
@@ -83,13 +89,16 @@ def quick_testbed(
     seed: int = 0,
     engine_config: EngineConfig | None = None,
     fault_plan: "FaultPlan | None" = None,
+    replan: "ReplanConfig | None" = None,
 ):
     """Plan and simulate HeroServe on the paper's testbed in one call.
 
     Returns ``(system, metrics)``. Meant for the README quickstart; the
     examples directory shows the full API. Pass
-    ``EngineConfig(observer=Observer())`` to collect traces/metrics and
-    a :class:`~repro.faults.FaultPlan` to inject faults mid-run.
+    ``EngineConfig(observer=Observer())`` to collect traces/metrics, a
+    :class:`~repro.faults.FaultPlan` to inject faults mid-run, and a
+    :class:`~repro.core.ReplanConfig` to arm load-triggered online
+    replanning.
     """
     from repro.llm import A100, V100
     from repro.util.rng import make_rng
@@ -107,7 +116,11 @@ def quick_testbed(
         arrival_rate=rate,
     )
     metrics = simulate_trace(
-        system, trace, engine_config=engine_config, fault_plan=fault_plan
+        system,
+        trace,
+        engine_config=engine_config,
+        fault_plan=fault_plan,
+        replan=replan,
     )
     return system, metrics
 
@@ -135,7 +148,9 @@ __all__ = [
     "SLA_TESTBED_CHATBOT",
     "CentralController",
     "OfflinePlanner",
+    "OnlineReplanner",
     "Plan",
+    "ReplanConfig",
     "SlaSpec",
     "OPT_13B",
     "OPT_66B",
@@ -154,6 +169,7 @@ __all__ = [
     "EngineConfig",
     "ServingMetrics",
     "find_max_rate",
+    "generate_loadshift_trace",
     "generate_longbench_trace",
     "generate_sharegpt_trace",
     "quick_testbed",

@@ -10,6 +10,9 @@ Commands
 ``report``     — run an observed simulation and render the HTML report
 ``explain``    — per-request critical-path waterfalls for the K slowest
 ``demo``       — chaos demo: fault-injected run -> flight JSONL + report
+``replan``     — load-shift demo: online replanning executes a live plan
+transition (quiesce -> KV migration -> warm -> cutover);
+``--mid-fault link|server`` drops a fault into the migration window
 ``whatif``     — counterfactual bottleneck ladder: predicted gain per
 resource upgrade (``--validate`` re-simulates each intervention and
 exits nonzero when the analytic estimate diverges beyond tolerance)
@@ -24,6 +27,8 @@ a JSON fault plan on the simulation clock; ``--mtbf S`` / ``--mttr S``
 generate Poisson switch outages instead. ``--schemes LIST``
 (``quickstart`` / ``demo``) adds extra registered collectives (e.g.
 ``ring-2stage,tree``) to every group's online policy table.
+``--online-replan`` (``quickstart``) arms load-triggered online
+replanning.
 
 Observability flags (``quickstart`` / ``compare`` / ``plan``):
 ``--trace-out FILE``   — write a Chrome-tracing JSON (``.jsonl`` for the
@@ -176,7 +181,7 @@ def cmd_info(_args) -> int:
 
 
 def cmd_quickstart(args) -> int:
-    from repro import quick_testbed
+    from repro import ReplanConfig, quick_testbed
     from repro.serving import EngineConfig
 
     observer = _make_observer(args)
@@ -194,6 +199,7 @@ def cmd_quickstart(args) -> int:
         seed=args.seed,
         engine_config=engine_config,
         fault_plan=_load_fault_plan(args),
+        replan=ReplanConfig() if args.online_replan else None,
     )
     print(system.plan.summary())
     print()
@@ -640,6 +646,158 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_replan(args) -> int:
+    """Load-shift demo: online replanning rides out a workload swing.
+
+    Serves a chatbot->summarisation load-shift trace on the testbed
+    from a deliberately modest starting plan (TP4xPP2 per phase); the
+    drift detector notices the post-shift prefill backlog and executes
+    a live transition to TP8xPP1. ``--mid-fault`` drops a link or a
+    decode-endpoint server into the middle of the KV migration: the
+    link fault slows the migration but the transition completes; the
+    server fault rolls the transition back cleanly (a later trigger
+    retries after recovery). No request is ever dropped.
+    """
+    import json
+
+    from repro import (
+        SLA_TESTBED_CHATBOT,
+        OPT_66B,
+        CostModelBank,
+        ReplanConfig,
+        build_system,
+        build_testbed,
+        simulate_trace,
+    )
+    from repro.baselines import HEROSERVE
+    from repro.core.plan import ParallelConfig
+    from repro.faults import FaultEvent, FaultPlan
+    from repro.llm import A100, V100
+    from repro.obs import (
+        AttributionCollector,
+        default_slo_targets,
+        render_text,
+        write_report,
+    )
+    from repro.serving import EngineConfig
+    from repro.util.rng import make_rng
+    from repro.workloads import generate_loadshift_trace
+
+    if args.flight_out is None:
+        # set here rather than via set_defaults(): argparse shares the
+        # parent parser's actions, so a subparser-level default would
+        # leak into every other subcommand using the obs flags.
+        args.flight_out = "replan-flight.jsonl"
+    built = build_testbed()
+    bank = CostModelBank(OPT_66B, {"A100": A100, "V100": V100})
+    trace = generate_loadshift_trace(
+        args.rate_a,
+        args.rate_b,
+        args.shift_at,
+        args.duration,
+        make_rng(args.seed),
+    )
+    system = build_system(
+        HEROSERVE,
+        built,
+        OPT_66B,
+        bank,
+        SLA_TESTBED_CHATBOT,
+        trace.representative_batch(8),
+        arrival_rate=args.rate_a,
+        forced_parallel=ParallelConfig(4, 2, 4, 2),
+    )
+    fault_plan = None
+    if args.mid_fault == "link":
+        # Degrade an Ethernet link across the whole transition window;
+        # migration flows contend with it but the cutover completes.
+        fault_plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=40.0,
+                    kind="link_degrade",
+                    target="link#0",
+                    duration=8.0,
+                    factor=0.25,
+                ),
+            ),
+            seed=args.seed,
+        )
+    elif args.mid_fault == "server":
+        # Kill a decode-endpoint server inside the migration itself;
+        # the transition rolls back and retries after recovery.
+        fault_plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=42.8,
+                    kind="server_down",
+                    target="server#0",
+                    duration=3.0,
+                ),
+            ),
+            seed=args.seed,
+        )
+    slo = _slo_monitor(args)
+    observer = Observer(
+        slo=slo or SLOMonitor(default_slo_targets(SLA_TESTBED_CHATBOT)),
+        recorder=FlightRecorder(),
+        attribution=AttributionCollector(),
+    )
+    replan = ReplanConfig(
+        queue_high=3,
+        pending_high=12,
+        sustain_checks=4,
+        cooldown_s=5.0,
+        window_s=20.0,
+        min_window_requests=4,
+        target_parallel=ParallelConfig(8, 1, 8, 1),
+    )
+    metrics = simulate_trace(
+        system,
+        trace,
+        engine_config=EngineConfig(observer=observer),
+        fault_plan=fault_plan,
+        replan=replan,
+    )
+    print(system.plan.summary())
+    print()
+    summary = metrics.summary()
+    for k, v in summary.items():
+        print(f"  {k:24s} {v:.4g}")
+    timeline = observer.recorder.replan_timeline()
+    print(f"\nreplan timeline ({len(timeline)} events):")
+    for ev in timeline:
+        extra = " ".join(
+            f"{k}={v}"
+            for k, v in ev.items()
+            if k not in ("time", "event")
+        )
+        print(f"  @ {ev['time']:7.2f}s {ev['event']:20s} {extra}")
+    if args.summary_out:
+        with open(args.summary_out, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.summary_out}")
+    _export(observer, args)
+    data = write_report(
+        args.out,
+        observer=observer,
+        serving_metrics=metrics,
+        title="HeroServe online-replanning demo",
+        meta={
+            "system": "HeroServe",
+            "trace": trace.name,
+            "rates": f"{args.rate_a:g}->{args.rate_b:g} req/s",
+            "duration": f"{args.duration:g}s",
+            "seed": args.seed,
+            "mid_fault": args.mid_fault,
+        },
+    )
+    print(render_text(data), end="")
+    print(f"wrote {args.out}")
+    return 0
+
+
 #: Pinned operating points the what-if tolerances were measured at: a
 #: loaded-but-unsaturated regime per topology. Saturated regimes amplify
 #: second-order congestion coupling the first-order analytic model does
@@ -842,6 +1000,12 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated extra collectives for the online policy "
         "tables (e.g. ring-2stage,tree)",
     )
+    p.add_argument(
+        "--online-replan",
+        action="store_true",
+        help="arm load-triggered online replanning (live plan "
+        "transitions with KV migration; adds replan_* summary keys)",
+    )
 
     p = sub.add_parser(
         "compare",
@@ -978,6 +1142,52 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     p = sub.add_parser(
+        "replan",
+        help="load-shift demo: live plan transition with KV migration",
+        parents=[common, obs_flags],
+    )
+    p.add_argument(
+        "--out",
+        default="replan-report.html",
+        metavar="FILE",
+        help="HTML report destination (default replan-report.html)",
+    )
+    p.add_argument(
+        "--summary-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics summary (incl. replan_* keys) as JSON",
+    )
+    p.add_argument(
+        "--rate-a",
+        type=float,
+        default=1.2,
+        help="phase-1 (chatbot) arrival rate in req/s (default 1.2)",
+    )
+    p.add_argument(
+        "--rate-b",
+        type=float,
+        default=0.5,
+        help="phase-2 (summarisation) arrival rate (default 0.5)",
+    )
+    p.add_argument(
+        "--shift-at",
+        type=float,
+        default=30.0,
+        help="workload-shift time in seconds (default 30)",
+    )
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--mid-fault",
+        default="none",
+        choices=["none", "link", "server"],
+        help="inject a fault into the migration window: 'link' "
+        "degrades an Ethernet link (transition still completes), "
+        "'server' kills a decode endpoint (transition rolls back)",
+    )
+
+    p = sub.add_parser(
         "whatif",
         help="counterfactual bottleneck ladder over resource upgrades",
         parents=[common],
@@ -1031,7 +1241,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     # Fail on an unwritable output directory now, not after the run.
     for attr in (
-        "trace_out", "metrics_out", "flight_out", "out", "json", "report"
+        "trace_out",
+        "metrics_out",
+        "flight_out",
+        "out",
+        "json",
+        "report",
+        "summary_out",
     ):
         path = getattr(args, attr, None)
         if path:
@@ -1053,6 +1269,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "explain": cmd_explain,
         "demo": cmd_demo,
+        "replan": cmd_replan,
         "whatif": cmd_whatif,
     }
     return handlers[args.command](args)

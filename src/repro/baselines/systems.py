@@ -41,6 +41,7 @@ from repro.serving.metrics import ServingMetrics
 from repro.workloads.traces import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.replan import ReplanConfig
     from repro.faults.plan import FaultPlan
 
 
@@ -164,6 +165,7 @@ def simulate_trace(
     background: BackgroundTrafficConfig | None = None,
     background_seed: int | None = None,
     fault_plan: "FaultPlan | None" = None,
+    replan: "ReplanConfig | None" = None,
 ) -> ServingMetrics:
     """Run one trace through a system with fresh network state.
 
@@ -173,6 +175,12 @@ def simulate_trace(
     over INA->ring, and the summary gains MTTR / requests-lost /
     degraded-seconds keys. Passing an *empty* plan leaves the run
     byte-identical to ``fault_plan=None``.
+
+    ``replan`` arms an :class:`~repro.core.replan.OnlineReplanner`:
+    sustained drift in the engine's load signals triggers a live plan
+    transition (quiesce -> KV migration -> warm -> cutover) and the
+    summary gains ``replan_*`` transition-accounting keys. ``None``
+    keeps the run byte-identical to builds without the subsystem.
     """
     ctx = system.fresh_context()
     cfg = engine_config or EngineConfig()
@@ -197,6 +205,13 @@ def simulate_trace(
         if system.spec.online
         else None
     )
+    replanner = None
+    if replan is not None:
+        from repro.core.replan import OnlineReplanner
+
+        replanner = OnlineReplanner(
+            config=replan, observer=cfg.observer
+        )
     sim = ServingSimulator(
         ctx=ctx,
         plan=system.plan,
@@ -207,6 +222,7 @@ def simulate_trace(
         controller=controller,
         config=cfg,
         faults=injector,
+        replanner=replanner,
     )
     if injector is not None:
         injector.arm(sim.queue)

@@ -46,6 +46,11 @@ from repro.core.policy import (
     PolicyTableStats,
     table_stats,
 )
+from repro.core.replan import (
+    DriftDetector,
+    OnlineReplanner,
+    ReplanConfig,
+)
 from repro.core.scheduler import CommDecision, LoadAwareScheduler
 
 __all__ = [
@@ -86,6 +91,9 @@ __all__ = [
     "PolicyCostTable",
     "PolicyTableStats",
     "table_stats",
+    "DriftDetector",
+    "OnlineReplanner",
+    "ReplanConfig",
     "CommDecision",
     "LoadAwareScheduler",
 ]

@@ -47,6 +47,11 @@ class CentralController:
     )
     _last_refresh: float = field(default=float("-inf"))
     refreshes: int = 0
+    #: per-group cheapest step cost first observed — the deployment-time
+    #: baseline that :meth:`policy_cost_drift` measures growth against
+    _cost_baseline: dict[tuple[int, ...], float] = field(
+        default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         #: simulator self-profiler carried by the observer (or None);
@@ -161,6 +166,30 @@ class CentralController:
     def n_groups(self) -> int:
         """Number of registered GPU groups."""
         return len(self._schedulers)
+
+    def policy_cost_drift(self) -> float:
+        """Worst per-group growth of the best step cost since deployment.
+
+        For every group the cheapest base cost (Eq. 16's ``b``)
+        currently in its policy table is compared against the cheapest
+        value first observed for that group; the maximum ratio over
+        groups is the drift detector's "the fabric now serves this plan
+        worse than when it was made" signal. Returns 1.0 while no group
+        has priced a table yet.
+        """
+        worst = 1.0
+        for key, sched in self._schedulers.items():
+            b = sched.table.b
+            if len(b) == 0:
+                continue
+            best = float(min(b))
+            if best <= 0.0:
+                continue
+            base = self._cost_baseline.setdefault(key, best)
+            ratio = best / base
+            if ratio > worst:
+                worst = ratio
+        return worst
 
     def table_snapshots(self) -> dict[str, dict]:
         """Per-group policy-table state for the flight recorder.

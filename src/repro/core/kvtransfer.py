@@ -149,3 +149,33 @@ def kv_transfer_flows(
             continue
         out.append((ctx.path_links(pg, dg), total_bytes * share))
     return out
+
+
+def plan_kv_migration(
+    ctx: CommContext,
+    model: ModelConfig,
+    tokens: int,
+    src_stages: Sequence[Sequence[int]],
+    dst_stages: Sequence[Sequence[int]],
+) -> tuple[float, list[tuple[list[int], float]], float]:
+    """Model moving ``tokens`` of resident KV from one decode placement
+    to another (a plan-transition migration).
+
+    Reuses the prefill->decode pairing machinery with the *old* decode
+    stages as the source side: the layer/tensor-slice overlap rules are
+    the same, only the direction differs. Returns ``(duration, flows,
+    moved_bytes)`` where ``flows`` is the ``(link path, bytes)`` list to
+    register on the link tracker and ``moved_bytes`` counts only the
+    bytes that actually cross links (a GPU kept by the new placement
+    re-shards locally for free).
+    """
+    if tokens <= 0:
+        return 0.0, [], 0.0
+    duration = estimate_kv_transfer_time(
+        ctx, model, tokens, src_stages, dst_stages
+    )
+    flows = kv_transfer_flows(ctx, model, tokens, src_stages, dst_stages)
+    moved = float(sum(nbytes for _, nbytes in flows))
+    if moved <= 0.0:
+        return 0.0, [], 0.0
+    return duration, flows, moved

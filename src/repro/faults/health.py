@@ -32,7 +32,62 @@ __all__ = [
     "HealthConfig",
     "HealthRegistry",
     "HealthTransition",
+    "HoldDown",
+    "SustainedThreshold",
 ]
+
+
+@dataclass
+class SustainedThreshold:
+    """Fire only after ``sustain`` consecutive at-or-over updates.
+
+    The hysteresis primitive shared by detection-style consumers (the
+    health registry's miss counting is the hardware analogue; the
+    online-replanning drift detector uses this directly): a signal that
+    merely spikes over ``high`` never fires, only one that *stays* there
+    for ``sustain`` consecutive observations does. Any under-threshold
+    observation re-arms the counter from zero.
+    """
+
+    high: float
+    sustain: int
+    _over: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sustain < 1:
+            raise ValueError(f"sustain must be >= 1, got {self.sustain}")
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; True once the threshold is sustained."""
+        if value >= self.high:
+            self._over += 1
+        else:
+            self._over = 0
+        return self._over >= self.sustain
+
+    def reset(self) -> None:
+        self._over = 0
+
+
+@dataclass
+class HoldDown:
+    """A re-armable hold-down window (cooldown).
+
+    Shared semantics for the registry's recovery masking and the
+    replanner's trigger cooldown: after :meth:`start`, :meth:`elapsed`
+    stays False until ``period`` seconds have passed; a never-started
+    hold-down (NaN anchor) counts as elapsed.
+    """
+
+    period: float
+    _since: float = field(default=math.nan, repr=False)
+
+    def start(self, now: float) -> None:
+        self._since = now
+
+    def elapsed(self, now: float) -> bool:
+        return math.isnan(self._since) or now >= self._since + self.period
+
 
 #: Resource classes tracked by the registry.
 RESOURCE_KINDS = ("switch", "server", "link")
@@ -162,7 +217,7 @@ class HealthRegistry:
                         HealthTransition(now, kind, rid, "down", rec.detail)
                     )
             elif rec.down and not rec.faulted:
-                if now >= rec.recover_at + cfg.holddown_s:
+                if HoldDown(cfg.holddown_s, rec.recover_at).elapsed(now):
                     rec.down = False
                     if rec.episode is not None:
                         rec.episode.restored_at = now

@@ -34,12 +34,19 @@ __all__ = ["FaultInjector", "RetryPolicy"]
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential backoff with jitter for KV-transfer retries."""
+    """Exponential backoff with jitter for KV-transfer retries.
+
+    ``max_attempts`` and ``total_backoff_cap_s`` form the retry
+    *budget*: a transfer whose pairing stays dead past either bound is
+    failed outright (``kv_exhausted``) instead of retrying forever.
+    """
 
     base_s: float = 0.05
     cap_s: float = 2.0
     jitter: float = 0.25
     max_attempts: int = 8
+    #: ceiling on the cumulative backoff a single transfer may spend
+    total_backoff_cap_s: float = 30.0
 
     def delay(self, attempt: int, u: float) -> float:
         """Backoff for ``attempt`` (0-based) given a uniform draw ``u``."""
@@ -51,6 +58,8 @@ class RetryPolicy:
 class _InjectorCounters:
     faults_injected: int = 0
     kv_retries: int = 0
+    #: requests abandoned after exhausting the KV-transfer retry budget
+    kv_exhausted: int = 0
     requests_lost: int = 0
     prefill_redos: int = 0
     slot_exhausted: int = 0
@@ -272,6 +281,7 @@ class FaultInjector:
             failovers=self.health.failovers,
             requests_lost=self.counters.requests_lost,
             kv_retries=self.counters.kv_retries,
+            kv_exhausted=self.counters.kv_exhausted,
             prefill_redos=self.counters.prefill_redos,
             slot_exhausted=slot_exhausted,
             replans=self.counters.replans,

@@ -513,6 +513,41 @@ class Observer:
         if self.recorder is not None:
             self.recorder.log_event(ts, "requests_requeued", n=n)
 
+    # -- online replanning ---------------------------------------------------
+
+    def replan_event(self, ts: float, event: str, **detail) -> None:
+        """One online-replanning lifecycle event (trigger, phase edge,
+        cutover, rollback, suppression).
+
+        ``detail`` must be JSON-serialisable; events land in the flight
+        recorder's event stream, from which the report's "Plan
+        transitions" timeline is built.
+        """
+        self._fault_counter(
+            "_replan_events",
+            "repro_replan_events_total",
+            "online-replanning lifecycle events, by kind",
+        ).inc(event=event)
+        self.trace.instant("replan", event, ts, **detail)
+        if self.recorder is not None:
+            self.recorder.log_event(ts, event, **detail)
+
+    def fleet_all_degraded(self, ts: float, n_replicas: int) -> None:
+        """Edge-triggered: every active replica is degraded at once, so
+        the router fell back to least-backlog over degraded replicas."""
+        self._fault_counter(
+            "_fleet_all_degraded",
+            "repro_fleet_all_degraded_total",
+            "router fallbacks with every active replica degraded",
+        ).inc()
+        self.trace.instant(
+            "faults", "fleet_all_degraded", ts, n_replicas=n_replicas
+        )
+        if self.recorder is not None:
+            self.recorder.log_event(
+                ts, "fleet_all_degraded", n_replicas=n_replicas
+            )
+
     # -- run boundary --------------------------------------------------------
 
     def run_finished(self, ts: float, sim: "ServingSimulator") -> None:
@@ -657,6 +692,12 @@ class NullObserver:
         pass
 
     def requests_requeued(self, ts, n, request_ids=()) -> None:
+        pass
+
+    def replan_event(self, ts, event, **detail) -> None:
+        pass
+
+    def fleet_all_degraded(self, ts, n_replicas) -> None:
         pass
 
     def run_finished(self, ts, sim) -> None:

@@ -33,11 +33,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.serving.engine import ServingSimulator
     from repro.switch.dataplane import SwitchDataplane
 
-__all__ = ["FlightSample", "FlightRecorder"]
+__all__ = ["FlightSample", "FlightRecorder", "REPLAN_EVENTS"]
 
 #: Individual links quieter than this utilisation are not recorded per
 #: sample (kind-level aggregates still cover them).
 RECORD_MIN_LINK_UTIL = 0.01
+
+#: Event names emitted by the online replanner (observer.replan_event);
+#: the report's "Plan transitions" timeline filters on these.
+REPLAN_EVENTS = (
+    "replan_triggered",
+    "replan_suppressed",
+    "plan_transition",
+    "transition_complete",
+    "transition_rollback",
+)
 
 
 @dataclass
@@ -195,6 +205,13 @@ class FlightRecorder:
         """
         self._events.append({"time": ts, "event": event, **detail})
         self.events_total += 1
+
+    def replan_timeline(self) -> list[dict]:
+        """Online-replanning events in time order (the raw material of
+        the report's "Plan transitions" section)."""
+        return [
+            e for e in self._events if e["event"] in REPLAN_EVENTS
+        ]
 
     def events(self, event: str | None = None) -> list[dict]:
         """Recorded events, optionally filtered by event name."""

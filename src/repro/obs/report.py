@@ -15,7 +15,8 @@ and the slowest-request table, when an
 :class:`~repro.obs.attribution.AttributionCollector` was attached),
 cluster timeline sparkline tiles (queues, KV, per-kind link
 utilisation, INA switch pressure), top-k busiest links, policy-flip
-timeline, and the per-group policy selection table.
+timeline, the per-group policy selection table, and the online
+replanning "Plan transitions" event log (when ``--online-replan`` ran).
 """
 
 from __future__ import annotations
@@ -68,6 +69,7 @@ def build_report_data(
         "attribution": None,
         "whatif": whatif,
         "policy_selections": [],
+        "transitions": [],
     }
     if serving_metrics is not None:
         data["summary"] = {
@@ -79,6 +81,8 @@ def build_report_data(
 
     now = 0.0
     recorder = getattr(observer, "recorder", None)
+    if recorder is not None:
+        data["transitions"] = recorder.replan_timeline()
     if recorder is not None and len(recorder):
         samples = recorder.samples()
         now = samples[-1].time
@@ -380,6 +384,55 @@ def _alert_table(slo: dict | None) -> str:
         "<th class='num'>time</th><th>severity</th><th>state</th>"
         "<th>SLO</th><th class='num'>burn</th>"
         "<th class='num'>attainment</th><th>detail</th>"
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _transition_detail(ev: dict) -> str:
+    """Compact ``key=value`` rendering of an event's extra fields."""
+    parts = []
+    for k, v in ev.items():
+        if k in ("time", "event", "from_plan", "to_plan"):
+            continue
+        f = _finite(v)
+        parts.append(f"{k}={f:.4g}" if f is not None else f"{k}={v}")
+    return " ".join(parts)
+
+
+def _transitions_section(transitions: list[dict]) -> str:
+    if not transitions:
+        return (
+            '<p class="empty">no replanning activity — run with '
+            "<code>--online-replan</code> to arm the drift "
+            "detector</p>"
+        )
+    rows = []
+    for ev in transitions:
+        name = ev["event"]
+        cls = {
+            "transition_complete": "ok",
+            "transition_rollback": "page",
+            "replan_suppressed": "ticket",
+        }.get(name, "")
+        plan = ""
+        if ev.get("from_plan") or ev.get("to_plan"):
+            plan = (
+                f"{ev.get('from_plan', '?')} &rarr; "
+                f"{ev.get('to_plan', '?')}"
+            )
+        rows.append(
+            "<tr>"
+            f"<td class='num'>{ev['time']:.2f}s</td>"
+            f"<td><span class='status {cls}'>{html.escape(name)}"
+            "</span></td>"
+            f"<td>{plan}</td>"
+            f"<td>{html.escape(_transition_detail(ev))}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr>"
+        "<th class='num'>time</th><th>event</th><th>plan</th>"
+        "<th>detail</th>"
         f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
     )
 
@@ -710,6 +763,8 @@ def render_html(data: dict[str, Any]) -> str:
         f"{_top_links_table(flight)}"
         "<h2>Policy-flip timeline</h2>"
         f"{_policy_tables(data)}"
+        "<h2>Plan transitions</h2>"
+        f"{_transitions_section(data.get('transitions') or [])}"
     )
     return (
         "<!DOCTYPE html>\n"
@@ -839,6 +894,25 @@ def render_text(data: dict[str, Any]) -> str:
             lines.append(
                 f"  {f['time']:8.1f}s {f['group']}: "
                 f"{f['from']} -> {f['to']}"
+            )
+    transitions = data.get("transitions") or []
+    if transitions:
+        lines.append(f"plan transitions: {len(transitions)} events")
+        for ev in transitions[:12]:
+            plan = ""
+            if ev.get("from_plan") or ev.get("to_plan"):
+                plan = (
+                    f" {ev.get('from_plan', '?')} -> "
+                    f"{ev.get('to_plan', '?')}"
+                )
+            detail = _transition_detail(ev)
+            lines.append(
+                f"  {ev['time']:8.2f}s {ev['event']}{plan}"
+                + (f"  [{detail}]" if detail else "")
+            )
+        if len(transitions) > 12:
+            lines.append(
+                f"  ... and {len(transitions) - 12} more"
             )
     return "\n".join(lines) + "\n"
 

@@ -133,8 +133,22 @@ class AutoScaler:
                 candidates,
                 key=lambda i: self.fleet.replicas[i].queued_requests,
             )
-            self.fleet.set_active(idx, False)
-            kind = "in"
+            healthy_rest = [
+                i
+                for i in candidates
+                if i != idx and not self.fleet.replicas[i].degraded
+            ]
+            if (
+                self.fleet.replicas[idx].queued_requests > 0
+                and not healthy_rest
+            ):
+                # Drain guard: the victim still has queued work and no
+                # healthy peer could take its traffic — draining now
+                # would strand the backlog behind degraded replicas.
+                reason = "drain_guard"
+            else:
+                self.fleet.set_active(idx, False)
+                kind = "in"
         self.actions.append(
             ScalingAction(
                 time=self.queue.now,

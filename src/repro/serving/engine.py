@@ -126,6 +126,7 @@ class ServingSimulator:
         config: EngineConfig | None = None,
         queue: EventQueue | None = None,
         faults=None,
+        replanner=None,
     ) -> None:
         if ctx.linkstate is None:
             raise ValueError(
@@ -210,6 +211,15 @@ class ServingSimulator:
         self._kv_inflight: list[dict] = []
         if faults is not None:
             faults.attach_engine(self)
+
+        # -- online replanning (None keeps the replan-free fast path)
+        self.replanner = replanner
+        #: True while a plan transition quiesces/migrates: no new
+        #: prefill batch or decode iteration may start (in-flight ones
+        #: finish; nothing is dropped)
+        self.replan_hold = False
+        if replanner is not None:
+            replanner.attach(self)
 
     # ------------------------------------------------------------------
     # communication pricing
@@ -407,6 +417,8 @@ class ServingSimulator:
     def _on_arrival(self, req: RequestState) -> None:
         if self.obs.enabled:
             self.obs.request_arrival(self.queue.now, req)
+        if self.replanner is not None:
+            self.replanner.on_arrival(self.queue.now, req)
         self.prefill_queue.append(req)
         self._try_start_prefill()
 
@@ -425,7 +437,12 @@ class ServingSimulator:
         return batch
 
     def _try_start_prefill(self) -> None:
-        if self.prefill_busy or self._prefill_down or not self.prefill_queue:
+        if (
+            self.prefill_busy
+            or self._prefill_down
+            or self.replan_hold
+            or not self.prefill_queue
+        ):
             return
         sp = self._sp
         if sp is None:
@@ -491,20 +508,34 @@ class ServingSimulator:
         self._start_kv_transfer(batch, spec, attempt=0)
 
     def _start_kv_transfer(
-        self, batch: list[RequestState], spec: BatchSpec, attempt: int
+        self,
+        batch: list[RequestState],
+        spec: BatchSpec,
+        attempt: int,
+        waited: float = 0.0,
     ) -> None:
         """Hand the batch's KV to the decode cluster, tolerating faults.
 
         While the decode cluster is ground-truth unreachable (failed
         server) the transfer backs off exponentially with jitter and
         retries — the prefill side still holds the KV until the handoff
-        completes. During a recovery hold-down, transfers re-pair around
+        completes — within the retry policy's *budget* (max attempts
+        and total-backoff ceiling); a batch that exhausts the budget is
+        failed outright rather than retried forever against a dead
+        pairing. During a recovery hold-down, transfers re-pair around
         the decode GPUs the control plane still believes dead.
         """
         now = self.queue.now
         if self.faults is not None and self.faults.gpus_blocked(
             self._decode_gpu_set
         ):
+            policy = self.faults.retry
+            if (
+                attempt >= policy.max_attempts
+                or waited >= policy.total_backoff_cap_s
+            ):
+                self._fail_kv_transfer(batch, attempt)
+                return
             delay = self.faults.backoff(attempt)
             self.faults.counters.kv_retries += 1
             if self.obs.enabled:
@@ -520,6 +551,7 @@ class ServingSimulator:
                 batch,
                 spec,
                 attempt + 1,
+                waited + delay,
                 tag="kv_retry",
             )
             return
@@ -576,10 +608,36 @@ class ServingSimulator:
                     "spec": spec,
                     "handles": handles,
                     "attempt": attempt,
+                    "waited": waited,
                 }
             )
         else:
             self._kv_done(batch, [])
+
+    def _fail_kv_transfer(
+        self, batch: list[RequestState], attempt: int
+    ) -> None:
+        """Retry budget exhausted: fail the batch's requests for good.
+
+        The decode pairing stayed ground-truth dead through the whole
+        retry budget; the prefill side gives up holding the KV and the
+        requests are lost (counted distinctly from transient
+        requeue-style losses via ``kv_exhausted``).
+        """
+        now = self.queue.now
+        self.metrics.dropped += len(batch)
+        self.faults.counters.requests_lost += len(batch)
+        self.faults.counters.kv_exhausted += len(batch)
+        log.warning(
+            "KV-transfer retry budget exhausted at t=%.3f after %d "
+            "attempts: dropping %d requests",
+            now,
+            attempt,
+            len(batch),
+        )
+        if self.obs.enabled:
+            for r in batch:
+                self.obs.request_dropped(now, r)
 
     def _kv_done(self, batch: list[RequestState], handles: list[int]) -> None:
         if self._kv_inflight:
@@ -632,7 +690,7 @@ class ServingSimulator:
         return self._decode_comm_cache[1]
 
     def _try_start_decode(self) -> None:
-        if self.decode_busy or self._decode_down:
+        if self.decode_busy or self._decode_down or self.replan_hold:
             return
         sp = self._sp
         if sp is None:
@@ -701,6 +759,54 @@ class ServingSimulator:
         self._try_start_decode()
 
     # ------------------------------------------------------------------
+    # online replanning (driven by repro.core.replan.OnlineReplanner)
+    # ------------------------------------------------------------------
+
+    def apply_plan(self, new_plan: Plan) -> None:
+        """Swap the deployment onto ``new_plan`` (a replan cutover).
+
+        Request state survives: queued requests keep their positions,
+        admission-waiting and decoding requests keep their (migrated)
+        KV. The hardware views, KV budget and fault gates are
+        recomputed for the new placement; ``kv_used`` is carried over,
+        so a cutover to a smaller decode pool simply blocks admission
+        until enough requests finish.
+        """
+        self.plan = new_plan
+        self.prefill_stages = [list(s) for s in new_plan.prefill.stages]
+        self.decode_stages = [list(s) for s in new_plan.decode.stages]
+        self._prefill_hw = self.ctx.group_hardware(
+            [g for s in self.prefill_stages for g in s]
+        )
+        self._decode_hw = self.ctx.group_hardware(
+            [g for s in self.decode_stages for g in s]
+        )
+        topo = self.ctx.built.topology
+        dec_min_mem = min(
+            topo.nodes[g].memory_bytes
+            for s in self.decode_stages
+            for g in s
+        )
+        self.kv_budget = MemoryBudget(
+            self.model,
+            new_plan.parallel.p_tens_decode,
+            new_plan.parallel.p_pipe_decode,
+            dec_min_mem,
+            r_frac=self.cfg.r_frac,
+        )
+        self.kv_capacity = self.kv_budget.max_cached_tokens()
+        self._decode_comm_cache = None
+        self._prefill_gpu_set = {g for s in self.prefill_stages for g in s}
+        self._decode_gpu_set = {g for s in self.decode_stages for g in s}
+        if self.faults is not None:
+            self._prefill_down = self.faults.gpus_blocked(
+                self._prefill_gpu_set
+            )
+            self._decode_down = self.faults.gpus_blocked(
+                self._decode_gpu_set
+            )
+
+    # ------------------------------------------------------------------
     # fault tolerance (driven by repro.faults.FaultInjector)
     # ------------------------------------------------------------------
 
@@ -754,7 +860,10 @@ class ServingSimulator:
                 rec["event"].cancel()
                 self._release(rec["handles"])
                 self._start_kv_transfer(
-                    rec["batch"], rec["spec"], rec["attempt"] + 1
+                    rec["batch"],
+                    rec["spec"],
+                    rec["attempt"] + 1,
+                    rec["waited"],
                 )
         log.info(
             "server %d down at t=%.3f: %d requests requeued for "
@@ -765,6 +874,8 @@ class ServingSimulator:
         )
         if lost:
             self._requeue_lost(lost)
+        if self.replanner is not None:
+            self.replanner.on_server_down(now, gpus)
 
     def on_server_up(self, now: float, server: int, gpus: set[int]) -> None:
         """Resume gated phases once their servers are all back."""
@@ -820,6 +931,8 @@ class ServingSimulator:
             sp.add("engine.controller_tick", time.perf_counter() - t0)
 
     def _tick_controller_inner(self) -> None:
+        if self.replanner is not None:
+            self.replanner.on_tick(self.queue.now)
         if self.controller is not None:
             refreshed = self.controller.tick(self.queue.now)
             if self.obs.enabled:
@@ -879,6 +992,8 @@ class ServingSimulator:
             )
         if self.faults is not None:
             self.faults.finalize(self.queue.now, self.metrics)
+        if self.replanner is not None:
+            self.replanner.finalize(self.metrics)
         if self.obs.enabled:
             self.obs.run_finished(self.queue.now, self)
         log.info(

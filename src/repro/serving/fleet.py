@@ -68,6 +68,10 @@ class ReplicaFleet:
     queue: EventQueue
     active: list[bool] = field(default_factory=list)
     routed: list[int] = field(default_factory=list)
+    #: observability sink for router-level events; defaults to the first
+    #: replica's observer (the fleet-shared one in every current caller)
+    observer: object = None
+    _all_degraded: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.replicas:
@@ -81,6 +85,8 @@ class ReplicaFleet:
             self.active = [True] * len(self.replicas)
         if not self.routed:
             self.routed = [0] * len(self.replicas)
+        if self.observer is None:
+            self.observer = self.replicas[0].obs
 
     # -- scaling hooks -----------------------------------------------------
 
@@ -103,17 +109,29 @@ class ReplicaFleet:
 
         Replicas currently degraded by an injected fault (a failed
         prefill/decode server) are skipped while any healthy active
-        replica exists; if every active replica is degraded, JSQ over
-        all of them still applies so requests queue rather than drop.
+        replica exists; when every active replica is simultaneously
+        degraded the router falls back to least-backlog routing over
+        the degraded set (requests queue rather than drop) and emits an
+        edge-triggered ``fleet_all_degraded`` flight-recorder event.
         """
         candidates = [
             i for i, a in enumerate(self.active) if a
         ]
+        if not candidates:
+            # Defensive: set_active refuses to drain the last replica,
+            # but an externally mutated mask must still route somewhere.
+            candidates = list(range(len(self.replicas)))
         healthy = [
             i for i in candidates if not self.replicas[i].degraded
         ]
         if healthy:
             candidates = healthy
+            self._all_degraded = False
+        elif not self._all_degraded:
+            self._all_degraded = True
+            self.observer.fleet_all_degraded(
+                self.queue.now, len(candidates)
+            )
         idx = min(
             candidates, key=lambda i: self.replicas[i].queued_requests
         )

@@ -51,6 +51,8 @@ class FaultStats:
     #: requests whose in-flight progress was lost to a server failure
     requests_lost: int = 0
     kv_retries: int = 0
+    #: requests abandoned after exhausting the KV-transfer retry budget
+    kv_exhausted: int = 0
     prefill_redos: int = 0
     slot_exhausted: int = 0
     replans: int = 0
@@ -65,6 +67,7 @@ class FaultStats:
             "failovers": float(self.failovers),
             "requests_lost": float(self.requests_lost),
             "kv_retries": float(self.kv_retries),
+            "kv_exhausted": float(self.kv_exhausted),
             "prefill_redos": float(self.prefill_redos),
             "slot_exhausted": float(self.slot_exhausted),
             "replans": float(self.replans),
@@ -92,6 +95,11 @@ class ServingMetrics:
     #: :class:`~repro.obs.attribution.AttributionCollector` was present
     #: — ``None`` otherwise, keeping summaries byte-identical
     attribution_stats: dict[str, float] | None = None
+    #: flat ``replan_*`` transition-accounting keys attached by the
+    #: :class:`~repro.core.replan.OnlineReplanner` at run end — ``None``
+    #: when online replanning is not armed, so plain runs stay
+    #: byte-identical
+    replan_stats: dict[str, float] | None = None
 
     def record_finish(self, req: RequestState) -> None:
         self.finished.append(req)
@@ -188,8 +196,10 @@ class ServingMetrics:
         """Flat dict used by the benchmark tables.
 
         Fault keys (MTTR, requests lost, degraded seconds, ...) appear
-        only when a fault plan actually ran; ``cp_*`` critical-path
-        budget keys only when an attribution collector was attached.
+        only when a fault plan actually ran; ``replan_*`` transition
+        keys only when online replanning was armed; ``cp_*``
+        critical-path budget keys only when an attribution collector
+        was attached.
         """
         out = {
             "finished": float(self.n_finished),
@@ -211,6 +221,8 @@ class ServingMetrics:
         }
         if self.fault_stats is not None:
             out.update(self.fault_stats.summary())
+        if self.replan_stats is not None:
+            out.update(self.replan_stats)
         if self.attribution_stats is not None:
             out.update(self.attribution_stats)
         return out

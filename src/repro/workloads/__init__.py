@@ -5,6 +5,7 @@ from repro.workloads.arrivals import (
     effective_rate,
     poisson_arrivals,
 )
+from repro.workloads.loadshift import generate_loadshift_trace
 from repro.workloads.longbench import (
     LongBenchConfig,
     generate_longbench_trace,
@@ -20,6 +21,7 @@ __all__ = [
     "effective_rate",
     "poisson_arrivals",
     "LongBenchConfig",
+    "generate_loadshift_trace",
     "generate_longbench_trace",
     "ShareGPTConfig",
     "generate_sharegpt_trace",

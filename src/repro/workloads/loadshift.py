@@ -1,0 +1,62 @@
+"""Load-shift trace: a mid-run regime change between two workloads.
+
+The online-replanning experiments need a trace whose *optimal plan
+changes mid-run*: a deployment planned for the first regime should be
+measurably wrong for the second. The canonical instance is a
+chatbot-to-summarisation shift — short ShareGPT-like prompts for the
+first phase, then long LongBench-like prompts (and usually a different
+arrival rate) for the remainder — mirroring the diurnal workload-mix
+swings production serving fleets replan around.
+
+The composite trace simply concatenates two phase traces with shifted
+arrival times and renumbered request ids; each phase uses the package's
+existing generators, so length statistics stay faithful to the
+per-dataset models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.longbench import LongBenchConfig, generate_longbench_trace
+from repro.workloads.sharegpt import ShareGPTConfig, generate_sharegpt_trace
+from repro.workloads.traces import Trace, TraceRequest
+
+
+def generate_loadshift_trace(
+    rate_a: float,
+    rate_b: float,
+    shift_at: float,
+    duration: float,
+    rng: np.random.Generator,
+    sharegpt_cfg: ShareGPTConfig | None = None,
+    longbench_cfg: LongBenchConfig | None = None,
+) -> Trace:
+    """ShareGPT at ``rate_a`` until ``shift_at``, then LongBench at
+    ``rate_b`` until ``duration``.
+
+    Arrival times of the second phase are shifted by ``shift_at`` and
+    request ids renumbered so the composite is one well-formed trace.
+    """
+    if not 0.0 < shift_at < duration:
+        raise ValueError(
+            f"need 0 < shift_at < duration, got {shift_at}/{duration}"
+        )
+    phase_a = generate_sharegpt_trace(
+        rate_a, shift_at, rng, cfg=sharegpt_cfg
+    )
+    phase_b = generate_longbench_trace(
+        rate_b, duration - shift_at, rng, cfg=longbench_cfg
+    )
+    reqs = list(phase_a.requests)
+    base = len(reqs)
+    reqs.extend(
+        TraceRequest(
+            base + r.request_id,
+            shift_at + r.arrival_time,
+            r.input_len,
+            r.output_len,
+        )
+        for r in phase_b.requests
+    )
+    return Trace(name=f"loadshift@{shift_at:g}s", requests=reqs)

@@ -1,0 +1,35 @@
+"""Regenerate the golden quickstart summary for the replan parity test.
+
+Run from the repo root after an *intentional* behaviour change to the
+plain (replanning-off) serving path::
+
+    PYTHONPATH=src python tests/make_quickstart_golden.py
+
+The golden pins the full ``ServingMetrics.summary()`` of the default
+testbed quickstart at (rate=1.0, duration=12.0, seed=0).
+``tests/test_replan.py::TestByteIdentity`` asserts that (a) a plain run
+still reproduces it exactly and (b) arming an idle
+:class:`~repro.core.replan.OnlineReplanner` changes nothing but the
+zero-valued ``replan_*`` keys.
+"""
+
+import json
+import os
+
+from repro import quick_testbed
+
+OUT = os.path.join(
+    os.path.dirname(__file__), "data", "golden_quickstart_summary.json"
+)
+
+
+def main() -> None:
+    _, metrics = quick_testbed(rate=1.0, duration=12.0, seed=0)
+    with open(OUT, "w") as fh:
+        json.dump(metrics.summary(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

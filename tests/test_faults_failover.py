@@ -139,6 +139,57 @@ class TestServingUnderFaults:
         assert metrics.fault_stats.kv_retries >= 1
         assert metrics.n_finished > 0
 
+    def test_outage_shorter_than_budget_never_exhausts(self):
+        # The 2-3 s outages above sit far inside the default retry
+        # budget (8 attempts, ~7+ s cumulative backoff): no transfer
+        # may give up, so the new counter stays at zero.
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=2.0,
+                    kind="server_down",
+                    target="server#0",
+                    duration=3.0,
+                ),
+            ),
+            seed=0,
+        )
+        _, metrics = quick_testbed(
+            rate=1.0, duration=12.0, seed=0, fault_plan=plan
+        )
+        assert metrics.fault_stats.kv_exhausted == 0
+        assert metrics.dropped == 0
+
+
+class TestKvRetryBudget:
+    def test_long_outage_exhausts_budget_and_fails_requests(self):
+        # A decode outage far longer than the retry budget: transfers
+        # burn through max_attempts, the batches fail into dropped /
+        # requests_lost with the distinct kv_exhausted counter, and
+        # requests arriving late enough still finish after recovery.
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=2.0,
+                    kind="server_down",
+                    target="server#0",
+                    duration=12.0,
+                ),
+            ),
+            seed=0,
+        )
+        _, metrics = quick_testbed(
+            rate=1.0, duration=15.0, seed=0, fault_plan=plan
+        )
+        fs = metrics.fault_stats
+        assert fs.kv_exhausted >= 1
+        assert metrics.dropped >= fs.kv_exhausted
+        assert fs.requests_lost >= fs.kv_exhausted
+        assert fs.kv_retries >= fs.kv_exhausted
+        assert metrics.n_finished > 0
+        s = metrics.summary()
+        assert s["kv_exhausted"] == float(fs.kv_exhausted)
+
 
 class TestByteIdentity:
     def test_empty_plan_equals_no_plan(self):

@@ -165,6 +165,37 @@ class TestAutoScaler:
         fm = fleet.run(trace)
         assert fm.n_finished == len(trace)
 
+    def test_drain_guard_holds_backlogged_victim(self, built, bank):
+        # Scale-in pressure (observed rate 0), but the would-be victim
+        # still has queued work and its only peer is degraded: draining
+        # would strand the backlog, so the scaler holds instead.
+        fleet = make_fleet(built, bank, n=2)
+        scaler = AutoScaler(
+            fleet, fleet.queue, replica_capacity=10.0, window=5.0
+        )
+        fleet.replicas[0].submit(TraceRequest(0, 0.0, 16, 4))
+        fleet.replicas[1].submit(TraceRequest(1, 0.0, 16, 4))
+        fleet.replicas[1].submit(TraceRequest(2, 0.0, 16, 4))
+        fleet.replicas[1]._prefill_down = True
+        scaler._tick(end=0.0)
+        assert fleet.n_active == 2
+        act = scaler.actions[-1]
+        assert act.kind == "hold"
+        assert act.reason == "drain_guard"
+
+    def test_drain_proceeds_with_healthy_peer(self, built, bank):
+        # Same backlog, but the peer is healthy: scale-in goes ahead.
+        fleet = make_fleet(built, bank, n=2)
+        scaler = AutoScaler(
+            fleet, fleet.queue, replica_capacity=10.0, window=5.0
+        )
+        fleet.replicas[0].submit(TraceRequest(0, 0.0, 16, 4))
+        fleet.replicas[1].submit(TraceRequest(1, 0.0, 16, 4))
+        fleet.replicas[1].submit(TraceRequest(2, 0.0, 16, 4))
+        scaler._tick(end=0.0)
+        assert fleet.n_active == 1
+        assert scaler.actions[-1].kind == "in"
+
     def test_validation(self, built, bank):
         fleet = make_fleet(built, bank, n=2)
         with pytest.raises(ValueError):
@@ -207,3 +238,24 @@ class TestFaultAwareRouting:
         fleet.replicas[0]._prefill_down = False
         idx = fleet.route(TraceRequest(3, 0.0, 16, 4))
         assert idx == 0  # healthy again and now the shortest queue
+
+    def test_all_degraded_event_is_edge_triggered(self, built, bank):
+        events = []
+
+        class _Obs:
+            def fleet_all_degraded(self, ts, n):
+                events.append((ts, n))
+
+        fleet = make_fleet(built, bank, n=2)
+        fleet.observer = _Obs()
+        for sim in fleet.replicas:
+            sim._prefill_down = True
+        fleet.route(TraceRequest(0, 0.0, 16, 4))
+        fleet.route(TraceRequest(1, 0.0, 16, 4))
+        assert events == [(0.0, 2)]  # once per episode, not per request
+        # Recovery clears the edge; a relapse emits a second event.
+        fleet.replicas[0]._prefill_down = False
+        fleet.route(TraceRequest(2, 0.0, 16, 4))
+        fleet.replicas[0]._prefill_down = True
+        fleet.route(TraceRequest(3, 0.0, 16, 4))
+        assert len(events) == 2

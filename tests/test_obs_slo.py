@@ -188,6 +188,7 @@ class TestAlertEdges:
 
 class _FakeReplica:
     queued_requests = 0
+    degraded = False
 
 
 class _FakeFleet:

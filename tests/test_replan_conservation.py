@@ -1,0 +1,155 @@
+"""Property: no request is ever dropped across a plan transition.
+
+Satellite of the online-replanning work: across seeds, topologies and
+an optional endpoint-server fault landing inside the migration window,
+every request submitted to the engine must come out the other side —
+``finished + dropped == submitted`` always, and with no retry-budget
+exhaustion in play ``dropped == 0`` and the finished request ids are
+exactly the trace's ids (conservation, not just conservation of count).
+"""
+
+import pytest
+
+from repro import (
+    HEROSERVE,
+    OPT_66B,
+    OPT_175B,
+    CostModelBank,
+    ReplanConfig,
+    build_system,
+    build_testbed,
+    build_xtracks_cluster,
+    simulate_trace,
+)
+from repro.core import SLA_SIM_CHATBOT, SLA_TESTBED_CHATBOT
+from repro.core.plan import ParallelConfig
+from repro.faults import FaultEvent, FaultPlan
+from repro.llm import A100, V100
+from repro.util.rng import make_rng
+from repro.workloads import generate_loadshift_trace
+
+SEEDS = (0, 7, 13)
+
+#: Aggressive detector settings shared by both topologies.
+TUNING = dict(
+    queue_high=3,
+    pending_high=12,
+    sustain_checks=4,
+    cooldown_s=5.0,
+    window_s=20.0,
+    min_window_requests=4,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed_parts():
+    built = build_testbed()
+    bank = CostModelBank(OPT_66B, {"A100": A100, "V100": V100})
+    return built, bank
+
+
+@pytest.fixture(scope="module")
+def xtracks_parts():
+    built = build_xtracks_cluster(2, n_units=1)
+    bank = CostModelBank(OPT_175B, {"A100": A100})
+    return built, bank
+
+
+def _testbed_scenario(parts, seed):
+    built, bank = parts
+    trace = generate_loadshift_trace(
+        1.2, 0.5, 30.0, 60.0, make_rng(seed)
+    )
+    system = build_system(
+        HEROSERVE,
+        built,
+        OPT_66B,
+        bank,
+        SLA_TESTBED_CHATBOT,
+        trace.representative_batch(8),
+        arrival_rate=1.2,
+        forced_parallel=ParallelConfig(4, 2, 4, 2),
+    )
+    replan = ReplanConfig(
+        target_parallel=ParallelConfig(8, 1, 8, 1), **TUNING
+    )
+    return system, trace, replan
+
+
+def _xtracks_scenario(parts, seed):
+    built, bank = parts
+    trace = generate_loadshift_trace(
+        2.0, 1.0, 30.0, 60.0, make_rng(seed)
+    )
+    system = build_system(
+        HEROSERVE,
+        built,
+        OPT_175B,
+        bank,
+        SLA_SIM_CHATBOT,
+        trace.representative_batch(8),
+        arrival_rate=2.0,
+        forced_parallel=ParallelConfig(8, 2, 8, 2),
+    )
+    replan = ReplanConfig(
+        target_parallel=ParallelConfig(16, 1, 16, 1), **TUNING
+    )
+    return system, trace, replan
+
+
+def mid_migration_fault(seed):
+    """A decode-endpoint server outage aimed at the transition window.
+
+    The exact migration instant shifts with the seed; conservation must
+    hold whether the fault lands inside the migration (rollback path)
+    or merely near it (failover path). The outage is shorter than the
+    KV retry budget, so no transfer may legitimately exhaust.
+    """
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                time=42.8,
+                kind="server_down",
+                target="server#0",
+                duration=3.0,
+            ),
+        ),
+        seed=seed,
+    )
+
+
+def assert_conserved(trace, metrics):
+    assert metrics.n_finished + metrics.dropped == len(trace)
+    assert metrics.dropped == 0
+    finished_ids = sorted(r.request_id for r in metrics.finished)
+    assert finished_ids == [r.request_id for r in trace]
+
+
+class TestConservationAcrossTransitions:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("faulted", [False, True])
+    def test_testbed(self, testbed_parts, seed, faulted):
+        system, trace, replan = _testbed_scenario(testbed_parts, seed)
+        metrics = simulate_trace(
+            system,
+            trace,
+            fault_plan=mid_migration_fault(seed) if faulted else None,
+            replan=replan,
+        )
+        s = metrics.summary()
+        assert s["replan_triggers"] >= 1.0
+        assert_conserved(trace, metrics)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("faulted", [False, True])
+    def test_2tracks(self, xtracks_parts, seed, faulted):
+        system, trace, replan = _xtracks_scenario(xtracks_parts, seed)
+        metrics = simulate_trace(
+            system,
+            trace,
+            fault_plan=mid_migration_fault(seed) if faulted else None,
+            replan=replan,
+        )
+        s = metrics.summary()
+        assert s["replan_triggers"] >= 1.0
+        assert_conserved(trace, metrics)
