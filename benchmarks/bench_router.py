@@ -1,0 +1,167 @@
+"""Fleet routing policies on a multi-turn session trace.
+
+The serving-layer analogue of the paper's hybrid communication
+scheduling: a conversation's KV cache is resident on the replica that
+served its previous turn, so routing the follow-up elsewhere drags the
+resident KV across the shared fabric first (NetKV-style network-aware
+instance selection, PAPERS.md). This bench replays one session trace
+through the same 3-replica OPT-175B fleet under every registered
+routing policy and reports TTFT/TPOT tails, affinity hit rate, and KV
+bytes moved/saved — the headline being the KV-affinity router's strict
+reduction of both transfer bytes and tail TTFT over the round-robin
+baseline.
+
+Methodology (docs/ROUTING.md): identical trace and topology per
+policy; a fresh fleet per run (planning is deterministic, so replicas
+are byte-identical across runs); KV fetches price through the live
+link-load tracker and delay the turn's admission, so misses hurt TTFT
+both directly (fetch wait) and indirectly (fabric contention).
+
+With ``--obs-dir``/``REPRO_OBS_DIR`` set, each run dumps its flight
+JSONL — including per-request ``routing_decision`` events — which CI's
+router-smoke step uploads as an artifact.
+"""
+
+import pytest
+
+from repro.baselines import HEROSERVE, build_fleet
+from repro.core import SLA_SIM_CHATBOT
+from repro.llm import OPT_175B
+from repro.network import build_xtracks_cluster
+from repro.serving import registered_routers
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+from repro.workloads import generate_session_trace
+
+from common import (
+    BENCH_SEED,
+    CLUSTER_PARALLEL,
+    dump_observation,
+    make_cluster_bank,
+    maybe_observed_config,
+    save_json,
+    save_result,
+)
+
+SESSION_RATE = 0.4     # new sessions per second
+DURATION = 60.0
+N_REPLICAS = 3
+
+ROUTER_ORDER = ["round-robin", "jsq", "least-loaded", "network-aware",
+                "kv-affinity"]
+
+
+def run_router_sweep():
+    built = build_xtracks_cluster(2, n_units=2)  # 12 servers x 8 GPUs
+    bank = make_cluster_bank(OPT_175B)
+    trace = generate_session_trace(
+        SESSION_RATE, DURATION, make_rng(BENCH_SEED)
+    )
+    out = {}
+    for name in ROUTER_ORDER:
+        cfg, obs = maybe_observed_config()
+        fleet = build_fleet(
+            HEROSERVE,
+            built,
+            OPT_175B,
+            bank,
+            SLA_SIM_CHATBOT,
+            trace.representative_batch(8),
+            arrival_rate=trace.mean_rate,
+            n_replicas=N_REPLICAS,
+            forced_parallel=CLUSTER_PARALLEL,
+            engine_config=cfg,
+            router=name,
+        )
+        fm = fleet.run(trace)
+        if obs is not None:
+            dump_observation(f"router-{name}", obs, fm)
+        s = fm.summary()
+        out[name] = {
+            "finished": s["finished"],
+            "offered": float(len(trace)),
+            "attainment": s["attainment"],
+            "mean_ttft_s": s["mean_ttft_s"],
+            "p50_ttft_s": s["p50_ttft_s"],
+            "p99_ttft_s": s["p99_ttft_s"],
+            "p99_tpot_s": s["p99_tpot_s"],
+            "affinity_hit_rate": s["router_affinity_hit_rate"],
+            "kv_bytes_moved": s["router_kv_bytes_moved"],
+            "kv_bytes_saved": s["router_kv_bytes_saved"],
+            "kv_fetch_wait_s": s["router_kv_fetch_wait_s"],
+            "qos_attainment": fm.qos_attainment(),
+        }
+    return {"trace_requests": len(trace), "routers": out}
+
+
+@pytest.mark.benchmark(group="router")
+def test_router_policies(benchmark):
+    res = benchmark.pedantic(run_router_sweep, rounds=1, iterations=1)
+    routers = res["routers"]
+    assert set(ROUTER_ORDER) <= set(routers)
+    # Coverage guard: every registered policy is benchmarked.
+    assert set(ROUTER_ORDER) == {
+        cls.name for cls in registered_routers()
+    }
+
+    rows = []
+    for name in ROUTER_ORDER:
+        r = routers[name]
+        rows.append(
+            [
+                name,
+                f"{r['affinity_hit_rate']:.2f}",
+                f"{r['kv_bytes_moved'] / 1e9:.1f}",
+                f"{r['kv_bytes_saved'] / 1e9:.1f}",
+                f"{r['kv_fetch_wait_s']:.1f}",
+                f"{r['p99_ttft_s'] * 1e3:.0f}",
+                f"{r['p99_tpot_s'] * 1e3:.1f}",
+                f"{r['attainment']:.2f}",
+            ]
+        )
+    table = format_table(
+        [
+            "router",
+            "hit rate",
+            "KV moved GB",
+            "KV saved GB",
+            "fetch wait s",
+            "p99 TTFT ms",
+            "p99 TPOT ms",
+            "attainment",
+        ],
+        rows,
+        title=(
+            f"Routing policies — {N_REPLICAS} OPT-175B replicas on "
+            f"2tracks, {res['trace_requests']} session requests"
+        ),
+    )
+    print("\n" + table)
+    save_result("router_compare", table)
+    save_json(
+        "BENCH_router",
+        {
+            "topology": "2tracks/2units",
+            "model": OPT_175B.name,
+            "n_replicas": N_REPLICAS,
+            "session_rate": SESSION_RATE,
+            "duration_s": DURATION,
+            "seed": BENCH_SEED,
+            "trace_requests": res["trace_requests"],
+            "routers": routers,
+        },
+    )
+
+    # Work is conserved under every policy.
+    for name, r in routers.items():
+        assert r["finished"] == r["offered"], (name, r)
+    rr, ka = routers["round-robin"], routers["kv-affinity"]
+    # The headline: KV affinity strictly beats round-robin on bytes
+    # dragged across the fabric AND on tail TTFT.
+    assert ka["kv_bytes_moved"] < rr["kv_bytes_moved"]
+    assert ka["p99_ttft_s"] < rr["p99_ttft_s"]
+    assert ka["affinity_hit_rate"] > rr["affinity_hit_rate"]
+    # Network-aware pricing also keeps most resident KV in place.
+    assert (
+        routers["network-aware"]["kv_bytes_moved"] < rr["kv_bytes_moved"]
+    )

@@ -356,6 +356,90 @@ def cmd_schemes(args) -> int:
     return 0
 
 
+def cmd_routers(args) -> int:
+    """List registered routing policies and the QoE classes."""
+    from repro.serving import QOS_CLASSES, registered_routers
+    from repro.util import print_table
+
+    print_table(
+        ["router", "policy"],
+        [[cls.name, cls.description] for cls in registered_routers()],
+        title="registered fleet routing policies (--router NAME)",
+    )
+    print()
+    print_table(
+        ["class", "load weight", "SLO scale", "meaning"],
+        [
+            [c.name, f"{c.load_weight:g}", f"{c.slo_scale:g}", c.description]
+            for c in QOS_CLASSES.values()
+        ],
+        title="QoE/priority classes (TraceRequest.qos)",
+    )
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """Replay a multi-turn session trace through a routed replica fleet."""
+    from repro.baselines import HEROSERVE, build_fleet
+    from repro.core import SLA_SIM_CHATBOT
+    from repro.core.plan import ParallelConfig
+    from repro.llm import A100, CostModelBank, get_model
+    from repro.network import build_xtracks_cluster
+    from repro.util import print_table
+    from repro.util.rng import make_rng
+    from repro.workloads import generate_session_trace
+
+    built = build_xtracks_cluster(2, n_units=2)  # 12 servers x 8 GPUs
+    model = get_model("OPT-175B")
+    bank = CostModelBank(model, {"A100": A100})
+    trace = generate_session_trace(
+        args.session_rate, args.duration, make_rng(args.seed)
+    )
+    print(
+        f"trace: {len(trace)} requests in "
+        f"{len(set(r.session_id for r in trace))} sessions over "
+        f"{trace.duration:.0f}s"
+    )
+    fleet = build_fleet(
+        HEROSERVE,
+        built,
+        model,
+        bank,
+        SLA_SIM_CHATBOT,
+        trace.representative_batch(8),
+        arrival_rate=max(trace.mean_rate, args.session_rate),
+        n_replicas=args.replicas,
+        forced_parallel=ParallelConfig(16, 1, 16, 1),
+        router=args.router,
+    )
+    fm = fleet.run(trace)
+    s = fm.summary()
+    rows = [
+        ["router", fleet.router.name],
+        ["finished", f"{s['finished']:.0f}"],
+        ["routed per replica", "/".join(str(n) for n in fm.routed)],
+        ["attainment", f"{s['attainment']:.2f}"],
+        ["mean TTFT", f"{s['mean_ttft_s'] * 1e3:.0f} ms"],
+        ["p99 TTFT", f"{s['p99_ttft_s'] * 1e3:.0f} ms"],
+        ["p99 TPOT", f"{s['p99_tpot_s'] * 1e3:.1f} ms"],
+        ["affinity hit rate", f"{s['router_affinity_hit_rate']:.2f}"],
+        ["KV bytes moved", f"{s['router_kv_bytes_moved'] / 1e9:.2f} GB"],
+        ["KV bytes saved", f"{s['router_kv_bytes_saved'] / 1e9:.2f} GB"],
+        ["KV fetch wait", f"{s['router_kv_fetch_wait_s']:.2f} s"],
+    ]
+    for name, att in fm.qos_attainment().items():
+        rows.append([f"attainment [{name}]", f"{att:.2f}"])
+    print_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"{fleet.router.name} router, {args.replicas} OPT-175B "
+            "replicas on 2tracks"
+        ),
+    )
+    return 0
+
+
 def _find_run_file(
     directory: str, run: str | None, suffix: str
 ) -> "str | None":
@@ -1055,6 +1139,38 @@ def main(argv: list[str] | None = None) -> int:
         help="tokens in flight per step (drives the payload; default 256)",
     )
 
+    sub.add_parser(
+        "routers",
+        help="list fleet routing policies and QoE classes",
+        parents=[common],
+    )
+
+    p = sub.add_parser(
+        "fleet",
+        help="multi-session trace through a routed replica fleet",
+        parents=[common],
+    )
+    p.add_argument(
+        "--router",
+        default=None,
+        metavar="NAME",
+        help="routing policy (see `repro routers`; default jsq)",
+    )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="OPT-175B replicas packed onto the 2tracks miniature",
+    )
+    p.add_argument(
+        "--session-rate",
+        type=float,
+        default=0.3,
+        help="new sessions per second (default 0.3)",
+    )
+    p.add_argument("--duration", type=float, default=40.0)
+    p.add_argument("--seed", type=int, default=7)
+
     p = sub.add_parser(
         "report",
         help="observed simulation -> self-contained HTML report",
@@ -1266,6 +1382,8 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "plan": cmd_plan,
         "schemes": cmd_schemes,
+        "routers": cmd_routers,
+        "fleet": cmd_fleet,
         "report": cmd_report,
         "explain": cmd_explain,
         "demo": cmd_demo,

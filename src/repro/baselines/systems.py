@@ -250,6 +250,7 @@ def build_fleet(
     planner_config: PlannerConfig | None = None,
     forced_parallel=None,
     engine_config: EngineConfig | None = None,
+    router=None,
 ):
     """Plan ``n_replicas`` deployments on disjoint server pods and wire
     them into a :class:`~repro.serving.fleet.ReplicaFleet`.
@@ -258,7 +259,9 @@ def build_fleet(
     their traffic contends on the fabric — the multi-instance regime of
     the paper's large-scale evaluation. For HeroServe a single central
     controller serves every replica's groups (one control plane per
-    cluster, as in §IV).
+    cluster, as in §IV). ``router`` selects the fleet's routing policy
+    (a :mod:`repro.serving.router` registry name or instance; None
+    keeps the default join-shortest-queue dispatch).
     """
     from repro.core.planner import split_pools
     from repro.serving.engine import ServingSimulator
@@ -349,7 +352,7 @@ def build_fleet(
                 queue=queue,
             )
         )
-    return ReplicaFleet(replicas=replicas, queue=queue)
+    return ReplicaFleet(replicas=replicas, queue=queue, router=router)
 
 
 def make_rate_runner(

@@ -532,6 +532,43 @@ class Observer:
         if self.recorder is not None:
             self.recorder.log_event(ts, event, **detail)
 
+    def route_decision(
+        self,
+        ts: float,
+        request_id: int,
+        replica: int,
+        router: str,
+        reason: str,
+        affinity_hit: bool | None = None,
+        kv_fetch_bytes: float = 0.0,
+    ) -> None:
+        """One fleet routing decision (per request; recorder-bound).
+
+        Counted by (router, reason); the full decision — including
+        whether a session turn hit its KV-resident replica and how many
+        resident bytes a miss dragged across the fabric — lands in the
+        flight recorder's JSONL event stream as ``routing_decision``.
+        Lazily instrumented like the fault counters, so fleets routed
+        before the router layer existed export identical metric names.
+        """
+        self._fault_counter(
+            "_route_decisions",
+            "repro_route_decisions_total",
+            "fleet routing decisions, by policy and reason",
+        ).inc(router=router, reason=reason)
+        if self.recorder is not None:
+            detail: dict = {
+                "request_id": request_id,
+                "replica": replica,
+                "router": router,
+                "reason": reason,
+            }
+            if affinity_hit is not None:
+                detail["affinity_hit"] = affinity_hit
+            if kv_fetch_bytes:
+                detail["kv_fetch_bytes"] = kv_fetch_bytes
+            self.recorder.log_event(ts, "routing_decision", **detail)
+
     def fleet_all_degraded(self, ts: float, n_replicas: int) -> None:
         """Edge-triggered: every active replica is degraded at once, so
         the router fell back to least-backlog over degraded replicas."""
@@ -695,6 +732,18 @@ class NullObserver:
         pass
 
     def replan_event(self, ts, event, **detail) -> None:
+        pass
+
+    def route_decision(
+        self,
+        ts,
+        request_id,
+        replica,
+        router,
+        reason,
+        affinity_hit=None,
+        kv_fetch_bytes=0.0,
+    ) -> None:
         pass
 
     def fleet_all_degraded(self, ts, n_replicas) -> None:

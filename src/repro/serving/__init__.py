@@ -21,9 +21,21 @@ from repro.serving.engine import EngineConfig, ServingSimulator
 from repro.serving.metrics import (
     SLA_ATTAINMENT_TARGET,
     MemorySample,
+    RouterStats,
     ServingMetrics,
 )
 from repro.serving.request import RequestPhase, RequestState
+from repro.serving.router import (
+    DEFAULT_ROUTER,
+    QOS_CLASSES,
+    QosClass,
+    Router,
+    RoutingDecision,
+    get_qos,
+    get_router,
+    register_router,
+    registered_routers,
+)
 
 __all__ = [
     "AutoScaler",
@@ -42,7 +54,17 @@ __all__ = [
     "ServingSimulator",
     "SLA_ATTAINMENT_TARGET",
     "MemorySample",
+    "RouterStats",
     "ServingMetrics",
     "RequestPhase",
     "RequestState",
+    "DEFAULT_ROUTER",
+    "QOS_CLASSES",
+    "QosClass",
+    "Router",
+    "RoutingDecision",
+    "get_qos",
+    "get_router",
+    "register_router",
+    "registered_routers",
 ]

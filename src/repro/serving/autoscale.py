@@ -9,7 +9,11 @@ time and decode concurrency), and activates/deactivates replicas with
 hysteresis: scale **out** when the observed load exceeds the active
 capacity's high-water fraction, scale **in** (drain one replica) when it
 falls below the low-water fraction. Deactivated replicas finish their
-in-flight requests — scaling never drops work.
+in-flight requests — scaling never drops work. The fleet's routing
+layer honours the active mask automatically: a drained replica is
+never offered to any policy (see :mod:`repro.serving.router`), though
+session KV left behind stays resident and is fetched across the fabric
+if the session's next turn must land elsewhere.
 
 The scaler can additionally subscribe to the SLO monitor's
 :class:`~repro.obs.slo.AlertSink`: a firing *page* burn-rate alert

@@ -78,6 +78,54 @@ class FaultStats:
 
 
 @dataclass
+class RouterStats:
+    """Fleet-router accounting: session residency, KV movement, QoE.
+
+    Filled by :class:`~repro.serving.fleet.ReplicaFleet` as it routes;
+    attached to :class:`~repro.serving.fleet.FleetMetrics` at run end.
+    Counters only advance for session-tagged requests, so single-shot
+    traces report all-zero router stats regardless of policy.
+    """
+
+    #: registry name of the policy that produced these numbers
+    router: str = "jsq"
+    #: first turns (no residency yet; excluded from the hit rate)
+    new_sessions: int = 0
+    #: follow-up turns routed to the replica already holding their KV
+    affinity_hits: int = 0
+    #: follow-up turns routed away from their KV-resident replica
+    affinity_misses: int = 0
+    #: misses that actually moved bytes (a zero-cost migration is free)
+    kv_fetches: int = 0
+    #: resident-KV bytes dragged across the fabric by misses
+    kv_bytes_moved: float = 0.0
+    #: resident-KV bytes hits kept in place (counterfactual transfer)
+    kv_bytes_saved: float = 0.0
+    #: total seconds follow-up turns waited on resident-KV fetches
+    kv_fetch_wait_s: float = 0.0
+
+    def hit_rate(self) -> float:
+        """Affinity hit rate over follow-up turns (NaN if none)."""
+        turns = self.affinity_hits + self.affinity_misses
+        if turns == 0:
+            return float("nan")
+        return self.affinity_hits / turns
+
+    def summary(self) -> dict[str, float]:
+        """Flat ``router_*`` keys for the benchmark tables."""
+        return {
+            "router_new_sessions": float(self.new_sessions),
+            "router_affinity_hits": float(self.affinity_hits),
+            "router_affinity_misses": float(self.affinity_misses),
+            "router_affinity_hit_rate": self.hit_rate(),
+            "router_kv_fetches": float(self.kv_fetches),
+            "router_kv_bytes_moved": self.kv_bytes_moved,
+            "router_kv_bytes_saved": self.kv_bytes_saved,
+            "router_kv_fetch_wait_s": self.kv_fetch_wait_s,
+        }
+
+
+@dataclass
 class ServingMetrics:
     """Accumulator filled by the simulator, reduced after the run."""
 

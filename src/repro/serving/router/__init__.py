@@ -1,0 +1,41 @@
+"""Fleet request routing: policy protocol, registry, built-in policies.
+
+See docs/ROUTING.md for the guide (decision rules, cost models, and
+how to add a policy in one file).
+"""
+
+from repro.serving.router.base import (
+    DEFAULT_ROUTER,
+    QOS_CLASSES,
+    QosClass,
+    Router,
+    RoutingDecision,
+    get_qos,
+    get_router,
+    register_router,
+    registered_routers,
+)
+from repro.serving.router.policies import (
+    JsqRouter,
+    KvAffinityRouter,
+    LeastLoadedRouter,
+    NetworkAwareRouter,
+    RoundRobinRouter,
+)
+
+__all__ = [
+    "DEFAULT_ROUTER",
+    "QOS_CLASSES",
+    "QosClass",
+    "Router",
+    "RoutingDecision",
+    "get_qos",
+    "get_router",
+    "register_router",
+    "registered_routers",
+    "JsqRouter",
+    "KvAffinityRouter",
+    "LeastLoadedRouter",
+    "NetworkAwareRouter",
+    "RoundRobinRouter",
+]

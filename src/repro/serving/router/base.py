@@ -1,0 +1,200 @@
+"""Router protocol, QoE classes, and the policy registry.
+
+Mirrors the :class:`~repro.comm.scheme.CollectiveScheme` registry: each
+routing policy is one named class, registered once at import time, and
+resolved by name wherever a fleet (or the CLI's ``--router`` flag) asks
+for one. Unlike collectives — which are stateless singletons — routers
+carry per-fleet state (round-robin cursors, tuned knobs), so the
+registry holds *classes* and :func:`get_router` hands out a fresh
+instance per call.
+
+The contract (see docs/ROUTING.md for the full guide):
+
+* The **fleet** owns candidate filtering (active mask, degraded-replica
+  avoidance, the edge-triggered all-degraded fallback) and all KV
+  residency/transfer *accounting*. Every policy therefore inherits
+  fault awareness for free and cannot corrupt the books.
+* The **router** only picks one replica index out of the candidate list
+  and labels the decision with a reason. Policies read fleet state
+  (queue depths, session residency, live link state) but never mutate
+  it; mutable policy state lives on the router instance and is updated
+  through :meth:`Router.on_routed`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.fleet import ReplicaFleet
+    from repro.workloads.traces import TraceRequest
+
+#: Name of the policy a fleet uses when none is requested. ``jsq`` is
+#: the pre-router join-shortest-queue dispatch, kept byte-identical so
+#: default runs reproduce the historical goldens.
+DEFAULT_ROUTER = "jsq"
+
+
+# ---------------------------------------------------------------------------
+# QoE / priority classes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QosClass:
+    """One QoE/priority class with its per-class SLO weighting.
+
+    ``load_weight`` scales how strongly the class avoids backlogged
+    replicas: latency-critical traffic pays queue depth at a premium,
+    batch traffic barely prices it. ``slo_scale`` loosens (>1) or
+    tightens (<1) the deployment SLO when judging this class's requests
+    — the per-class SLO weighting used by
+    :meth:`repro.serving.fleet.FleetMetrics.qos_attainment`.
+    """
+
+    name: str
+    load_weight: float = 1.0
+    slo_scale: float = 1.0
+    description: str = ""
+
+
+#: The built-in QoE classes. Keys are the ``TraceRequest.qos`` values.
+QOS_CLASSES: dict[str, QosClass] = {
+    c.name: c
+    for c in (
+        QosClass(
+            "interactive",
+            load_weight=2.0,
+            slo_scale=0.5,
+            description="latency-critical chat; halves the SLO bounds "
+            "and pays queue depth at twice the standard rate",
+        ),
+        QosClass(
+            "standard",
+            load_weight=1.0,
+            slo_scale=1.0,
+            description="default traffic; deployment SLO as-is",
+        ),
+        QosClass(
+            "batch",
+            load_weight=0.25,
+            slo_scale=4.0,
+            description="throughput-oriented; tolerates 4x the SLO and "
+            "happily queues behind interactive traffic",
+        ),
+    )
+}
+
+
+def get_qos(name: str | None) -> QosClass:
+    """Resolve a QoE class by name (``None`` means ``standard``)."""
+    key = name or "standard"
+    try:
+        return QOS_CLASSES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown QoE class {key!r}; "
+            f"known: {sorted(QOS_CLASSES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# decisions and the Router protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RoutingDecision:
+    """One routing verdict: the replica plus why it was picked.
+
+    ``affinity_hit`` is ``True`` when a session turn landed on the
+    replica already holding its KV, ``False`` when it provably did not,
+    and ``None`` for session-less requests (no residency to hit).
+    """
+
+    replica: int
+    reason: str
+    affinity_hit: bool | None = None
+
+
+class Router(ABC):
+    """One fleet-level request-placement policy."""
+
+    #: canonical registry key (``--router`` value)
+    name: ClassVar[str]
+    #: one-line summary shown by ``python -m repro routers``
+    description: ClassVar[str]
+
+    @abstractmethod
+    def select(
+        self,
+        tr: "TraceRequest",
+        candidates: list[int],
+        fleet: "ReplicaFleet",
+    ) -> RoutingDecision:
+        """Pick one replica index out of ``candidates`` (never empty).
+
+        ``candidates`` is already filtered to active — and, when any
+        exist, healthy — replicas; the returned index must be one of
+        them. Must not mutate fleet or policy state (use
+        :meth:`on_routed`).
+        """
+
+    def on_routed(
+        self,
+        tr: "TraceRequest",
+        decision: RoutingDecision,
+        fleet: "ReplicaFleet",
+    ) -> None:
+        """Post-dispatch state update hook (cursor advance etc.)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[Router]] = {}
+
+
+def register_router(cls: type[Router]) -> type[Router]:
+    """Register a policy class under its canonical name; returns it.
+
+    Usable as a class decorator, matching how collectives register in
+    :mod:`repro.comm.scheme`.
+    """
+    key = cls.name
+    if key in _REGISTRY:
+        raise ValueError(f"router {key!r} is already registered")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def get_router(key: "str | Router | None") -> Router:
+    """Resolve a policy by name (fresh instance) or pass one through.
+
+    ``None`` resolves to :data:`DEFAULT_ROUTER`. Instances are returned
+    as-is so callers can hand a pre-tuned router to several fleets
+    deliberately; names always construct a new instance, keeping
+    cursor/statistics state per fleet.
+    """
+    if key is None:
+        key = DEFAULT_ROUTER
+    if isinstance(key, Router):
+        return key
+    name = str(key)
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown router {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_routers() -> tuple[type[Router], ...]:
+    """Every registered policy class, in registration order."""
+    return tuple(_REGISTRY.values())

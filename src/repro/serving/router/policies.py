@@ -1,0 +1,234 @@
+"""The built-in routing policies.
+
+Decision rules and cost models are documented in docs/ROUTING.md; the
+summary:
+
+* ``jsq`` — join-shortest-queue, the historical default (byte-identical
+  to the pre-router fleet).
+* ``round-robin`` — cyclic dispatch, the affinity-blind baseline.
+* ``least-loaded`` — queue depth normalised by replica decode width
+  (weighted JSQ for heterogeneous fleets).
+* ``kv-affinity`` — route a session turn to the replica holding its KV
+  unless that replica is backlogged (QoE-weighted gap) or its internal
+  KV path is congested; fall back to network-priced selection.
+* ``network-aware`` — full cost model for every request: cross-replica
+  KV-fetch time + the replica's own live-priced prefill→decode KV path
+  + QoE-weighted queue penalty.
+
+All policies see only candidates the fleet already filtered for
+activity and health, so degraded-replica avoidance is uniform.
+"""
+
+from __future__ import annotations
+
+from repro.serving.router.base import (
+    Router,
+    RoutingDecision,
+    get_qos,
+    register_router,
+)
+
+
+@register_router
+class JsqRouter(Router):
+    """Join-shortest-queue over the candidate set (ties: lowest index).
+
+    This is exactly the dispatch rule the fleet used before the router
+    layer existed; it is the default so that runs without ``--router``
+    stay byte-identical to the historical goldens.
+    """
+
+    name = "jsq"
+    description = "join-shortest-queue (default; pre-router behaviour)"
+
+    def select(self, tr, candidates, fleet) -> RoutingDecision:
+        idx = min(
+            candidates, key=lambda i: fleet.replicas[i].queued_requests
+        )
+        return RoutingDecision(idx, "jsq")
+
+
+@register_router
+class RoundRobinRouter(Router):
+    """Strict cyclic dispatch, blind to load, sessions, and the fabric.
+
+    The baseline every KV-aware policy is benchmarked against: it
+    scatters a session's turns across replicas, forcing a resident-KV
+    fetch on almost every follow-up turn.
+    """
+
+    name = "round-robin"
+    description = "cyclic dispatch; affinity-blind baseline"
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def select(self, tr, candidates, fleet) -> RoutingDecision:
+        idx = candidates[self._turn % len(candidates)]
+        return RoutingDecision(idx, "round-robin")
+
+    def on_routed(self, tr, decision, fleet) -> None:
+        self._turn += 1
+
+
+@register_router
+class LeastLoadedRouter(Router):
+    """Weighted least-loaded: queue depth per unit of decode capacity.
+
+    Replicas are weighted by their decode-cluster width (GPU count), so
+    a wide replica absorbs proportionally more of the open queue — the
+    natural generalisation of JSQ to heterogeneous fleets. On equal
+    widths it matches ``jsq``.
+    """
+
+    name = "least-loaded"
+    description = "queue depth / decode width (weighted JSQ)"
+
+    def select(self, tr, candidates, fleet) -> RoutingDecision:
+        def score(i: int) -> float:
+            sim = fleet.replicas[i]
+            width = max(1, sum(len(s) for s in sim.decode_stages))
+            return sim.queued_requests / width
+
+        idx = min(candidates, key=lambda i: (score(i), i))
+        return RoutingDecision(idx, "least-loaded")
+
+
+@register_router
+class KvAffinityRouter(Router):
+    """Prefix/KV-cache-affinity routing with network-priced fallback.
+
+    Decision rule for a session turn whose KV resides on replica ``h``:
+
+    1. **Affinity hit** — if ``h`` is a (healthy, active) candidate,
+       its backlog gap over the emptiest candidate is within the
+       QoE-weighted tolerance ``max_backlog_gap / load_weight``, and
+       its internal prefill→decode KV path has at least
+       ``min_headroom`` of its bottleneck bandwidth free: route to
+       ``h``. No KV moves.
+    2. **Fallback** — otherwise score every candidate with
+       ``fetch_time(h→i) + queue_penalty_s · load_weight · queued(i)``
+       where ``fetch_time`` prices moving the session's resident KV
+       from ``h``'s decode placement to ``i``'s through the *live*
+       link state (Eq. 14/15 machinery), and pick the cheapest. A
+       congested-but-otherwise-affine holder is excluded from the
+       scored set when alternatives exist.
+
+    New sessions and session-less requests fall through to JSQ — the
+    first turn has no residency to respect.
+    """
+
+    name = "kv-affinity"
+    description = (
+        "route sessions to their KV-resident replica; network-priced "
+        "fallback on backlog/congestion/degradation"
+    )
+
+    def __init__(
+        self,
+        max_backlog_gap: int = 8,
+        min_headroom: float = 0.25,
+        queue_penalty_s: float = 0.05,
+    ) -> None:
+        if max_backlog_gap < 0:
+            raise ValueError("max_backlog_gap must be >= 0")
+        if not 0.0 <= min_headroom <= 1.0:
+            raise ValueError("min_headroom must be in [0, 1]")
+        if queue_penalty_s < 0:
+            raise ValueError("queue_penalty_s must be >= 0")
+        self.max_backlog_gap = max_backlog_gap
+        self.min_headroom = min_headroom
+        self.queue_penalty_s = queue_penalty_s
+
+    def _jsq(self, candidates, fleet) -> int:
+        return min(
+            candidates, key=lambda i: fleet.replicas[i].queued_requests
+        )
+
+    def select(self, tr, candidates, fleet) -> RoutingDecision:
+        holder = fleet.session_holder(tr.session_id)
+        if holder is None:
+            reason = (
+                "new-session" if tr.session_id is not None else "no-session"
+            )
+            return RoutingDecision(self._jsq(candidates, fleet), reason)
+        qos = get_qos(tr.qos)
+        h, tokens = holder
+        scored = list(candidates)
+        if h in candidates:
+            min_q = min(
+                fleet.replicas[i].queued_requests for i in candidates
+            )
+            gap = fleet.replicas[h].queued_requests - min_q
+            if gap > self.max_backlog_gap / qos.load_weight:
+                reason = "backlog-fallback"
+            elif fleet.kv_path_headroom(h) < self.min_headroom:
+                reason = "congested-fallback"
+                if len(scored) > 1:
+                    scored = [i for i in scored if i != h]
+            else:
+                return RoutingDecision(h, "affinity-hit", affinity_hit=True)
+        else:
+            reason = "degraded-fallback"
+
+        def cost(i: int) -> float:
+            fetch = fleet.estimate_fetch_time(h, tokens, i)
+            queue = (
+                self.queue_penalty_s
+                * qos.load_weight
+                * fleet.replicas[i].queued_requests
+            )
+            return fetch + queue
+
+        idx = min(scored, key=lambda i: (cost(i), i))
+        return RoutingDecision(idx, reason, affinity_hit=(idx == h))
+
+
+@register_router
+class NetworkAwareRouter(Router):
+    """Always-on network pricing: every request pays its data movement.
+
+    Scores every candidate with
+
+    ``fetch_time(h→i) + internal_kv_time(i) +
+    queue_penalty_s · load_weight · queued(i)``
+
+    where ``fetch_time`` is the session's resident-KV migration cost
+    (zero for new sessions or the holder itself) and
+    ``internal_kv_time`` prices the request's *own* prefill→decode KV
+    handoff inside replica ``i`` through the live link state — so even
+    session-less traffic steers away from replicas whose KV path the
+    fabric is currently squeezing. Affinity emerges from the cost model
+    (the holder's fetch term is zero) rather than a fast path.
+    """
+
+    name = "network-aware"
+    description = (
+        "price KV fetch + replica-internal KV path through live link "
+        "state for every request"
+    )
+
+    def __init__(self, queue_penalty_s: float = 0.05) -> None:
+        if queue_penalty_s < 0:
+            raise ValueError("queue_penalty_s must be >= 0")
+        self.queue_penalty_s = queue_penalty_s
+
+    def select(self, tr, candidates, fleet) -> RoutingDecision:
+        holder = fleet.session_holder(tr.session_id)
+        qos = get_qos(tr.qos)
+
+        def cost(i: int) -> float:
+            fetch = 0.0
+            if holder is not None:
+                fetch = fleet.estimate_fetch_time(holder[0], holder[1], i)
+            internal = fleet.internal_kv_time(i, tr.input_len)
+            queue = (
+                self.queue_penalty_s
+                * qos.load_weight
+                * fleet.replicas[i].queued_requests
+            )
+            return fetch + internal + queue
+
+        idx = min(candidates, key=lambda i: (cost(i), i))
+        hit = None if holder is None else (idx == holder[0])
+        return RoutingDecision(idx, "network-aware", affinity_hit=hit)

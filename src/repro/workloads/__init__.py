@@ -6,6 +6,10 @@ from repro.workloads.arrivals import (
     poisson_arrivals,
 )
 from repro.workloads.loadshift import generate_loadshift_trace
+from repro.workloads.sessions import (
+    SessionConfig,
+    generate_session_trace,
+)
 from repro.workloads.longbench import (
     LongBenchConfig,
     generate_longbench_trace,
@@ -21,7 +25,9 @@ __all__ = [
     "effective_rate",
     "poisson_arrivals",
     "LongBenchConfig",
+    "SessionConfig",
     "generate_loadshift_trace",
+    "generate_session_trace",
     "generate_longbench_trace",
     "ShareGPTConfig",
     "generate_sharegpt_trace",

@@ -1,0 +1,104 @@
+"""Multi-turn session traces: the workload that exercises KV affinity.
+
+Chat traffic is conversational: a user sends a prompt, reads the reply,
+thinks, and sends a follow-up that extends the same context. Serving
+systems exploit this by keeping the conversation's KV cache resident on
+the instance that served the previous turn (prefix caching); a router
+that sends the follow-up elsewhere forces the resident KV across the
+fabric first (NetKV, PAPERS.md). This generator produces exactly that
+structure: sessions arrive as a Poisson process, each session emits a
+geometric-ish number of turns separated by think time, every turn
+carries the session's id and QoE class, and per-turn lengths follow the
+ShareGPT-like distribution of :mod:`repro.workloads.sharegpt`.
+
+The single-shot generators leave ``session_id`` as ``None``, so only
+traces built here (or hand-built ones) engage the router's affinity
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import require_positive
+from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.sharegpt import ShareGPTConfig, sample_lengths
+from repro.workloads.traces import Trace, TraceRequest
+
+
+@dataclass
+class SessionConfig:
+    """Shape of the multi-turn conversation process."""
+
+    #: mean turns per session (first turn always happens; extra turns
+    #: are Poisson-distributed around ``mean_turns - 1``)
+    mean_turns: float = 4.0
+    #: mean user think time between a reply and the follow-up (seconds,
+    #: exponential)
+    mean_think_s: float = 6.0
+    #: QoE class mix ``((class_name, weight), ...)``; weights are
+    #: normalised. Classes are assigned per *session* — a conversation
+    #: keeps one priority for its whole lifetime.
+    qos_mix: tuple[tuple[str, float], ...] = (
+        ("interactive", 0.25),
+        ("standard", 0.60),
+        ("batch", 0.15),
+    )
+    #: per-turn token-length distribution
+    lengths: ShareGPTConfig = field(default_factory=ShareGPTConfig)
+
+    def __post_init__(self) -> None:
+        require_positive("mean_turns", self.mean_turns)
+        require_positive("mean_think_s", self.mean_think_s)
+        if not self.qos_mix:
+            raise ValueError("qos_mix must name at least one class")
+        if any(w < 0 for _, w in self.qos_mix):
+            raise ValueError("qos_mix weights must be >= 0")
+        if sum(w for _, w in self.qos_mix) <= 0:
+            raise ValueError("qos_mix weights must sum to > 0")
+
+
+def generate_session_trace(
+    session_rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    config: SessionConfig | None = None,
+) -> Trace:
+    """Multi-turn trace: Poisson session starts, think-time turn gaps.
+
+    ``session_rate`` is new *sessions* per second on ``[0, duration)``;
+    follow-up turns may arrive after ``duration`` (a conversation begun
+    near the end still finishes). Request ids are assigned in arrival
+    order after merging all sessions' turns.
+    """
+    cfg = config or SessionConfig()
+    starts = poisson_arrivals(session_rate, duration, rng)
+    names = [n for n, _ in cfg.qos_mix]
+    weights = np.array([w for _, w in cfg.qos_mix], dtype=float)
+    weights /= weights.sum()
+    rows: list[tuple[float, int, int, int, str]] = []
+    for sid, t0 in enumerate(starts):
+        n_turns = 1 + int(rng.poisson(max(cfg.mean_turns - 1.0, 0.0)))
+        qos = names[int(rng.choice(len(names), p=weights))]
+        ins, outs = sample_lengths(n_turns, cfg.lengths, rng)
+        t = float(t0)
+        for k in range(n_turns):
+            rows.append((t, sid, int(ins[k]), int(outs[k]), qos))
+            t += float(rng.exponential(cfg.mean_think_s))
+    rows.sort(key=lambda r: r[0])
+    return Trace(
+        name=f"sessions-{session_rate:g}rps-{duration:g}s",
+        requests=[
+            TraceRequest(
+                request_id=i,
+                arrival_time=t,
+                input_len=k_in,
+                output_len=k_out,
+                session_id=sid,
+                qos=qos,
+            )
+            for i, (t, sid, k_in, k_out, qos) in enumerate(rows)
+        ],
+    )

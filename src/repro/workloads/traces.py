@@ -20,12 +20,26 @@ from repro.llm.batch import BatchSpec
 
 @dataclass(frozen=True)
 class TraceRequest:
-    """One inference request of a workload trace."""
+    """One inference request of a workload trace.
+
+    ``session_id`` marks a turn of a multi-turn conversation: turns of
+    one session share an id, and the fleet router can exploit the fact
+    that the session's KV cache is resident on whichever replica served
+    the previous turn (see :mod:`repro.serving.router`). ``qos`` names
+    the request's QoE/priority class (``interactive`` / ``standard`` /
+    ``batch`` — :data:`repro.serving.router.QOS_CLASSES`). Both default
+    to the session-less, standard-priority request every pre-existing
+    generator produces, so single-shot traces are unchanged.
+    """
 
     request_id: int
     arrival_time: float
     input_len: int
     output_len: int
+    #: multi-turn conversation id (None = single-shot request)
+    session_id: int | None = None
+    #: QoE/priority class name (resolved by the fleet router)
+    qos: str = "standard"
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
@@ -34,6 +48,8 @@ class TraceRequest:
             raise ValueError("input_len must be > 0")
         if self.output_len <= 0:
             raise ValueError("output_len must be > 0")
+        if not self.qos:
+            raise ValueError("qos must be a non-empty class name")
 
 
 @dataclass
@@ -122,7 +138,12 @@ class Trace:
             name=f"{self.name}@{new_rate:g}rps",
             requests=[
                 TraceRequest(
-                    r.request_id, r.arrival_time * k, r.input_len, r.output_len
+                    r.request_id,
+                    r.arrival_time * k,
+                    r.input_len,
+                    r.output_len,
+                    r.session_id,
+                    r.qos,
                 )
                 for r in self.requests
             ],

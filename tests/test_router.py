@@ -1,0 +1,356 @@
+"""Fleet routing policies: registry, affinity, fallbacks, QoE classes."""
+
+import math
+
+import pytest
+
+from repro.baselines import HEROSERVE, build_fleet
+from repro.core import SLA_SIM_CHATBOT
+from repro.core.plan import ParallelConfig
+from repro.llm import OPT_175B, A100, CostModelBank
+from repro.network import build_xtracks_cluster
+from repro.serving import (
+    DEFAULT_ROUTER,
+    QOS_CLASSES,
+    Router,
+    RoutingDecision,
+    get_qos,
+    get_router,
+    register_router,
+    registered_routers,
+)
+from repro.serving.router.policies import KvAffinityRouter, RoundRobinRouter
+from repro.util.rng import make_rng
+from repro.workloads import (
+    SessionConfig,
+    TraceRequest,
+    generate_session_trace,
+    generate_sharegpt_trace,
+)
+
+FORCED = ParallelConfig(16, 1, 16, 1)
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_xtracks_cluster(2, n_units=2)  # 12 servers x 8 GPUs
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return CostModelBank(OPT_175B, {"A100": A100})
+
+
+def make_fleet(built, bank, router=None, n=2, rate=1.5):
+    trace = generate_sharegpt_trace(rate, 20, make_rng(0))
+    return build_fleet(
+        HEROSERVE,
+        built,
+        OPT_175B,
+        bank,
+        SLA_SIM_CHATBOT,
+        trace.representative_batch(8),
+        arrival_rate=rate,
+        n_replicas=n,
+        forced_parallel=FORCED,
+        router=router,
+    )
+
+
+def turn(request_id, t, session=None, qos="standard", k_in=64, k_out=16):
+    return TraceRequest(request_id, t, k_in, k_out, session, qos)
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        names = [cls.name for cls in registered_routers()]
+        assert names == [
+            "jsq",
+            "round-robin",
+            "least-loaded",
+            "kv-affinity",
+            "network-aware",
+        ]
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_router("no-such-policy")
+
+    def test_none_resolves_default(self):
+        assert get_router(None).name == DEFAULT_ROUTER
+
+    def test_fresh_instance_per_call(self):
+        a, b = get_router("round-robin"), get_router("round-robin")
+        assert a is not b
+
+    def test_instance_passthrough(self):
+        r = KvAffinityRouter(max_backlog_gap=2)
+        assert get_router(r) is r
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(RoundRobinRouter):
+            name = "round-robin"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_router(Dup)
+
+    def test_qos_classes(self):
+        assert set(QOS_CLASSES) == {"interactive", "standard", "batch"}
+        assert get_qos(None).name == "standard"
+        with pytest.raises(KeyError, match="known"):
+            get_qos("platinum")
+
+
+class TestDefaultByteIdentity:
+    def test_default_matches_explicit_jsq(self, built, bank):
+        trace = generate_sharegpt_trace(1.5, 30, make_rng(1))
+        a = make_fleet(built, bank, router=None).run(trace)
+        b = make_fleet(built, bank, router="jsq").run(trace)
+        assert a.routed == b.routed
+        sa, sb = a.summary(), b.summary()
+        assert sa.keys() == sb.keys()
+        for k in sa:
+            if math.isnan(sa[k]):
+                assert math.isnan(sb[k]), k
+            else:
+                assert sa[k] == sb[k], k
+
+    def test_sessionless_trace_has_zero_router_stats(self, built, bank):
+        trace = generate_sharegpt_trace(1.0, 20, make_rng(2))
+        fm = make_fleet(built, bank, router="kv-affinity").run(trace)
+        st = fm.router_stats
+        assert st.router == "kv-affinity"
+        assert st.new_sessions == 0
+        assert st.kv_bytes_moved == 0.0
+        assert math.isnan(st.hit_rate())
+
+
+class TestRoundRobin:
+    def test_cycles_over_candidates(self, built, bank):
+        fleet = make_fleet(built, bank, router="round-robin", n=2)
+        picks = [fleet.route(turn(i, 0.0)) for i in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_skips_degraded(self, built, bank):
+        fleet = make_fleet(built, bank, router="round-robin", n=2)
+        fleet.replicas[0]._prefill_down = True
+        picks = [fleet.route(turn(i, 0.0)) for i in range(3)]
+        assert picks == [1, 1, 1]
+
+
+class TestDegradedAvoidance:
+    def test_every_policy_avoids_degraded_replica(self, built, bank):
+        for cls in registered_routers():
+            fleet = make_fleet(built, bank, router=cls.name, n=2)
+            fleet.replicas[0]._prefill_down = True
+            idx = fleet.route(turn(0, 0.0, session=1))
+            assert idx == 1, cls.name
+
+    def test_router_cannot_escape_candidates(self, built, bank):
+        class Rogue(Router):
+            name = "rogue"
+            description = "picks nonsense"
+
+            def select(self, tr, candidates, fleet):
+                return RoutingDecision(99, "rogue")
+
+        fleet = make_fleet(built, bank, router=Rogue(), n=2)
+        with pytest.raises(ValueError, match="outside the candidate"):
+            fleet.route(turn(0, 0.0))
+
+
+class TestKvAffinity:
+    def test_affinity_hit_routes_to_holder(self, built, bank):
+        fleet = make_fleet(built, bank, router="kv-affinity", n=2)
+        first = fleet.route(turn(0, 0.0, session=7))
+        second = fleet.route(turn(1, 1.0, session=7))
+        assert second == first
+        st = fleet.router_stats
+        assert st.new_sessions == 1
+        assert st.affinity_hits == 1
+        assert st.affinity_misses == 0
+        assert st.kv_bytes_saved > 0
+        assert st.hit_rate() == 1.0
+
+    def test_miss_fetches_kv_and_delays_admission(self, built, bank):
+        fleet = make_fleet(built, bank, router="kv-affinity", n=2)
+        first = fleet.route(turn(0, 0.0, session=7))
+        fleet.replicas[first]._prefill_down = True
+        other = 1 - first
+        idx = fleet.route(turn(1, 0.0, session=7))
+        assert idx == other
+        st = fleet.router_stats
+        assert st.affinity_misses == 1
+        assert st.kv_fetches == 1
+        assert st.kv_bytes_moved > 0
+        assert st.kv_fetch_wait_s > 0
+        # Admission is deferred until the resident KV lands: the turn is
+        # not on the replica yet, only the scheduled kv_fetch event.
+        assert fleet.replicas[other].queued_requests == 0
+        fleet.queue.run(until=st.kv_fetch_wait_s + 0.01)
+        assert (
+            fleet.replicas[other].queued_requests
+            + fleet.replicas[other].metrics.n_finished
+            >= 1
+        )
+
+    def test_residency_follows_the_session(self, built, bank):
+        fleet = make_fleet(built, bank, router="kv-affinity", n=2)
+        first = fleet.route(turn(0, 0.0, session=7))
+        fleet.replicas[first]._prefill_down = True
+        moved_to = fleet.route(turn(1, 0.0, session=7))
+        fleet.replicas[first]._prefill_down = False
+        # Holder recovered, but the KV now lives on the new replica.
+        third = fleet.route(turn(2, 0.0, session=7))
+        assert third == moved_to
+        assert fleet.router_stats.affinity_hits == 1
+
+    def test_congested_kv_path_falls_back(self, built, bank):
+        fleet = make_fleet(built, bank, router="kv-affinity", n=2)
+        h = fleet.route(turn(0, 0.0, session=7))
+        # Squeeze the holder's internal prefill->decode KV path to 10%
+        # headroom: the affinity fast path must refuse it.
+        sim = fleet.replicas[h]
+        links = fleet.ctx.path_links(
+            sim.prefill_stages[0][0], sim.decode_stages[0][0]
+        )
+        assert links, "test needs a cross-GPU KV path"
+        ls = fleet.ctx.linkstate
+        handles = [
+            ls.register([lid], 0.9 * float(ls.capacity[lid]))
+            for lid in links
+        ]
+        assert fleet.kv_path_headroom(h) < 0.25
+        decision = fleet.router.select(
+            turn(1, 1.0, session=7), [0, 1], fleet
+        )
+        assert decision.reason == "congested-fallback"
+        assert decision.replica != h
+        for hd in handles:
+            ls.release(hd)
+        # With the congestion gone the fast path hits again.
+        decision = fleet.router.select(
+            turn(2, 2.0, session=7), [0, 1], fleet
+        )
+        assert decision.reason == "affinity-hit"
+        assert decision.replica == h
+
+    def test_backlog_fallback_is_qos_weighted(self, built, bank):
+        fleet = make_fleet(built, bank, router="kv-affinity", n=2)
+        h = fleet.route(turn(0, 0.0, session=7))
+        other = 1 - h
+        # Back the holder up past the interactive gap (8/2=4) but not
+        # the batch gap (8/0.25=32).
+        for i in range(6):
+            fleet.replicas[h].submit(turn(100 + i, 0.0))
+        router = fleet.router
+        batch = router.select(
+            turn(1, 0.0, session=7, qos="batch"), [0, 1], fleet
+        )
+        assert batch.reason == "affinity-hit"
+        assert batch.replica == h
+        interactive = router.select(
+            turn(2, 0.0, session=7, qos="interactive"), [0, 1], fleet
+        )
+        assert interactive.reason == "backlog-fallback"
+        assert interactive.replica == other
+
+
+class TestNetworkAware:
+    def test_prefers_kv_resident_replica(self, built, bank):
+        fleet = make_fleet(built, bank, router="network-aware", n=2)
+        first = fleet.route(turn(0, 0.0, session=3, k_in=512, k_out=64))
+        second = fleet.route(turn(1, 1.0, session=3))
+        assert second == first
+        assert fleet.router_stats.affinity_hits == 1
+
+    def test_large_backlog_outweighs_affinity(self, built, bank):
+        fleet = make_fleet(built, bank, router="network-aware", n=2)
+        first = fleet.route(turn(0, 0.0, session=3))
+        for i in range(200):
+            fleet.replicas[first].submit(turn(100 + i, 0.0))
+        second = fleet.route(turn(1, 0.0, session=3))
+        assert second == 1 - first
+        assert fleet.router_stats.affinity_misses == 1
+
+
+class TestSessionTraceEndToEnd:
+    def test_affinity_beats_round_robin(self, built, bank):
+        trace = generate_session_trace(
+            0.3,
+            30,
+            make_rng(5),
+            SessionConfig(mean_turns=3.0, mean_think_s=3.0),
+        )
+        rr = make_fleet(built, bank, router="round-robin").run(trace)
+        ka = make_fleet(built, bank, router="kv-affinity").run(trace)
+        assert rr.n_finished == len(trace)
+        assert ka.n_finished == len(trace)
+        assert (
+            ka.router_stats.kv_bytes_moved
+            < rr.router_stats.kv_bytes_moved
+        )
+        assert ka.router_stats.hit_rate() > rr.router_stats.hit_rate()
+
+    def test_summary_and_qos_keys(self, built, bank):
+        trace = generate_session_trace(0.3, 20, make_rng(6))
+        fm = make_fleet(built, bank, router="kv-affinity").run(trace)
+        s = fm.summary()
+        for key in (
+            "router_affinity_hit_rate",
+            "router_kv_bytes_moved",
+            "router_kv_bytes_saved",
+            "router_kv_fetches",
+            "p99_ttft_s",
+        ):
+            assert key in s, key
+        qos = fm.qos_attainment()
+        assert set(qos) <= set(QOS_CLASSES)
+        assert all(0.0 <= v <= 1.0 for v in qos.values())
+
+
+class TestSessionTraceGenerator:
+    def test_shape_and_ordering(self):
+        trace = generate_session_trace(0.5, 40, make_rng(7))
+        times = [r.arrival_time for r in trace]
+        assert times == sorted(times)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+        by_session = {}
+        for r in trace:
+            assert r.session_id is not None
+            assert r.qos in QOS_CLASSES
+            by_session.setdefault(r.session_id, []).append(r)
+        # A session keeps one QoE class across turns.
+        for reqs in by_session.values():
+            assert len({r.qos for r in reqs}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionConfig(mean_turns=0.0)
+        with pytest.raises(ValueError):
+            SessionConfig(qos_mix=())
+        with pytest.raises(ValueError):
+            TraceRequest(0, 0.0, 16, 4, qos="")
+
+    def test_rescale_preserves_session_fields(self):
+        trace = generate_session_trace(0.5, 20, make_rng(8))
+        scaled = trace.rescale_rate(trace.mean_rate * 2)
+        for a, b in zip(trace, scaled):
+            assert a.session_id == b.session_id
+            assert a.qos == b.qos
+
+
+class TestObserverEvents:
+    def test_route_decisions_reach_the_recorder(self, built, bank):
+        from repro.obs import FlightRecorder, Observer
+
+        obs = Observer(recorder=FlightRecorder())
+        fleet = make_fleet(built, bank, router="kv-affinity", n=2)
+        fleet.observer = obs
+        fleet.route(turn(0, 0.0, session=1))
+        fleet.route(turn(1, 0.0, session=1))
+        events = obs.recorder.events("routing_decision")
+        assert len(events) == 2
+        assert events[1]["affinity_hit"] is True
+        assert events[1]["router"] == "kv-affinity"
+        assert events[0]["reason"] == "new-session"
