@@ -35,6 +35,7 @@ from repro.workloads import generate_sharegpt_trace
 
 from common import (
     TESTBED_PARALLEL,
+    bench_seed,
     dump_observation,
     make_testbed_bank,
     maybe_observed_config,
@@ -47,7 +48,9 @@ def run_online_ablation():
     built = build_testbed()
     bank = make_testbed_bank(OPT_66B)
     rate = 2.0
-    trace = generate_sharegpt_trace(rate, 90, make_rng(21), bursty=True)
+    trace = generate_sharegpt_trace(
+        rate, 90, make_rng(bench_seed(21)), bursty=True
+    )
     system = build_system(
         HEROSERVE, built, OPT_66B, bank, SLA_TESTBED_CHATBOT,
         trace.representative_batch(8), arrival_rate=rate,
@@ -73,7 +76,7 @@ def run_online_ablation():
             config=cfg,
         )
         BackgroundTraffic(
-            built.topology, ctx.linkstate, sim.queue, bg, seed=5
+            built.topology, ctx.linkstate, sim.queue, bg, seed=bench_seed(5)
         ).start(trace.duration + 300)
         m = sim.run()
         dump_observation(

@@ -11,52 +11,66 @@ outage.
 The bench replays the identical chatbot trace through both systems and
 reports overall metrics plus the TTFT of exactly the requests that
 arrived inside the crash window — the cohort a failover exists to
-protect. With ``--obs-dir`` active each run additionally dumps its
-trace, metrics snapshot, summary and flight JSONL there.
+protect. Runs are built through :mod:`repro.scenario` — one spec per
+system with the crash schedule in the ``faults`` block — and the table
+is asserted byte-identical to the checked-in baseline. With
+``--obs-dir`` active each run additionally dumps its trace, metrics
+snapshot, summary and flight JSONL there.
 """
 
 import math
 
 import pytest
 
-from repro.core import SLA_TESTBED_CHATBOT
-from repro.faults import FaultEvent, FaultPlan
-from repro.llm import OPT_66B
-from repro.network import build_testbed
+from repro.scenario import ScenarioSpec, TopologySpec, WorkloadSpec, run_scenario
+from repro.util.tables import format_table
 
 from common import (
-    TESTBED_PARALLEL,
-    build_all_systems,
-    chatbot_trace,
+    assert_matches_baseline,
+    bench_seed,
     dump_observation,
-    make_testbed_bank,
-    maybe_observed_config,
+    maybe_scenario_observer,
     save_result,
 )
-from repro.baselines import simulate_trace
-from repro.util.tables import format_table
 
 RATE = 2.0
 DURATION = 40.0
 CRASH_AT = 10.0
 OUTAGE = 10.0
-SEED = 3
+SEED = bench_seed(3)
 
 #: Crash *both* access switches: with one alive, HeroServe simply
 #: re-homes aggregation onto the survivor and the ring path never runs.
-CRASH_PLAN = FaultPlan(
-    events=(
-        FaultEvent(
-            time=CRASH_AT, kind="switch_down", target="switch#0",
-            duration=OUTAGE,
+CRASH_FAULTS = {
+    "seed": SEED,
+    "events": [
+        {
+            "time": CRASH_AT, "kind": "switch_down", "target": "switch#0",
+            "duration": OUTAGE,
+        },
+        {
+            "time": CRASH_AT, "kind": "switch_down", "target": "switch#1",
+            "duration": OUTAGE,
+        },
+    ],
+}
+
+
+def crash_spec(system: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"failover-{system}",
+        model="OPT-66B",
+        workload=WorkloadSpec(
+            generator="sharegpt", rate=RATE, duration=DURATION, seed=SEED
         ),
-        FaultEvent(
-            time=CRASH_AT, kind="switch_down", target="switch#1",
-            duration=OUTAGE,
-        ),
-    ),
-    seed=SEED,
-)
+        topology=TopologySpec(kind="testbed"),
+        system=system,
+        slo="testbed-chatbot",
+        parallel=(8, 1, 8, 1),
+        arrival_rate=RATE,
+        faults=CRASH_FAULTS,
+        observer=maybe_scenario_observer(),
+    )
 
 
 def window_ttfts(metrics) -> list[float]:
@@ -70,31 +84,13 @@ def window_ttfts(metrics) -> list[float]:
 
 
 def run_crash_window():
-    built = build_testbed()
-    bank = make_testbed_bank(OPT_66B)
-    trace = chatbot_trace(RATE, DURATION, seed=SEED)
-    systems = build_all_systems(
-        built,
-        OPT_66B,
-        bank,
-        SLA_TESTBED_CHATBOT,
-        trace,
-        arrival_rate=RATE,
-        forced=TESTBED_PARALLEL,
-    )
     results = {}
     for name in ("HeroServe", "DS-SwitchML"):
-        cfg, observer = maybe_observed_config()
-        metrics = simulate_trace(
-            systems[name],
-            trace,
-            engine_config=cfg,
-            fault_plan=CRASH_PLAN,
-        )
+        res = run_scenario(crash_spec(name))
         dump_observation(
-            f"failover_{name.lower()}", observer, metrics
+            f"failover_{name.lower()}", res.observer, res.metrics
         )
-        results[name] = metrics
+        results[name] = res.metrics
     return results
 
 
@@ -135,6 +131,7 @@ def test_failover_switch_crash(benchmark):
         ),
     )
     print("\n" + table)
+    assert_matches_baseline("failover_switch_crash", table)
     save_result("failover_switch_crash", table)
 
     hero, switchml = results["HeroServe"], results["DS-SwitchML"]

@@ -20,6 +20,7 @@ from repro.network import build_xtracks_cluster
 from common import (
     CLUSTER_PARALLEL,
     SYSTEM_ORDER,
+    bench_seed,
     build_all_systems,
     dump_observation,
     make_cluster_bank,
@@ -36,7 +37,7 @@ DURATION = 600.0
 def run_tracks(tracks: int) -> dict[str, dict[str, float]]:
     built = build_xtracks_cluster(tracks, n_units=1)
     bank = make_cluster_bank(OPT_175B)
-    trace = summarization_trace(RATE, DURATION, seed=10)
+    trace = summarization_trace(RATE, DURATION, seed=bench_seed(10))
     systems = build_all_systems(
         built,
         OPT_175B,

@@ -22,6 +22,7 @@ from repro.network import build_testbed
 
 from common import (
     TESTBED_PARALLEL,
+    bench_seed,
     build_all_systems,
     chatbot_trace,
     save_result,
@@ -44,13 +45,13 @@ def run_workload(workload: str):
         sla, rates, make_trace = (
             SLA_TESTBED_CHATBOT,
             CHATBOT_RATES,
-            lambda r: chatbot_trace(r, DURATION, seed=3),
+            lambda r: chatbot_trace(r, DURATION, seed=bench_seed(3)),
         )
     else:
         sla, rates, make_trace = (
             SLA_TESTBED_SUMMARIZATION,
             SUMMARIZATION_RATES,
-            lambda r: summarization_trace(r, 4 * DURATION, seed=3),
+            lambda r: summarization_trace(r, 4 * DURATION, seed=bench_seed(3)),
         )
     systems = build_all_systems(
         built,

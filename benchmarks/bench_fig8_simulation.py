@@ -20,6 +20,7 @@ from repro.network import build_xtracks_cluster
 
 from common import (
     CLUSTER_PARALLEL,
+    bench_seed,
     build_all_systems,
     chatbot_trace,
     make_cluster_bank,
@@ -42,14 +43,14 @@ def run_tracks(tracks: int):
         OPT_175B,
         bank,
         SLA_SIM_CHATBOT,
-        chatbot_trace(mid, DURATION, seed=8),
+        chatbot_trace(mid, DURATION, seed=bench_seed(8)),
         arrival_rate=mid,
         forced=CLUSTER_PARALLEL,
     )
     points = sweep_systems(
         systems,
         RATES,
-        lambda r: chatbot_trace(r, DURATION, seed=8),
+        lambda r: chatbot_trace(r, DURATION, seed=bench_seed(8)),
         obs_prefix=f"fig8_{tracks}tracks",
     )
     return points

@@ -7,43 +7,50 @@ replays the same aggregate load: per-replica goodput should *degrade*
 as replicas contend, and HeroServe — whose hybrid scheduling keeps most
 synchronisation bytes off the shared Ethernet — should degrade least
 (the multi-tenant congestion resilience of §II-C at system level).
+
+Runs are built through :mod:`repro.scenario` — one spec per (system,
+replica-count) cell with the offered rate coupled to the fleet size —
+and the table is asserted byte-identical to the checked-in baseline.
 """
 
 import pytest
 
-from repro.baselines import DISTSERVE, HEROSERVE, build_fleet
-from repro.core import SLA_SIM_CHATBOT
-from repro.llm import OPT_175B
-from repro.network import build_xtracks_cluster
+from repro.scenario import ScenarioSpec, TopologySpec, WorkloadSpec, run_scenario
 from repro.util.tables import format_table
 
-from common import CLUSTER_PARALLEL, chatbot_trace, make_cluster_bank, save_result
+from common import assert_matches_baseline, bench_seed, save_result
 
 RATE_PER_REPLICA = 1.2
 DURATION = 60.0
+SEED = bench_seed(13)
+
+
+def fleet_spec(system: str, n_replicas: int) -> ScenarioSpec:
+    """One (system, fleet-size) cell; rate scales with the fleet."""
+    return ScenarioSpec(
+        name=f"fleet-{system}-x{n_replicas}",
+        model="OPT-175B",
+        workload=WorkloadSpec(
+            generator="sharegpt",
+            rate=RATE_PER_REPLICA * n_replicas,
+            duration=DURATION,
+            seed=SEED,
+        ),
+        topology=TopologySpec(kind="xtracks", tracks=2, n_units=3),
+        system=system,
+        slo="sim-chatbot",
+        parallel=(16, 1, 16, 1),
+        n_replicas=n_replicas,
+    )
 
 
 def run_fleet_sweep():
-    built = build_xtracks_cluster(2, n_units=3)  # 18 servers x 8 GPUs
-    bank = make_cluster_bank(OPT_175B)
     out = {}
-    for spec in (DISTSERVE, HEROSERVE):
+    for system in ("DistServe", "HeroServe"):
         rows = []
         for n in (1, 2, 3):
-            rate = RATE_PER_REPLICA * n
-            trace = chatbot_trace(rate, DURATION, seed=13)
-            fleet = build_fleet(
-                spec,
-                built,
-                OPT_175B,
-                bank,
-                SLA_SIM_CHATBOT,
-                trace.representative_batch(8),
-                arrival_rate=rate,
-                n_replicas=n,
-                forced_parallel=CLUSTER_PARALLEL,
-            )
-            fm = fleet.run(trace)
+            res = run_scenario(fleet_spec(system, n))
+            fm = res.metrics
             rows.append(
                 {
                     "n": n,
@@ -51,10 +58,10 @@ def run_fleet_sweep():
                     "ttft": fm.mean_ttft(),
                     "tpot": fm.mean_tpot(),
                     "finished": fm.n_finished,
-                    "offered": len(trace),
+                    "offered": len(res.trace),
                 }
             )
-        out[spec.name] = rows
+        out[system] = rows
     return out
 
 
@@ -83,6 +90,7 @@ def test_fleet_replica_contention(benchmark):
         ),
     )
     print("\n" + table)
+    assert_matches_baseline("fleet_replicas", table)
     save_result("fleet_replicas", table)
 
     for name, series in res.items():

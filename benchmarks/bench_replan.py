@@ -20,6 +20,12 @@ fabric is quiet.  It must beat **both** static endpoint plans on p99
 TTFT, with the transition bill (seconds, KV bytes moved, requests
 delayed, rollbacks) itemised in ``BENCH_replan.json``.
 
+Each arm is one declarative :mod:`repro.scenario` spec — loadshift
+workload, phase-1-bounded ``background`` storm, optional ``replan`` /
+``faults`` blocks — and the rendered table is asserted byte-identical
+to the checked-in baseline (the scenario runner must reproduce the old
+hand-wired constructor sequence exactly).
+
 Two more arms pin the safety story:
 
 * a decode-endpoint server fault injected inside the KV-migration
@@ -31,41 +37,31 @@ Two more arms pin the safety story:
 
 import pytest
 
-from repro import HEROSERVE, OPT_66B, build_system, build_testbed
-from repro.core import SLA_TESTBED_CHATBOT
-from repro.core.controller import CentralController
-from repro.core.plan import ParallelConfig
-from repro.core.replan import OnlineReplanner, ReplanConfig
-from repro.faults import FaultEvent, FaultInjector, FaultPlan, HealthRegistry
-from repro.obs import FlightRecorder, Observer
-from repro.serving import (
-    BackgroundTrafficConfig,
-    EngineConfig,
-    ServingSimulator,
-)
-from repro.serving.background import BackgroundTraffic
-from repro.util.rng import make_rng
+from repro.scenario import ScenarioSpec, TopologySpec, WorkloadSpec, run_scenario
 from repro.util.tables import format_table
-from repro.workloads import generate_loadshift_trace
-from repro.workloads.sharegpt import ShareGPTConfig
 
-from common import make_testbed_bank, save_json, save_result
+from common import (
+    assert_matches_baseline,
+    bench_seed,
+    save_json,
+    save_result,
+)
 
 #: Cross-server TP8 — fastest prefill on a quiet fabric, fabric-exposed.
-PLAN_FAST = ParallelConfig(8, 1, 8, 1)
+PLAN_FAST = (8, 1, 8, 1)
 #: Intra-server TP4 stages — collectives stay on NVLink, storm-immune.
-PLAN_SAFE = ParallelConfig(4, 2, 4, 2)
+PLAN_SAFE = (4, 2, 4, 2)
 
 SHIFT_AT = 60.0
 DURATION = 150.0
 RATE_LOW = 0.15   # phase 1, under the storm
 RATE_HIGH = 0.6   # phase 2, quiet fabric
-TRACE_SEED = 0
-STORM_SEED = 11
+TRACE_SEED = bench_seed(0)
+STORM_SEED = TRACE_SEED + 11
 
 #: Long-context chat (longbench-like): prefill-heavy, so plan choice
 #: is dominated by prefill compute vs allreduce exposure.
-LONGCHAT = ShareGPTConfig(
+LONGCHAT = dict(
     input_median=6000.0,
     input_sigma=0.6,
     input_min=1024,
@@ -77,18 +73,21 @@ LONGCHAT = ShareGPTConfig(
 )
 
 #: Near-continuous multi-tenant bursts on 16 shared links — the §II
-#: INA-collapse regime.  Active only during phase 1.
-STORM = BackgroundTrafficConfig(
+#: INA-collapse regime.  ``until`` bounds the storm to phase 1.
+STORM = dict(
     intensity=0.9,
     mean_gap=0.2,
     mean_duration=2.0,
     links_per_burst=16,
+    seed=STORM_SEED,
+    until=SHIFT_AT,
 )
 
 #: Detector tuning: trigger on the load shift (prefill backlog), never
 #: on the storm itself — fabric/cost signals are muted so the replanner
 #: does not attempt a migration over the congested fabric.
 REPLAN = dict(
+    target_parallel=PLAN_FAST,
     queue_high=6,
     sustain_checks=4,
     pending_high=10**6,
@@ -101,74 +100,51 @@ REPLAN = dict(
 
 #: A decode-endpoint server outage aimed at the KV-migration window
 #: (the fault-free migration spans ~81.1-84.4 s).
-MID_MIGRATION_FAULT = FaultPlan(
-    events=(
-        FaultEvent(
-            time=82.0,
-            kind="server_down",
-            target="server#0",
-            duration=3.0,
+MID_MIGRATION_FAULT = {
+    "seed": 0,
+    "events": [
+        {
+            "time": 82.0,
+            "kind": "server_down",
+            "target": "server#0",
+            "duration": 3.0,
+        },
+    ],
+}
+
+
+def arm_spec(arm, replan=None, faults=None) -> ScenarioSpec:
+    """The declarative run for one arm of the comparison."""
+    return ScenarioSpec(
+        name=f"replan-{arm}",
+        model="OPT-66B",
+        workload=WorkloadSpec(
+            generator="loadshift",
+            rate=RATE_LOW,
+            duration=DURATION,
+            seed=TRACE_SEED,
+            params={
+                "rate_b": RATE_HIGH,
+                "shift_at": SHIFT_AT,
+                "sharegpt": LONGCHAT,
+            },
         ),
-    ),
-    seed=0,
-)
-
-
-def run_arm(arm, replan_config=None, fault_plan=None):
-    """One serving run; returns (trace, metrics, replan timeline)."""
-    built = build_testbed()
-    bank = make_testbed_bank(OPT_66B)
-    trace = generate_loadshift_trace(
-        RATE_LOW,
-        RATE_HIGH,
-        SHIFT_AT,
-        DURATION,
-        make_rng(TRACE_SEED),
-        sharegpt_cfg=LONGCHAT,
-    )
-    plan0 = PLAN_FAST if arm == "static-fast" else PLAN_SAFE
-    system = build_system(
-        HEROSERVE,
-        built,
-        OPT_66B,
-        bank,
-        SLA_TESTBED_CHATBOT,
-        trace.representative_batch(8),
+        topology=TopologySpec(kind="testbed"),
+        system="HeroServe",
+        slo="testbed-chatbot",
+        parallel=PLAN_FAST if arm == "static-fast" else PLAN_SAFE,
         arrival_rate=RATE_HIGH,
-        forced_parallel=plan0,
+        background=STORM,
+        replan=replan,
+        faults=faults,
+        observer={"flight": True},
     )
-    ctx = system.fresh_context()
-    obs = Observer(recorder=FlightRecorder())
-    injector = health = None
-    if fault_plan is not None:
-        health = HealthRegistry()
-        injector = FaultInjector(fault_plan, health, ctx, observer=obs)
-    controller = CentralController(
-        ctx=ctx, scheme=system.spec.scheme, observer=obs, health=health
-    )
-    replanner = None
-    if replan_config is not None:
-        replanner = OnlineReplanner(config=replan_config, observer=obs)
-    sim = ServingSimulator(
-        ctx=ctx,
-        plan=system.plan,
-        model=OPT_66B,
-        bank=bank,
-        sla=system.sla,
-        trace=trace,
-        controller=controller,
-        replanner=replanner,
-        config=EngineConfig(observer=obs),
-        faults=injector,
-    )
-    if injector is not None:
-        injector.arm(sim.queue)
-    bg = BackgroundTraffic(
-        built.topology, ctx.linkstate, sim.queue, STORM, seed=STORM_SEED
-    )
-    bg.start(SHIFT_AT)  # the storm covers phase 1 only
-    metrics = sim.run()
-    return trace, metrics, obs.recorder.replan_timeline()
+
+
+def run_arm(arm, replan=None, faults=None):
+    """One serving run; returns (trace, metrics, replan timeline)."""
+    res = run_scenario(arm_spec(arm, replan=replan, faults=faults))
+    return res.trace, res.metrics, res.observer.recorder.replan_timeline()
 
 
 def arm_stats(trace, metrics):
@@ -204,24 +180,21 @@ def run_loadshift():
         trace, metrics, _ = run_arm(arm)
         out[arm] = arm_stats(trace, metrics)
 
-    trace, metrics, timeline = run_arm(
-        "online", replan_config=ReplanConfig(target_parallel=PLAN_FAST,
-                                             **REPLAN)
-    )
+    trace, metrics, timeline = run_arm("online", replan=dict(REPLAN))
     out["online"] = arm_stats(trace, metrics)
     out["online"]["timeline"] = timeline
 
     trace, metrics, timeline = run_arm(
         "online",
-        replan_config=ReplanConfig(target_parallel=PLAN_FAST, **REPLAN),
-        fault_plan=MID_MIGRATION_FAULT,
+        replan=dict(REPLAN),
+        faults=MID_MIGRATION_FAULT,
     )
     out["online-mid-fault"] = arm_stats(trace, metrics)
     out["online-mid-fault"]["timeline"] = timeline
 
     # Golden parity: an armed replanner whose thresholds can never fire
     # must leave the run byte-identical to one without the subsystem.
-    never = ReplanConfig(
+    never = dict(
         target_parallel=PLAN_FAST,
         queue_high=float("inf"),
         pending_high=float("inf"),
@@ -229,7 +202,7 @@ def run_loadshift():
         cost_drift_high=float("inf"),
     )
     _, plain, _ = run_arm("static-safe")
-    _, armed, _ = run_arm("static-safe", replan_config=never)
+    _, armed, _ = run_arm("static-safe", replan=never)
     out["parity"] = {
         "identical": request_key(plain) == request_key(armed),
         "armed_replan_keys_zero": all(
@@ -278,6 +251,7 @@ def test_replan_loadshift(benchmark):
         ),
     )
     print("\n" + table)
+    assert_matches_baseline("replan_loadshift", table)
     save_result("replan_loadshift", table)
     save_json(
         "BENCH_replan",

@@ -17,6 +17,11 @@ are byte-identical across runs); KV fetches price through the live
 link-load tracker and delay the turn's admission, so misses hurt TTFT
 both directly (fetch wait) and indirectly (fabric contention).
 
+Runs are built through :mod:`repro.scenario` — one declarative spec
+per routing policy, differing only in the ``router`` field — and the
+rendered table is asserted byte-identical to the checked-in baseline
+(``benchmarks/results/router_compare.txt``).
+
 With ``--obs-dir``/``REPRO_OBS_DIR`` set, each run dumps its flight
 JSONL — including per-request ``routing_decision`` events — which CI's
 router-smoke step uploads as an artifact.
@@ -24,21 +29,16 @@ router-smoke step uploads as an artifact.
 
 import pytest
 
-from repro.baselines import HEROSERVE, build_fleet
-from repro.core import SLA_SIM_CHATBOT
 from repro.llm import OPT_175B
-from repro.network import build_xtracks_cluster
+from repro.scenario import ScenarioSpec, TopologySpec, WorkloadSpec, run_scenario
 from repro.serving import registered_routers
-from repro.util.rng import make_rng
 from repro.util.tables import format_table
-from repro.workloads import generate_session_trace
 
 from common import (
     BENCH_SEED,
-    CLUSTER_PARALLEL,
+    assert_matches_baseline,
     dump_observation,
-    make_cluster_bank,
-    maybe_observed_config,
+    maybe_scenario_observer,
     save_json,
     save_result,
 )
@@ -51,35 +51,41 @@ ROUTER_ORDER = ["round-robin", "jsq", "least-loaded", "network-aware",
                 "kv-affinity"]
 
 
-def run_router_sweep():
-    built = build_xtracks_cluster(2, n_units=2)  # 12 servers x 8 GPUs
-    bank = make_cluster_bank(OPT_175B)
-    trace = generate_session_trace(
-        SESSION_RATE, DURATION, make_rng(BENCH_SEED)
+def router_spec(router: str) -> ScenarioSpec:
+    """The declarative run for one routing policy — the only axis."""
+    return ScenarioSpec(
+        name=f"router-{router}",
+        model="OPT-175B",
+        workload=WorkloadSpec(
+            generator="sessions",
+            rate=SESSION_RATE,
+            duration=DURATION,
+            seed=BENCH_SEED,
+        ),
+        topology=TopologySpec(kind="xtracks", tracks=2, n_units=2),
+        system="HeroServe",
+        slo="sim-chatbot",
+        parallel=(16, 1, 16, 1),
+        arrival_rate="trace-mean",
+        n_replicas=N_REPLICAS,
+        router=router,
+        observer=maybe_scenario_observer(),
     )
+
+
+def run_router_sweep():
     out = {}
+    trace_requests = 0
     for name in ROUTER_ORDER:
-        cfg, obs = maybe_observed_config()
-        fleet = build_fleet(
-            HEROSERVE,
-            built,
-            OPT_175B,
-            bank,
-            SLA_SIM_CHATBOT,
-            trace.representative_batch(8),
-            arrival_rate=trace.mean_rate,
-            n_replicas=N_REPLICAS,
-            forced_parallel=CLUSTER_PARALLEL,
-            engine_config=cfg,
-            router=name,
-        )
-        fm = fleet.run(trace)
-        if obs is not None:
-            dump_observation(f"router-{name}", obs, fm)
+        res = run_scenario(router_spec(name))
+        if res.observer is not None:
+            dump_observation(f"router-{name}", res.observer, res.metrics)
+        fm = res.metrics
         s = fm.summary()
+        trace_requests = len(res.trace)
         out[name] = {
             "finished": s["finished"],
-            "offered": float(len(trace)),
+            "offered": float(len(res.trace)),
             "attainment": s["attainment"],
             "mean_ttft_s": s["mean_ttft_s"],
             "p50_ttft_s": s["p50_ttft_s"],
@@ -91,7 +97,7 @@ def run_router_sweep():
             "kv_fetch_wait_s": s["router_kv_fetch_wait_s"],
             "qos_attainment": fm.qos_attainment(),
         }
-    return {"trace_requests": len(trace), "routers": out}
+    return {"trace_requests": trace_requests, "routers": out}
 
 
 @pytest.mark.benchmark(group="router")
@@ -137,6 +143,7 @@ def test_router_policies(benchmark):
         ),
     )
     print("\n" + table)
+    assert_matches_baseline("router_compare", table)
     save_result("router_compare", table)
     save_json(
         "BENCH_router",

@@ -47,10 +47,26 @@ from repro.workloads import (
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-#: Seed every bench threads into its planner/trace RNGs. Override with
-#: ``REPRO_BENCH_SEED`` to probe seed sensitivity; the default matches
-#: the checked-in baselines under ``benchmarks/results/``.
-BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+def bench_seed(default: int) -> int:
+    """The seed a bench should thread into its RNGs.
+
+    Returns ``default`` unless ``REPRO_BENCH_SEED`` is set, in which case
+    every bench-local seed collapses onto the override — one knob probes
+    seed sensitivity across the whole suite. The defaults match the
+    checked-in baselines under ``benchmarks/results/``.
+    """
+    env = os.environ.get("REPRO_BENCH_SEED")
+    return default if env is None else int(env)
+
+
+#: Seed every bench threads into its planner/trace RNGs unless it pins a
+#: bench-local default through :func:`bench_seed`.
+BENCH_SEED = bench_seed(7)
+
+
+def seed_overridden() -> bool:
+    """True when ``REPRO_BENCH_SEED`` redirects the benches off-baseline."""
+    return os.environ.get("REPRO_BENCH_SEED") is not None
 
 
 def check_stable_hashing() -> None:
@@ -105,6 +121,19 @@ def maybe_observed_config(
         recorder=FlightRecorder(), attribution=AttributionCollector()
     )
     return EngineConfig(observer=observer, **kwargs), observer
+
+
+def maybe_scenario_observer() -> dict | None:
+    """Spec-level ``observer`` block when ``--obs-dir`` is active.
+
+    The scenario-spec twin of :func:`maybe_observed_config`: benches
+    that build runs through :mod:`repro.scenario` put this in their
+    spec and the runner attaches the same flight recorder + attribution
+    collector pair; ``None`` keeps the run observer-free.
+    """
+    if OBS_DIR is None:
+        return None
+    return {"flight": True, "attribution": True}
 
 
 def dump_observation(name: str, observer, metrics=None) -> None:
@@ -162,6 +191,29 @@ def save_result(name: str, text: str) -> str:
         with open(obs_path(f"{name}.txt"), "w") as fh:
             fh.write(text + "\n")
     return path
+
+
+def assert_matches_baseline(name: str, text: str) -> None:
+    """Assert ``text`` is byte-identical to results/<name>.txt.
+
+    The scenario-spec refactor of the serving benches is pinned by this:
+    each refactored bench renders its table from runs built *through*
+    :mod:`repro.scenario` and must reproduce the checked-in baseline
+    exactly. Skipped when ``REPRO_BENCH_SEED`` moves the suite off the
+    baseline seeds, or when the baseline has not been generated yet.
+    """
+    if seed_overridden():
+        return
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    if not os.path.exists(path):
+        return
+    with open(path) as fh:
+        expected = fh.read()
+    assert text + "\n" == expected, (
+        f"{name}: scenario-built table diverged from checked-in baseline "
+        f"{path} — the scenario runner no longer reproduces the "
+        f"hand-wired construction byte-for-byte"
+    )
 
 
 def save_json(name: str, payload) -> str:

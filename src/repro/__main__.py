@@ -46,6 +46,7 @@ benchmarks/ directories show the full surface.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -177,6 +178,166 @@ def cmd_info(_args) -> int:
     print(" ", build_testbed().topology.summary())
     for t in (2, 8):
         print(" ", build_xtracks_cluster(t, n_units=1).topology.summary())
+
+    from repro.workloads import registered_workloads
+
+    print("\nworkload generators (scenario specs: workload.generator):")
+    for gen in registered_workloads():
+        print(f"  {gen.name:14s} {gen.description}")
+
+    from repro.scenario.spec import SLO_BY_NAME, _TOP_LEVEL_KEYS
+
+    print("\nSLO presets:", ", ".join(sorted(SLO_BY_NAME)))
+    print(
+        "\nscenario axes (matrix-sweepable spec fields, dotted paths):"
+    )
+    print(
+        "  " + ", ".join(sorted(k for k in _TOP_LEVEL_KEYS if k != "matrix"))
+    )
+    print(
+        "  e.g. matrix: {\"router\": [\"jsq\", \"kv-affinity\"], "
+        "\"workload.rate\": [0.6, 1.0]}"
+    )
+    print("  (schema reference: docs/SCENARIOS.md; `repro scenario list`)")
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    from repro.scenario import (
+        SpecValidationError,
+        load_spec,
+        run_matrix,
+        run_scenario,
+    )
+
+    if args.scenario_cmd == "list":
+        return _scenario_list()
+
+    if args.scenario_cmd == "validate":
+        failed = 0
+        for path in args.specs:
+            try:
+                spec = load_spec(path)
+            except SpecValidationError as exc:
+                failed += 1
+                print(f"FAIL {path}")
+                for err in exc.errors:
+                    print(f"  - {err}")
+            except (OSError, RuntimeError) as exc:
+                failed += 1
+                print(f"FAIL {path}: {exc}")
+            else:
+                cells = ""
+                if spec.matrix:
+                    from repro.scenario import expand_matrix
+
+                    cells = f" ({len(expand_matrix(spec))} matrix cells)"
+                print(f"ok   {path}: {spec.name}{cells}")
+        return 1 if failed else 0
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecValidationError as exc:
+        print(exc)
+        return 1
+
+    if args.scenario_cmd == "run":
+        if spec.matrix:
+            print(
+                f"{spec.name}: spec has a matrix table; "
+                "use `repro scenario matrix`"
+            )
+            return 1
+        result = run_scenario(spec)
+        print(f"scenario {spec.name}: {len(result.trace)} requests")
+        for k, v in sorted(result.summary.items()):
+            if isinstance(v, float):
+                print(f"  {k:28s} {v:.4g}")
+            else:
+                print(f"  {k:28s} {v}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result.summary, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0
+
+    # matrix
+    if not spec.matrix:
+        print(f"{spec.name}: spec has no matrix table; use `scenario run`")
+        return 1
+    from repro.obs.report import (
+        build_sweep_data,
+        render_sweep_html,
+        render_sweep_text,
+    )
+
+    result = run_matrix(
+        spec,
+        processes=args.processes,
+        progress=lambda label, s: print(
+            f"  cell {label}: finished={s.get('finished', 0):.0f} "
+            f"attainment={s.get('attainment', 0):.2f}"
+        ),
+    )
+    data = build_sweep_data(
+        result.summaries,
+        title=f"scenario sweep — {spec.name}",
+        axes=result.axes,
+        meta={"model": spec.model, "cells": len(result.cells)},
+    )
+    print()
+    print(render_sweep_text(data), end="")
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(render_sweep_html(data))
+        print(f"wrote {args.report}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _scenario_list() -> int:
+    from repro.baselines import SYSTEM_BY_NAME
+    from repro.scenario.spec import GPU_PROFILES, SLO_BY_NAME
+    from repro.serving import registered_routers
+    from repro.workloads import registered_workloads
+
+    print("scenario spec schema (docs/SCENARIOS.md):")
+    fields = [
+        ("name", "scenario label (required)"),
+        ("model", "model-zoo name (required)"),
+        ("workload", "{generator, rate, duration, seed, params} (required)"),
+        ("topology", "{kind: testbed|xtracks, tracks, n_units}"),
+        ("system", "serving system (default HeroServe)"),
+        ("gpus", "cost-model GPU profiles (default per topology)"),
+        ("parallel", "[tp_pre, pp_pre, tp_dec, pp_dec] or omit to sweep"),
+        ("slo", "preset name or {ttft, tpot} seconds"),
+        ("arrival_rate", "planner forecast r/s | 'trace-mean' | omit"),
+        ("forecast_q", "representative-batch size (default 8)"),
+        ("router", "fleet routing policy (needs n_replicas)"),
+        ("n_replicas", "replica count; any value selects the fleet path"),
+        ("background", "cross-traffic bursts {intensity, ..., seed, until}"),
+        ("faults", "{seed, events: [{time, kind, target, ...}]}"),
+        ("replan", "online replanning thresholds (ReplanConfig fields)"),
+        ("observer", "{flight: bool, attribution: bool}"),
+        ("matrix", "axis sweeps: dotted path -> list of values"),
+    ]
+    for name, doc in fields:
+        print(f"  {name:14s} {doc}")
+    print("\nworkload generators:")
+    for gen in registered_workloads():
+        params = ", ".join(gen.params) if gen.params else "-"
+        print(f"  {gen.name:14s} {gen.description}")
+        print(f"  {'':14s}   params: {params}")
+    print("\nsystems:", ", ".join(sorted(SYSTEM_BY_NAME)))
+    print("routers:", ", ".join(sorted(c.name for c in registered_routers())))
+    print("SLO presets:", ", ".join(sorted(SLO_BY_NAME)))
+    print("GPU profiles:", ", ".join(sorted(GPU_PROFILES)))
+    print("\nexample specs: examples/scenarios/*.json")
     return 0
 
 
@@ -422,7 +583,14 @@ def cmd_fleet(args) -> int:
         ["mean TTFT", f"{s['mean_ttft_s'] * 1e3:.0f} ms"],
         ["p99 TTFT", f"{s['p99_ttft_s'] * 1e3:.0f} ms"],
         ["p99 TPOT", f"{s['p99_tpot_s'] * 1e3:.1f} ms"],
-        ["affinity hit rate", f"{s['router_affinity_hit_rate']:.2f}"],
+        [
+            "affinity hit rate",
+            (
+                f"{s['router_affinity_hit_rate']:.2f}"
+                if "router_affinity_hit_rate" in s
+                else "n/a"
+            ),
+        ],
         ["KV bytes moved", f"{s['router_kv_bytes_moved'] / 1e9:.2f} GB"],
         ["KV bytes saved", f"{s['router_kv_bytes_saved'] / 1e9:.2f} GB"],
         ["KV fetch wait", f"{s['router_kv_fetch_wait_s']:.2f} s"],
@@ -1304,6 +1472,61 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     p = sub.add_parser(
+        "scenario",
+        help="declarative scenario specs: run, matrix sweeps, validation",
+        parents=[common],
+    )
+    scen_sub = p.add_subparsers(dest="scenario_cmd", required=True)
+    sp = scen_sub.add_parser(
+        "run", help="execute one (non-matrix) spec", parents=[common]
+    )
+    sp.add_argument("spec", metavar="SPEC", help="spec file (JSON/YAML)")
+    sp.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the run summary as JSON",
+    )
+    sp = scen_sub.add_parser(
+        "matrix",
+        help="expand the spec's matrix and fan cells across processes",
+        parents=[common],
+    )
+    sp.add_argument("spec", metavar="SPEC", help="spec file (JSON/YAML)")
+    sp.add_argument(
+        "--processes",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes (default 2; 1 runs cells inline)",
+    )
+    sp.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the sweep report as self-contained HTML",
+    )
+    sp.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the sweep data (cells + axes) as JSON",
+    )
+    sp = scen_sub.add_parser(
+        "validate",
+        help="validate spec files, reporting field-level errors",
+        parents=[common],
+    )
+    sp.add_argument(
+        "specs", metavar="SPEC", nargs="+", help="spec files (JSON/YAML)"
+    )
+    scen_sub.add_parser(
+        "list",
+        help="spec schema, workload generators, sweepable axes",
+        parents=[common],
+    )
+
+    p = sub.add_parser(
         "whatif",
         help="counterfactual bottleneck ladder over resource upgrades",
         parents=[common],
@@ -1388,6 +1611,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": cmd_explain,
         "demo": cmd_demo,
         "replan": cmd_replan,
+        "scenario": cmd_scenario,
         "whatif": cmd_whatif,
     }
     return handlers[args.command](args)

@@ -164,10 +164,16 @@ def simulate_trace(
     engine_config: EngineConfig | None = None,
     background: BackgroundTrafficConfig | None = None,
     background_seed: int | None = None,
+    background_until: float | None = None,
     fault_plan: "FaultPlan | None" = None,
     replan: "ReplanConfig | None" = None,
 ) -> ServingMetrics:
     """Run one trace through a system with fresh network state.
+
+    ``background`` arms cross-traffic bursts on ``[0, background_until)``
+    (default: trace end plus drain) — a bounded horizon models a storm
+    that dies down, e.g. one confined to the pre-shift phase of a
+    load-shift trace.
 
     ``fault_plan`` arms a :class:`~repro.faults.plan.FaultPlan` on the
     simulation clock: injected faults flip ground truth, HeroServe's
@@ -234,7 +240,11 @@ def simulate_trace(
             config=background,
             seed=background_seed,
         )
-        bg.start(trace.duration + cfg.drain_time)
+        bg.start(
+            trace.duration + cfg.drain_time
+            if background_until is None
+            else background_until
+        )
     return sim.run()
 
 

@@ -63,9 +63,13 @@ from repro.obs.profile import (
 from repro.obs.recorder import FlightRecorder, FlightSample
 from repro.obs.report import (
     build_report_data,
+    build_sweep_data,
     render_html,
+    render_sweep_html,
+    render_sweep_text,
     render_text,
     write_report,
+    write_sweep_report,
 )
 from repro.obs.selfprof import SelfProfiler, SelfProfilingObserver
 from repro.obs.slo import (
@@ -104,9 +108,13 @@ __all__ = [
     "FlightRecorder",
     "FlightSample",
     "build_report_data",
+    "build_sweep_data",
     "render_html",
+    "render_sweep_html",
+    "render_sweep_text",
     "render_text",
     "write_report",
+    "write_sweep_report",
     "get_logger",
     "setup_logging",
     "verbosity_to_level",

@@ -936,3 +936,152 @@ def write_report(
     with open(path, "w") as fh:
         fh.write(render_html(data))
     return data
+
+
+# ---------------------------------------------------------------------------
+# sweep reports (scenario matrix runs)
+# ---------------------------------------------------------------------------
+
+#: (column header, summary key, format) for the per-cell sweep table.
+#: Router/replan columns only render when some cell carries the key.
+_SWEEP_ALWAYS = (
+    ("finished", "finished", "{:.0f}"),
+    ("attainment", "attainment", "{:.1%}"),
+    ("p50 TTFT s", "p50_ttft_s", "{:.3f}"),
+    ("p99 TTFT s", "p99_ttft_s", "{:.3f}"),
+    ("mean TPOT s", "mean_tpot_s", "{:.4f}"),
+)
+_SWEEP_OPTIONAL = (
+    ("router hit", "router_affinity_hit_rate", "{:.2f}"),
+    ("KV moved GB", "router_kv_bytes_moved", "{:.2f}"),
+    ("replans", "replan_transitions", "{:.0f}"),
+    ("failovers", "failovers", "{:.0f}"),
+)
+
+
+def build_sweep_data(
+    summaries: list[dict],
+    title: str = "scenario sweep",
+    axes: dict[str, Any] | None = None,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Fold per-cell scenario summaries into one sweep-report payload."""
+    return {
+        "title": title,
+        "meta": dict(meta or {}),
+        "axes": {k: list(v) for k, v in (axes or {}).items()},
+        "cells": list(summaries),
+    }
+
+
+def _sweep_columns(cells: list[dict]) -> list[tuple[str, str, str]]:
+    cols = list(_SWEEP_ALWAYS)
+    for col in _SWEEP_OPTIONAL:
+        if any(col[1] in c for c in cells):
+            cols.append(col)
+    return cols
+
+
+def _sweep_cell_value(cell: dict, key: str, fmt: str) -> str:
+    if key == "router_affinity_hit_rate" and cell.get(key) is None:
+        # Sessionless traces have no follow-up turns to hit or miss.
+        return "n/a"
+    v = cell.get(key)
+    if key == "router_kv_bytes_moved" and v is not None:
+        v = _finite(v)
+        v = v / 1e9 if v is not None else None
+    return _fmt(v, fmt)
+
+
+def render_sweep_html(data: dict[str, Any]) -> str:
+    """Render a sweep payload as one self-contained HTML page."""
+    cells = data.get("cells") or []
+    cols = _sweep_columns(cells)
+    axes = data.get("axes") or {}
+    sub_bits = [
+        f"{html.escape(str(k))} &isin; "
+        f"[{html.escape(', '.join(str(v) for v in vs))}]"
+        for k, vs in axes.items()
+    ]
+    for k, v in (data.get("meta") or {}).items():
+        sub_bits.append(f"{html.escape(str(k))}={html.escape(str(v))}")
+    header = "".join(
+        ["<th>cell</th>"]
+        + [f'<th class="num">{html.escape(h)}</th>' for h, _, _ in cols]
+    )
+    rows = []
+    for cell in cells:
+        label = str(cell.get("cell") or cell.get("scenario") or "run")
+        tds = [f"<td>{html.escape(label)}</td>"] + [
+            f'<td class="num">'
+            f"{html.escape(_sweep_cell_value(cell, key, fmt))}</td>"
+            for _, key, fmt in cols
+        ]
+        rows.append(f"<tr>{''.join(tds)}</tr>")
+    table = (
+        f"<table><thead><tr>{header}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        if cells
+        else '<p class="empty">no cells ran</p>'
+    )
+    body = (
+        f"<h1>{html.escape(data.get('title', 'scenario sweep'))}</h1>"
+        f'<p class="sub">{" &middot; ".join(sub_bits)}</p>'
+        f"<h2>cells ({len(cells)})</h2>"
+        f"{table}"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" content="width=device-width,initial-scale=1">'
+        f"<title>{html.escape(data.get('title', 'scenario sweep'))}</title>"
+        f"<style>{_CSS}</style></head>"
+        f'<body class="viz-root">{body}'
+        "<script type=\"application/json\" id=\"sweep-data\">"
+        f"{json.dumps(data, default=str)}"
+        "</script></body></html>\n"
+    )
+
+
+def render_sweep_text(data: dict[str, Any]) -> str:
+    """Terminal-friendly table of the same sweep payload."""
+    cells = data.get("cells") or []
+    cols = _sweep_columns(cells)
+    headers = ["cell"] + [h for h, _, _ in cols]
+    table_rows = []
+    for cell in cells:
+        label = str(cell.get("cell") or cell.get("scenario") or "run")
+        table_rows.append(
+            [label]
+            + [_sweep_cell_value(cell, key, fmt) for _, key, fmt in cols]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table_rows))
+        if table_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [data.get("title", "scenario sweep")]
+    for k, vs in (data.get("axes") or {}).items():
+        lines.append(f"  axis {k}: {vs}")
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for r in table_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def write_sweep_report(
+    path: str,
+    summaries: list[dict],
+    title: str = "scenario sweep",
+    axes: dict[str, Any] | None = None,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build, render and write the sweep HTML; returns the data dict."""
+    data = build_sweep_data(summaries, title=title, axes=axes, meta=meta)
+    with open(path, "w") as fh:
+        fh.write(render_sweep_html(data))
+    return data

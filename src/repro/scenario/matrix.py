@@ -1,0 +1,134 @@
+"""Matrix expansion and multi-process fan-out for scenario sweeps.
+
+A spec's ``matrix`` table maps dotted spec paths to value lists, e.g.::
+
+    "matrix": {"router": ["jsq", "kv-affinity"],
+               "workload.rate": [0.6, 1.0]}
+
+:func:`expand_matrix` takes the cartesian product in declaration order
+and yields one concrete (validated) cell spec per combination;
+:func:`run_matrix` fans the cells across worker processes and collects
+their JSON-able summaries in deterministic cell order — each cell is an
+independent, fully-seeded simulation, so the fan-out cannot perturb
+results.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.scenario.runner import run_scenario
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = ["MatrixCell", "MatrixResult", "expand_matrix", "run_matrix"]
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One concrete run of a matrix sweep."""
+
+    label: str
+    #: the axis assignments that produced this cell
+    point: dict
+    spec: ScenarioSpec
+
+
+@dataclass
+class MatrixResult:
+    """All cell summaries of one sweep, in expansion order."""
+
+    base: ScenarioSpec
+    axes: dict
+    cells: list[MatrixCell]
+    #: per-cell JSON-able summaries (parallel to ``cells``)
+    summaries: list[dict]
+
+
+def _set_path(d: dict, path: str, value) -> None:
+    parts = path.split(".")
+    for part in parts[:-1]:
+        d = d.setdefault(part, {})
+    d[parts[-1]] = value
+
+
+def _fmt_value(v) -> str:
+    if isinstance(v, float):
+        return f"{v:g}"
+    return str(v)
+
+
+def expand_matrix(spec: ScenarioSpec) -> list[MatrixCell]:
+    """Concrete cell specs for every axis combination, in order."""
+    if not spec.matrix:
+        raise ValueError(f"spec {spec.name!r} has no matrix table")
+    base = spec.to_dict()
+    base.pop("matrix")
+    axes = list(spec.matrix.items())
+    cells: list[MatrixCell] = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        d = copy.deepcopy(base)
+        point = {}
+        for (path, _), value in zip(axes, combo):
+            _set_path(d, path, copy.deepcopy(value))
+            point[path] = value
+        label = " ".join(
+            f"{path}={_fmt_value(value)}" for path, value in point.items()
+        )
+        d["name"] = f"{base['name']}[{label}]"
+        cells.append(
+            MatrixCell(
+                label=label,
+                point=point,
+                spec=ScenarioSpec.from_dict(d, source=f"cell {label}"),
+            )
+        )
+    return cells
+
+
+def _run_cell(payload: tuple[str, dict]) -> dict:
+    """Worker entry point: runs one cell, returns its summary.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; the
+    payload is the (label, raw spec dict) pair, both picklable.
+    """
+    label, raw = payload
+    spec = ScenarioSpec.from_dict(raw, source=f"cell {label}")
+    return run_scenario(spec, cell=label).summary
+
+
+def run_matrix(
+    spec: ScenarioSpec,
+    processes: int = 2,
+    progress=None,
+) -> MatrixResult:
+    """Expand ``spec.matrix`` and run every cell.
+
+    ``processes >= 2`` fans cells across worker processes;
+    ``processes <= 1`` runs them inline (debugging). ``progress`` is an
+    optional callable receiving (label, summary) as cells finish, in
+    expansion order.
+    """
+    cells = expand_matrix(spec)
+    payloads = [(c.label, c.spec.to_dict()) for c in cells]
+    if processes <= 1:
+        summaries = [_run_cell(p) for p in payloads]
+        if progress is not None:
+            for cell, summary in zip(cells, summaries):
+                progress(cell.label, summary)
+    else:
+        workers = min(processes, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            summaries = []
+            for cell, summary in zip(cells, pool.map(_run_cell, payloads)):
+                summaries.append(summary)
+                if progress is not None:
+                    progress(cell.label, summary)
+    return MatrixResult(
+        base=spec,
+        axes=dict(spec.matrix or {}),
+        cells=cells,
+        summaries=summaries,
+    )

@@ -104,25 +104,38 @@ class RouterStats:
     #: total seconds follow-up turns waited on resident-KV fetches
     kv_fetch_wait_s: float = 0.0
 
-    def hit_rate(self) -> float:
-        """Affinity hit rate over follow-up turns (NaN if none)."""
+    def hit_rate(self) -> float | None:
+        """Affinity hit rate over follow-up turns.
+
+        ``None`` on sessionless traces (no follow-up turns exist to hit
+        or miss) — never NaN, which would poison JSON dumps and the
+        HTML report's embedded data.
+        """
         turns = self.affinity_hits + self.affinity_misses
         if turns == 0:
-            return float("nan")
+            return None
         return self.affinity_hits / turns
 
     def summary(self) -> dict[str, float]:
-        """Flat ``router_*`` keys for the benchmark tables."""
-        return {
+        """Flat ``router_*`` keys for the benchmark tables.
+
+        ``router_affinity_hit_rate`` is omitted when undefined
+        (sessionless trace); report renderers show "n/a" for the
+        missing key.
+        """
+        out = {
             "router_new_sessions": float(self.new_sessions),
             "router_affinity_hits": float(self.affinity_hits),
             "router_affinity_misses": float(self.affinity_misses),
-            "router_affinity_hit_rate": self.hit_rate(),
             "router_kv_fetches": float(self.kv_fetches),
             "router_kv_bytes_moved": self.kv_bytes_moved,
             "router_kv_bytes_saved": self.kv_bytes_saved,
             "router_kv_fetch_wait_s": self.kv_fetch_wait_s,
         }
+        rate = self.hit_rate()
+        if rate is not None:
+            out["router_affinity_hit_rate"] = rate
+        return out
 
 
 @dataclass

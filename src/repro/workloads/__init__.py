@@ -2,13 +2,28 @@
 
 from repro.workloads.arrivals import (
     bursty_arrivals,
+    diurnal_arrivals,
+    diurnal_rate,
     effective_rate,
+    flash_crowd_arrivals,
+    flash_crowd_rate,
+    inhomogeneous_arrivals,
     poisson_arrivals,
 )
 from repro.workloads.loadshift import generate_loadshift_trace
+from repro.workloads.registry import (
+    WorkloadGenerator,
+    get_workload,
+    register_workload,
+    registered_workloads,
+)
 from repro.workloads.sessions import (
     SessionConfig,
     generate_session_trace,
+)
+from repro.workloads.shapes import (
+    generate_diurnal_trace,
+    generate_flash_crowd_trace,
 )
 from repro.workloads.longbench import (
     LongBenchConfig,
@@ -18,17 +33,31 @@ from repro.workloads.sharegpt import (
     ShareGPTConfig,
     generate_sharegpt_trace,
 )
+from repro.workloads.tenants import TenantSpec, generate_multi_tenant_trace
 from repro.workloads.traces import Trace, TraceRequest
 
 __all__ = [
     "bursty_arrivals",
+    "diurnal_arrivals",
+    "diurnal_rate",
     "effective_rate",
+    "flash_crowd_arrivals",
+    "flash_crowd_rate",
+    "inhomogeneous_arrivals",
     "poisson_arrivals",
     "LongBenchConfig",
     "SessionConfig",
+    "TenantSpec",
+    "WorkloadGenerator",
     "generate_loadshift_trace",
     "generate_session_trace",
     "generate_longbench_trace",
+    "generate_diurnal_trace",
+    "generate_flash_crowd_trace",
+    "generate_multi_tenant_trace",
+    "get_workload",
+    "register_workload",
+    "registered_workloads",
     "ShareGPTConfig",
     "generate_sharegpt_trace",
     "Trace",

@@ -67,6 +67,141 @@ def bursty_arrivals(
     return np.sort(np.concatenate(times))
 
 
+def inhomogeneous_arrivals(
+    rate_fn,
+    peak_rate: float,
+    duration: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Arrival times of an inhomogeneous Poisson process by thinning.
+
+    ``rate_fn(t)`` gives the instantaneous rate at time ``t`` (vectorised
+    over numpy arrays); ``peak_rate`` must upper-bound it on
+    ``[0, duration)``. Thinning (Lewis & Shedler) keeps the draw count
+    deterministic per seed and the output sorted by construction.
+    """
+    require_positive("peak_rate", peak_rate)
+    require_positive("duration", duration)
+    candidates = poisson_arrivals(peak_rate, duration, rng)
+    if candidates.size == 0:
+        return candidates
+    keep = rng.uniform(size=candidates.size) * peak_rate
+    rates = np.asarray(rate_fn(candidates), dtype=float)
+    if np.any(rates > peak_rate * (1.0 + 1e-9)):
+        raise ValueError(
+            "rate_fn exceeds peak_rate; thinning would under-sample"
+        )
+    return candidates[keep < rates]
+
+
+def diurnal_rate(
+    times: np.ndarray,
+    base_rate: float,
+    peak_rate: float,
+    period: float = 86400.0,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Sinusoidal day-night rate profile at ``times`` (vectorised).
+
+    Troughs at ``base_rate``, crests at ``peak_rate``; ``phase`` shifts
+    where in the cycle t=0 falls (0 starts at the trough).
+    """
+    swing = 0.5 * (peak_rate - base_rate)
+    mid = base_rate + swing
+    return mid - swing * np.cos(
+        2.0 * np.pi * (np.asarray(times, dtype=float) + phase) / period
+    )
+
+
+def diurnal_arrivals(
+    base_rate: float,
+    peak_rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    period: float = 86400.0,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Diurnal traffic: sinusoidal rate between base (trough) and peak.
+
+    The coordinated-autoscaling literature evaluates against exactly this
+    shape — demand that swings smoothly over a cycle — because static
+    provisioning is wrong for half of it. ``period`` defaults to a day
+    but benches compress it to the trace duration.
+    """
+    require_positive("base_rate", base_rate)
+    require_positive("duration", duration)
+    require_positive("period", period)
+    if peak_rate < base_rate:
+        raise ValueError(
+            f"peak_rate ({peak_rate}) must be >= base_rate ({base_rate})"
+        )
+    return inhomogeneous_arrivals(
+        lambda t: diurnal_rate(t, base_rate, peak_rate, period, phase),
+        peak_rate,
+        duration,
+        rng,
+    )
+
+
+def flash_crowd_rate(
+    times: np.ndarray,
+    base_rate: float,
+    peak_rate: float,
+    at: float,
+    ramp_s: float = 5.0,
+    decay_s: float = 30.0,
+) -> np.ndarray:
+    """Flash-crowd rate profile: base, linear ramp to peak, exp decay."""
+    t = np.asarray(times, dtype=float)
+    rates = np.full(t.shape, float(base_rate))
+    ramping = (t >= at) & (t < at + ramp_s)
+    rates[ramping] = base_rate + (peak_rate - base_rate) * (
+        (t[ramping] - at) / ramp_s
+    )
+    decaying = t >= at + ramp_s
+    rates[decaying] = base_rate + (peak_rate - base_rate) * np.exp(
+        -(t[decaying] - at - ramp_s) / decay_s
+    )
+    return rates
+
+
+def flash_crowd_arrivals(
+    base_rate: float,
+    peak_rate: float,
+    at: float,
+    duration: float,
+    rng: np.random.Generator,
+    ramp_s: float = 5.0,
+    decay_s: float = 30.0,
+) -> np.ndarray:
+    """Flash-crowd traffic: steady base load, then a sudden spike.
+
+    At ``at`` the rate ramps linearly to ``peak_rate`` over ``ramp_s``
+    seconds, then relaxes back toward ``base_rate`` exponentially with
+    time constant ``decay_s`` — the viral-link / retry-storm shape that
+    stresses admission and autoscaling far harder than any stationary
+    process.
+    """
+    require_positive("base_rate", base_rate)
+    require_positive("duration", duration)
+    require_positive("ramp_s", ramp_s)
+    require_positive("decay_s", decay_s)
+    if peak_rate < base_rate:
+        raise ValueError(
+            f"peak_rate ({peak_rate}) must be >= base_rate ({base_rate})"
+        )
+    if not 0.0 <= at < duration:
+        raise ValueError(f"need 0 <= at < duration, got {at}/{duration}")
+    return inhomogeneous_arrivals(
+        lambda t: flash_crowd_rate(
+            t, base_rate, peak_rate, at, ramp_s, decay_s
+        ),
+        peak_rate,
+        duration,
+        rng,
+    )
+
+
 def effective_rate(arrivals: np.ndarray, duration: float) -> float:
     """Empirical mean rate of an arrival-time array."""
     require_positive("duration", duration)

@@ -1,0 +1,253 @@
+"""Workload-generator registry: one name per trace shape.
+
+The scenario harness (:mod:`repro.scenario`) refers to workloads by
+name in declarative specs; this registry is the single lookup point,
+mirroring the collective-scheme and router registries. Each entry wraps
+one generator behind the uniform builder signature
+
+    ``build(rate, duration, rng, **params) -> Trace``
+
+where ``rate`` is requests (or sessions, for session workloads) per
+second and ``params`` are the generator-specific knobs a spec's
+``workload.params`` table carries. ``python -m repro info`` lists the
+registered generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.workloads.longbench import LongBenchConfig, generate_longbench_trace
+from repro.workloads.loadshift import generate_loadshift_trace
+from repro.workloads.sessions import SessionConfig, generate_session_trace
+from repro.workloads.shapes import (
+    generate_diurnal_trace,
+    generate_flash_crowd_trace,
+)
+from repro.workloads.sharegpt import ShareGPTConfig, generate_sharegpt_trace
+from repro.workloads.tenants import TenantSpec, generate_multi_tenant_trace
+from repro.workloads.traces import Trace
+
+__all__ = [
+    "WorkloadGenerator",
+    "get_workload",
+    "register_workload",
+    "registered_workloads",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadGenerator:
+    """One named trace generator with its declarative parameter list."""
+
+    name: str
+    description: str
+    build: Callable[..., Trace]
+    #: parameter names accepted in a spec's ``workload.params`` table
+    params: tuple[str, ...] = field(default=())
+
+
+_REGISTRY: dict[str, WorkloadGenerator] = {}
+
+
+def register_workload(gen: WorkloadGenerator) -> WorkloadGenerator:
+    """Register a generator; duplicate names are an error."""
+    if gen.name in _REGISTRY:
+        raise ValueError(f"workload {gen.name!r} already registered")
+    _REGISTRY[gen.name] = gen
+    return gen
+
+
+def get_workload(name: str) -> WorkloadGenerator:
+    """Look up a generator by name; KeyError lists the alternatives."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_workloads() -> list[WorkloadGenerator]:
+    """All registered generators, sorted by name."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+# ---------------------------------------------------------------------------
+# built-in generators
+# ---------------------------------------------------------------------------
+
+
+def _sharegpt(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    bursty: bool = False,
+    burst_factor: float = 4.0,
+    **lengths,
+) -> Trace:
+    cfg = ShareGPTConfig(**lengths) if lengths else None
+    return generate_sharegpt_trace(
+        rate, duration, rng, cfg=cfg, bursty=bursty,
+        burst_factor=burst_factor,
+    )
+
+
+def _longbench(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    bursty: bool = False,
+    burst_factor: float = 4.0,
+    **lengths,
+) -> Trace:
+    cfg = LongBenchConfig(**lengths) if lengths else None
+    return generate_longbench_trace(
+        rate, duration, rng, cfg=cfg, bursty=bursty,
+        burst_factor=burst_factor,
+    )
+
+
+def _sessions(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    lengths: dict | None = None,
+    **session_knobs,
+) -> Trace:
+    cfg = None
+    if session_knobs or lengths:
+        if lengths is not None:
+            session_knobs["lengths"] = ShareGPTConfig(**lengths)
+        cfg = SessionConfig(**session_knobs)
+    return generate_session_trace(rate, duration, rng, config=cfg)
+
+
+def _loadshift(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    rate_b: float | None = None,
+    shift_at: float | None = None,
+    sharegpt: dict | None = None,
+    longbench: dict | None = None,
+) -> Trace:
+    return generate_loadshift_trace(
+        rate,
+        rate if rate_b is None else rate_b,
+        duration / 2.0 if shift_at is None else shift_at,
+        duration,
+        rng,
+        sharegpt_cfg=ShareGPTConfig(**sharegpt) if sharegpt else None,
+        longbench_cfg=LongBenchConfig(**longbench) if longbench else None,
+    )
+
+
+def _diurnal(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    peak_rate: float | None = None,
+    period: float | None = None,
+    phase: float = 0.0,
+    qos: str = "standard",
+    **lengths,
+) -> Trace:
+    return generate_diurnal_trace(
+        rate,
+        2.0 * rate if peak_rate is None else peak_rate,
+        duration,
+        rng,
+        period=period,
+        phase=phase,
+        cfg=ShareGPTConfig(**lengths) if lengths else None,
+        qos=qos,
+    )
+
+
+def _flash_crowd(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    peak_rate: float | None = None,
+    at: float | None = None,
+    ramp_s: float = 5.0,
+    decay_s: float = 30.0,
+    qos: str = "standard",
+    **lengths,
+) -> Trace:
+    return generate_flash_crowd_trace(
+        rate,
+        4.0 * rate if peak_rate is None else peak_rate,
+        duration / 3.0 if at is None else at,
+        duration,
+        rng,
+        ramp_s=ramp_s,
+        decay_s=decay_s,
+        cfg=ShareGPTConfig(**lengths) if lengths else None,
+        qos=qos,
+    )
+
+
+def _multi_tenant(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    tenants: list[dict] | None = None,
+) -> Trace:
+    specs = [
+        t if isinstance(t, TenantSpec) else TenantSpec(**t)
+        for t in (tenants or ())
+    ]
+    return generate_multi_tenant_trace(specs, rate, duration, rng)
+
+
+register_workload(WorkloadGenerator(
+    "sharegpt",
+    "single-shot chatbot trace, ShareGPT-like length marginals",
+    _sharegpt,
+    ("bursty", "burst_factor", "input_median", "input_sigma",
+     "input_min", "input_max", "output_median", "output_sigma",
+     "output_min", "output_max"),
+))
+register_workload(WorkloadGenerator(
+    "longbench",
+    "single-shot summarisation trace, LongBench-like long prompts",
+    _longbench,
+    ("bursty", "burst_factor", "input_median", "input_sigma",
+     "input_min", "input_max", "output_median", "output_sigma",
+     "output_min", "output_max"),
+))
+register_workload(WorkloadGenerator(
+    "sessions",
+    "multi-turn conversations with think time; rate = sessions/s",
+    _sessions,
+    ("mean_turns", "mean_think_s", "qos_mix", "lengths"),
+))
+register_workload(WorkloadGenerator(
+    "loadshift",
+    "chatbot until shift_at, then summarisation at rate_b",
+    _loadshift,
+    ("rate_b", "shift_at", "sharegpt", "longbench"),
+))
+register_workload(WorkloadGenerator(
+    "diurnal",
+    "sinusoidal day-night rate between rate (trough) and peak_rate",
+    _diurnal,
+    ("peak_rate", "period", "phase", "qos"),
+))
+register_workload(WorkloadGenerator(
+    "flash-crowd",
+    "steady base rate, sudden spike at `at` with exponential decay",
+    _flash_crowd,
+    ("peak_rate", "at", "ramp_s", "decay_s", "qos"),
+))
+register_workload(WorkloadGenerator(
+    "multi-tenant",
+    "per-tenant QoE class + SLO scale + traffic share, merged",
+    _multi_tenant,
+    ("tenants",),
+))

@@ -1,0 +1,101 @@
+"""Non-stationary arrival shapes as full traces: diurnal, flash crowd.
+
+Production serving fleets are evaluated against *shaped* demand, not
+stationary Poisson: coordinated-autoscaling results live or die on
+realistic diurnal traces, and admission/SLO machinery only shows its
+worth under flash crowds (viral links, retry storms). These generators
+pair the inhomogeneous arrival processes of
+:mod:`repro.workloads.arrivals` with the ShareGPT-like length marginals
+of :mod:`repro.workloads.sharegpt`, so the per-request statistics stay
+faithful while the *rate* becomes a function of time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.arrivals import diurnal_arrivals, flash_crowd_arrivals
+from repro.workloads.sharegpt import ShareGPTConfig, sample_lengths
+from repro.workloads.traces import Trace, TraceRequest
+
+
+def _trace_from_times(
+    name: str,
+    times: np.ndarray,
+    rng: np.random.Generator,
+    cfg: ShareGPTConfig | None,
+    qos: str = "standard",
+) -> Trace:
+    cfg = cfg or ShareGPTConfig()
+    ins, outs = sample_lengths(len(times), cfg, rng)
+    return Trace(
+        name=name,
+        requests=[
+            TraceRequest(
+                request_id=i,
+                arrival_time=float(t),
+                input_len=int(l),
+                output_len=int(o),
+                qos=qos,
+            )
+            for i, (t, l, o) in enumerate(zip(times, ins, outs))
+        ],
+    )
+
+
+def generate_diurnal_trace(
+    base_rate: float,
+    peak_rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    period: float | None = None,
+    phase: float = 0.0,
+    cfg: ShareGPTConfig | None = None,
+    qos: str = "standard",
+) -> Trace:
+    """Chatbot trace whose rate swings sinusoidally trough -> crest.
+
+    ``period`` defaults to ``duration`` — one full day compressed into
+    the trace, so a bench sees both the quiet trough and the busy crest.
+    """
+    period = duration if period is None else period
+    times = diurnal_arrivals(
+        base_rate, peak_rate, duration, rng, period=period, phase=phase
+    )
+    return _trace_from_times(
+        f"diurnal-{base_rate:g}to{peak_rate:g}rps-{duration:g}s",
+        times,
+        rng,
+        cfg,
+        qos,
+    )
+
+
+def generate_flash_crowd_trace(
+    base_rate: float,
+    peak_rate: float,
+    at: float,
+    duration: float,
+    rng: np.random.Generator,
+    ramp_s: float = 5.0,
+    decay_s: float = 30.0,
+    cfg: ShareGPTConfig | None = None,
+    qos: str = "standard",
+) -> Trace:
+    """Chatbot trace with a sudden spike at ``at`` that decays away."""
+    times = flash_crowd_arrivals(
+        base_rate,
+        peak_rate,
+        at,
+        duration,
+        rng,
+        ramp_s=ramp_s,
+        decay_s=decay_s,
+    )
+    return _trace_from_times(
+        f"flashcrowd@{at:g}s-{base_rate:g}to{peak_rate:g}rps",
+        times,
+        rng,
+        cfg,
+        qos,
+    )

@@ -1,0 +1,116 @@
+"""Multi-tenant workload mixes: per-tenant QoE class, SLO, traffic share.
+
+Multi-tenant prefill/decode contention only shows up under heterogeneous
+workload *mixes* — an interactive chat tenant sharing the fleet with a
+batch summarisation tenant stresses batching, routing and SLO machinery
+in ways no single-tenant trace can. A :class:`TenantSpec` names one
+tenant's share of the offered rate, its QoE/priority class (which also
+carries the tenant's SLO scale — see
+:data:`repro.serving.router.QOS_CLASSES`), and the generator producing
+its requests; :func:`generate_multi_tenant_trace` composes the tenants
+into one merged, renumbered trace.
+
+Session ids are namespaced per tenant so two tenants' conversations can
+never alias in the router's KV-residency table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import require_positive
+from repro.workloads.traces import Trace, TraceRequest
+
+#: Session-id stride separating tenants' conversation namespaces.
+SESSION_STRIDE = 1_000_000
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a shared serving fleet."""
+
+    #: tenant label (reporting only; requests carry the QoE class)
+    name: str
+    #: fraction of the mix's total offered rate (normalised across
+    #: tenants, so shares need not sum to exactly 1)
+    share: float
+    #: QoE/priority class — also the tenant's SLO scale
+    #: (:data:`repro.serving.router.QOS_CLASSES`)
+    qos: str = "standard"
+    #: workload-registry generator producing this tenant's requests
+    generator: str = "sharegpt"
+    #: extra keyword parameters for the generator
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        require_positive(f"tenant {self.name!r} share", self.share)
+
+
+def generate_multi_tenant_trace(
+    tenants: list[TenantSpec],
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    resolve=None,
+) -> Trace:
+    """Compose per-tenant sub-traces into one merged trace.
+
+    Each tenant runs its generator at ``rate * share`` (shares
+    normalised) on its own child RNG stream — so adding a tenant never
+    perturbs the others' draws — then the merged requests are re-tagged
+    with the tenant's QoE class, session ids are namespaced, and ids are
+    renumbered in arrival order. ``resolve`` maps a generator name to a
+    registered builder (defaults to the workload registry).
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    require_positive("rate", rate)
+    require_positive("duration", duration)
+    if resolve is None:
+        from repro.workloads.registry import get_workload
+
+        def resolve(name):  # noqa: F811 - default resolver
+            return get_workload(name).build
+
+    total_share = sum(t.share for t in tenants)
+    # Independent child streams keep tenants decoupled (util.rng.spawn).
+    from repro.util.rng import spawn
+
+    streams = spawn(rng, len(tenants))
+    rows: list[tuple[float, int, int, int | None, str]] = []
+    for k, (tenant, sub_rng) in enumerate(zip(tenants, streams)):
+        build = resolve(tenant.generator)
+        if build is None:
+            raise KeyError(f"unknown generator {tenant.generator!r}")
+        sub = build(
+            rate * tenant.share / total_share,
+            duration,
+            sub_rng,
+            **tenant.params,
+        )
+        base = k * SESSION_STRIDE
+        for r in sub.requests:
+            sid = None if r.session_id is None else base + r.session_id
+            rows.append(
+                (r.arrival_time, r.input_len, r.output_len, sid,
+                 tenant.qos)
+            )
+    rows.sort(key=lambda row: row[0])
+    return Trace(
+        name=f"multitenant-{len(tenants)}x-{rate:g}rps",
+        requests=[
+            TraceRequest(
+                request_id=i,
+                arrival_time=t,
+                input_len=k_in,
+                output_len=k_out,
+                session_id=sid,
+                qos=qos,
+            )
+            for i, (t, k_in, k_out, sid, qos) in enumerate(rows)
+        ],
+    )

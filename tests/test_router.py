@@ -122,7 +122,10 @@ class TestDefaultByteIdentity:
         assert st.router == "kv-affinity"
         assert st.new_sessions == 0
         assert st.kv_bytes_moved == 0.0
-        assert math.isnan(st.hit_rate())
+        # Sessionless: no follow-up turns, so the rate is undefined —
+        # reported as None (and omitted from summary()), never NaN.
+        assert st.hit_rate() is None
+        assert "router_affinity_hit_rate" not in fm.summary()
 
 
 class TestRoundRobin:

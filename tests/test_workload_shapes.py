@@ -1,0 +1,298 @@
+"""Shaped-arrival generators: diurnal, flash-crowd, multi-tenant mixes.
+
+Property tests for the workload library behind the scenario specs:
+rate profiles integrate to the expected request counts, arrival streams
+are deterministic under a fixed seed and strictly inside the horizon,
+and multi-tenant composition re-tags QoE classes and namespaces session
+ids without perturbing the per-tenant draws.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import make_rng
+from repro.workloads import (
+    TenantSpec,
+    WorkloadGenerator,
+    diurnal_arrivals,
+    diurnal_rate,
+    effective_rate,
+    flash_crowd_arrivals,
+    flash_crowd_rate,
+    generate_diurnal_trace,
+    generate_flash_crowd_trace,
+    generate_multi_tenant_trace,
+    get_workload,
+    inhomogeneous_arrivals,
+    registered_workloads,
+)
+from repro.workloads.registry import register_workload
+from repro.workloads.tenants import SESSION_STRIDE
+
+
+class TestInhomogeneousArrivals:
+    def test_constant_rate_matches_poisson_mean(self):
+        rng = make_rng(0)
+        times = inhomogeneous_arrivals(
+            lambda t: np.full_like(t, 2.0), 2.0, 500.0, rng
+        )
+        # lambda*T = 1000 expected arrivals; 5 sigma ~ 160.
+        assert 800 <= len(times) <= 1200
+
+    def test_sorted_within_horizon(self):
+        times = inhomogeneous_arrivals(
+            lambda t: 1.0 + 0.5 * np.sin(t), 1.5, 100.0, make_rng(1)
+        )
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0.0 and times[-1] < 100.0
+
+    def test_deterministic_under_seed(self):
+        def rate_fn(t):
+            return 1.0 + 0.5 * np.cos(t / 10.0)
+
+        a = inhomogeneous_arrivals(rate_fn, 1.5, 200.0, make_rng(42))
+        b = inhomogeneous_arrivals(rate_fn, 1.5, 200.0, make_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_rate_above_envelope_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            inhomogeneous_arrivals(
+                lambda t: np.full_like(t, 3.0), 2.0, 50.0, make_rng(0)
+            )
+
+
+class TestDiurnal:
+    def test_rate_profile_trough_at_phase_zero(self):
+        t = np.array([0.0, 50.0, 100.0])
+        r = diurnal_rate(t, 1.0, 3.0, period=100.0)
+        # Cosine profile: trough at t=0 and t=period, peak at period/2.
+        assert r[0] == pytest.approx(1.0)
+        assert r[1] == pytest.approx(3.0)
+        assert r[2] == pytest.approx(1.0)
+
+    def test_rate_profile_bounded(self):
+        t = np.linspace(0.0, 400.0, 1000)
+        r = diurnal_rate(t, 0.5, 2.0, period=86.4)
+        assert np.all(r >= 0.5 - 1e-12) and np.all(r <= 2.0 + 1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_count_integrates_rate(self, seed):
+        base, peak, T = 1.0, 3.0, 600.0
+        times = diurnal_arrivals(
+            base, peak, T, make_rng(seed), period=T
+        )
+        expected = (base + peak) / 2.0 * T  # mean of the cosine profile
+        sigma = np.sqrt(expected)
+        assert abs(len(times) - expected) < 6 * sigma
+
+    def test_trace_tags_qos_and_sorts(self):
+        trace = generate_diurnal_trace(
+            1.0, 2.0, 60.0, make_rng(3), qos="interactive"
+        )
+        assert len(trace) > 0
+        assert all(r.qos == "interactive" for r in trace.requests)
+        arr = [r.arrival_time for r in trace.requests]
+        assert np.all(np.diff(arr) >= 0)
+
+    def test_trace_deterministic(self):
+        a = generate_diurnal_trace(1.0, 2.0, 60.0, make_rng(9))
+        b = generate_diurnal_trace(1.0, 2.0, 60.0, make_rng(9))
+        assert [
+            (r.arrival_time, r.input_len, r.output_len)
+            for r in a.requests
+        ] == [
+            (r.arrival_time, r.input_len, r.output_len)
+            for r in b.requests
+        ]
+
+
+class TestFlashCrowd:
+    def test_rate_profile_shape(self):
+        t = np.array([0.0, 30.0, 35.0, 36.0, 300.0])
+        r = flash_crowd_rate(
+            t, 1.0, 5.0, at=30.0, ramp_s=5.0, decay_s=10.0
+        )
+        assert r[0] == pytest.approx(1.0)   # pre-spike: base
+        assert r[1] == pytest.approx(1.0)   # ramp starts at `at`
+        assert r[2] == pytest.approx(5.0)   # peak at at+ramp
+        assert 1.0 < r[3] < 5.0             # decaying
+        assert r[4] == pytest.approx(1.0, abs=1e-6)  # long after: base
+
+    def test_spike_concentrates_arrivals(self):
+        base, peak, at, T = 0.5, 8.0, 100.0, 200.0
+        times = flash_crowd_arrivals(
+            base, peak, at, T, make_rng(7), ramp_s=2.0, decay_s=15.0
+        )
+        before = np.sum(times < at)
+        during = np.sum((times >= at) & (times < at + 40.0))
+        # The 40 s spike window outdraws the 100 s of base traffic.
+        assert during > before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(1.0, 5.0, 300.0, 200.0, make_rng(0))
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(5.0, 1.0, 10.0, 200.0, make_rng(0))
+
+    def test_trace_deterministic_and_in_horizon(self):
+        a = generate_flash_crowd_trace(
+            0.5, 3.0, 20.0, 60.0, make_rng(5)
+        )
+        b = generate_flash_crowd_trace(
+            0.5, 3.0, 20.0, 60.0, make_rng(5)
+        )
+        assert len(a) == len(b) > 0
+        arr_a = [r.arrival_time for r in a.requests]
+        arr_b = [r.arrival_time for r in b.requests]
+        assert arr_a[-1] < 60.0
+        assert arr_a == arr_b
+
+
+class TestEffectiveRate:
+    def test_mean_rate(self):
+        times = np.linspace(0.0, 99.0, 100)
+        assert effective_rate(times, 100.0) == pytest.approx(1.0)
+
+
+class TestMultiTenant:
+    TENANTS = [
+        TenantSpec(name="chat", share=0.5, qos="interactive"),
+        TenantSpec(
+            name="batch", share=0.5, qos="batch", generator="longbench"
+        ),
+    ]
+
+    def test_qos_retagged_per_tenant(self):
+        trace = generate_multi_tenant_trace(
+            self.TENANTS, 2.0, 60.0, make_rng(0)
+        )
+        classes = {r.qos for r in trace.requests}
+        assert classes == {"interactive", "batch"}
+
+    def test_session_ids_namespaced(self):
+        tenants = [
+            TenantSpec(name="a", share=0.5, generator="sessions"),
+            TenantSpec(name="b", share=0.5, generator="sessions"),
+        ]
+        trace = generate_multi_tenant_trace(
+            tenants, 0.5, 60.0, make_rng(1)
+        )
+        sids = [
+            r.session_id
+            for r in trace.requests
+            if r.session_id is not None
+        ]
+        assert any(s < SESSION_STRIDE for s in sids)
+        assert any(s >= SESSION_STRIDE for s in sids)
+
+    def test_ids_renumbered_in_arrival_order(self):
+        trace = generate_multi_tenant_trace(
+            self.TENANTS, 2.0, 60.0, make_rng(2)
+        )
+        assert [r.request_id for r in trace.requests] == list(
+            range(len(trace))
+        )
+        arr = [r.arrival_time for r in trace.requests]
+        assert np.all(np.diff(arr) >= 0)
+
+    def test_shares_split_offered_rate(self):
+        tenants = [
+            TenantSpec(name="big", share=3.0),
+            TenantSpec(name="small", share=1.0),
+        ]
+        trace = generate_multi_tenant_trace(
+            tenants, 4.0, 300.0, make_rng(3)
+        )
+        big = sum(1 for r in trace.requests if r.qos == "standard")
+        # Both tenants are "standard"; count via session namespace
+        # instead: single-shot sharegpt has no session ids, so split by
+        # arrival interleave is not observable — assert the total.
+        expected = 4.0 * 300.0
+        assert abs(len(trace) - expected) < 6 * np.sqrt(expected)
+        assert big == len(trace)
+
+    def test_adding_tenant_preserves_other_streams(self):
+        one = generate_multi_tenant_trace(
+            [TenantSpec(name="chat", share=1.0)], 1.0, 60.0, make_rng(8)
+        )
+        two = generate_multi_tenant_trace(
+            [
+                TenantSpec(name="chat", share=1.0),
+                TenantSpec(name="extra", share=1.0, qos="batch"),
+            ],
+            2.0,
+            60.0,
+            make_rng(8),
+        )
+        # Tenant 0 keeps rate 1.0 (share normalised) and its own child
+        # RNG stream, so its requests are identical in both mixes.
+        chat_two = [
+            (r.arrival_time, r.input_len, r.output_len)
+            for r in two.requests
+            if r.qos == "standard"
+        ]
+        chat_one = [
+            (r.arrival_time, r.input_len, r.output_len)
+            for r in one.requests
+        ]
+        assert chat_two == chat_one
+
+    def test_empty_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            generate_multi_tenant_trace([], 1.0, 60.0, make_rng(0))
+        with pytest.raises(ValueError):
+            TenantSpec(name="", share=1.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", share=0.0)
+
+
+class TestRegistry:
+    def test_core_generators_registered(self):
+        names = {g.name for g in registered_workloads()}
+        assert {
+            "sharegpt", "longbench", "sessions", "loadshift",
+            "diurnal", "flash-crowd", "multi-tenant",
+        } <= names
+
+    def test_sorted_listing(self):
+        names = [g.name for g in registered_workloads()]
+        assert names == sorted(names)
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="sharegpt"):
+            get_workload("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload(
+                WorkloadGenerator(
+                    "sharegpt", "dup", lambda *a, **k: None
+                )
+            )
+
+    def test_build_signature_uniform(self):
+        for gen in registered_workloads():
+            if gen.name == "multi-tenant":
+                trace = gen.build(
+                    1.0,
+                    20.0,
+                    make_rng(0),
+                    tenants=[{"name": "t", "share": 1.0}],
+                )
+            else:
+                trace = gen.build(1.0, 20.0, make_rng(0))
+            assert len(trace) > 0
+
+    def test_loadshift_phase_split(self):
+        gen = get_workload("loadshift")
+        trace = gen.build(
+            0.5, 100.0, make_rng(4), rate_b=2.0, shift_at=50.0
+        )
+        arr = np.array([r.arrival_time for r in trace.requests])
+        before = int(np.sum(arr < 50.0))
+        after = int(np.sum(arr >= 50.0))
+        # 4x the rate after the shift: the split is decisively skewed.
+        assert after > 2 * before
